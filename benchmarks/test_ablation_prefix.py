@@ -1,0 +1,79 @@
+"""Ablation: RIS-DA's prefix-sample online answering.
+
+DESIGN.md decision 2 (and paper Section 5.3): "we on the fly compute the
+sample size needed for the given query instead of using all the samples,
+since building the bipartite graph and computing each initial weighted
+coverage takes the majority of computation cost."  This ablation compares
+answering from the Lemma-7 prefix vs the full indexed pool: same-quality
+seeds, much lower latency.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import DEFAULT_K, MC_ROUNDS, emit
+from repro.bench.reporting import format_table
+from repro.bench.runner import evaluate_spread
+from repro.bench.workloads import random_queries
+from repro.ris.coverage import weighted_greedy_cover
+
+
+def run(networks, ris_indexes, decay):
+    rows = []
+    for name in ("gowalla", "twitter"):
+        net = networks[name]
+        index = ris_indexes[name]
+        queries = random_queries(net, 3, seed=700)
+        prefix_t, full_t = [], []
+        prefix_spread, full_spread = [], []
+        for q in queries:
+            start = time.perf_counter()
+            res = index.query(q, DEFAULT_K)
+            prefix_t.append(time.perf_counter() - start)
+            prefix_spread.append(
+                evaluate_spread(net, res.seeds, decay, q, MC_ROUNDS, seed=11)
+            )
+
+            # Full-pool variant: same greedy, all indexed samples.
+            start = time.perf_counter()
+            roots = index.corpus.roots
+            sw = index.decay.weights(net.coords[roots], q)
+            cover = weighted_greedy_cover(index.corpus, sw, DEFAULT_K)
+            full_t.append(time.perf_counter() - start)
+            full_spread.append(
+                evaluate_spread(net, cover.seeds, decay, q, MC_ROUNDS, seed=11)
+            )
+        rows.append(
+            [
+                name,
+                round(float(np.mean(prefix_t)) * 1000, 2),
+                round(float(np.mean(full_t)) * 1000, 2),
+                round(float(np.mean(full_t)) / float(np.mean(prefix_t)), 2),
+                round(float(np.mean(prefix_spread)), 2),
+                round(float(np.mean(full_spread)), 2),
+            ]
+        )
+    return rows
+
+
+def test_ablation_prefix_answering(networks, ris_indexes, decay, benchmark):
+    rows = benchmark.pedantic(
+        lambda: run(networks, ris_indexes, decay), rounds=1, iterations=1
+    )
+    emit(
+        "ablation_prefix",
+        format_table(
+            ["dataset", "prefix_ms", "full_pool_ms", "speedup",
+             "prefix_influence", "full_influence"],
+            rows,
+            title="Ablation: Lemma-7 prefix vs full sample pool (k=30)",
+        ),
+    )
+    for row in rows:
+        # Full pool must not be faster, and quality must be comparable.
+        assert row[2] >= row[1] * 0.8, row
+        assert row[4] == pytest.approx(row[5], rel=0.3), row

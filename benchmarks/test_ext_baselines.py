@@ -1,0 +1,79 @@
+"""Extension benchmark: heuristic baselines vs the paper's methods.
+
+Not a paper figure, but the standard IM-paper sanity table: how much
+influence do cheap heuristics leave on the table relative to MIA-DA /
+RIS-DA, and at what cost?  Expected shape: proximity-only (TopWeight)
+clearly worst, degree-based heuristics in between, the index methods on
+top — at millisecond-scale latencies for the heuristics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import DEFAULT_K, MC_ROUNDS, N_QUERIES, emit
+from repro.bench.reporting import format_table
+from repro.bench.runner import evaluate_spread
+from repro.bench.workloads import random_queries
+from repro.core.heuristics import (
+    degree_discount,
+    top_degree,
+    top_weight,
+    top_weighted_degree,
+)
+
+
+def run(networks, mia_indexes, ris_indexes, decay):
+    name = "gowalla"
+    net = networks[name]
+    queries = random_queries(net, N_QUERIES, seed=950)
+    methods = {
+        "TopWeight": lambda q, k: top_weight(net, q, k, decay),
+        "TopDegree": lambda q, k: top_degree(net, k),
+        "TopWeightedDegree": lambda q, k: top_weighted_degree(net, q, k, decay),
+        "DegreeDiscount": lambda q, k: degree_discount(net, q, k, decay),
+        "MIA-DA": lambda q, k: mia_indexes[name].query(q, k),
+        "RIS-DA": lambda q, k: ris_indexes[name].query(q, k),
+    }
+    rows = []
+    spread_by_method = {}
+    for mname, fn in methods.items():
+        spreads, times = [], []
+        for q in queries:
+            res = fn(q, DEFAULT_K)
+            times.append(res.elapsed * 1000)
+            spreads.append(
+                evaluate_spread(net, res.seeds, decay, q, MC_ROUNDS, seed=12)
+            )
+        avg = float(np.mean(spreads))
+        spread_by_method[mname] = avg
+        rows.append([mname, round(avg, 2), round(float(np.mean(times)), 3)])
+    return rows, spread_by_method
+
+
+def test_ext_baseline_quality(
+    networks, mia_indexes, ris_indexes, decay, benchmark
+):
+    rows, spreads = benchmark.pedantic(
+        lambda: run(networks, mia_indexes, ris_indexes, decay),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "ext_baselines",
+        format_table(
+            ["method", "influence", "time_ms"],
+            rows,
+            title=(
+                "Extension: heuristic baselines vs index methods "
+                "(Gowalla, k=30)"
+            ),
+        ),
+    )
+    # Shape: the exact methods dominate every heuristic; proximity-only
+    # is the weakest informative baseline.
+    best_exact = max(spreads["MIA-DA"], spreads["RIS-DA"])
+    for h in ("TopWeight", "TopDegree", "TopWeightedDegree", "DegreeDiscount"):
+        assert spreads[h] <= best_exact * 1.02, (h, spreads)
+    assert spreads["TopWeight"] < best_exact, spreads

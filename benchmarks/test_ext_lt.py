@@ -1,0 +1,81 @@
+"""Extension benchmark: RIS-DA under the linear threshold model.
+
+Not a paper figure — the paper evaluates IC only — but the library
+supports LT end to end (RR sampling, lower bound, index), so this bench
+records the LT-vs-IC comparison on one dataset: same machinery, different
+diffusion, sensible spreads under both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import (
+    DEFAULT_K,
+    EPS_PIVOT,
+    MAX_SAMPLES,
+    N_PIVOTS,
+    N_QUERIES,
+    emit,
+)
+from repro.bench.reporting import format_table
+from repro.bench.workloads import random_queries
+from repro.core.ris_da import RisDaConfig, RisDaIndex
+from repro.diffusion.lt import lt_spread
+from repro.diffusion.spread import monte_carlo_weighted_spread
+
+
+def run(networks, decay):
+    net = networks["gowalla"]
+    queries = random_queries(net, N_QUERIES, seed=900)
+    rows = []
+    for diffusion in ("ic", "lt"):
+        cfg = RisDaConfig(
+            k_max=DEFAULT_K, n_pivots=N_PIVOTS, epsilon_pivot=EPS_PIVOT,
+            max_index_samples=MAX_SAMPLES, diffusion=diffusion, seed=10,
+        )
+        index = RisDaIndex(net, decay, cfg)
+        spreads, times = [], []
+        for q in queries:
+            res = index.query(q, DEFAULT_K)
+            times.append(res.elapsed * 1000)
+            w = decay.weights(net.coords, q)
+            if diffusion == "ic":
+                spreads.append(
+                    monte_carlo_weighted_spread(
+                        net, res.seeds, node_weights=w, rounds=150, seed=11
+                    ).value
+                )
+            else:
+                spreads.append(
+                    lt_spread(net, res.seeds, rounds=150, node_weights=w,
+                              seed=11)
+                )
+        rows.append(
+            [
+                diffusion.upper(),
+                round(float(np.mean(spreads)), 2),
+                round(float(np.mean(times)), 2),
+                round(index.corpus.average_size(), 2),
+            ]
+        )
+    return rows
+
+
+def test_ext_lt_ris_da(networks, decay, benchmark):
+    rows = benchmark.pedantic(lambda: run(networks, decay), rounds=1,
+                              iterations=1)
+    emit(
+        "ext_lt_ris_da",
+        format_table(
+            ["model", "influence", "time_ms", "avg_rr_size"],
+            rows,
+            title=(
+                "Extension: RIS-DA under IC vs LT diffusion "
+                "(Gowalla, k=30; spread evaluated under each model)"
+            ),
+        ),
+    )
+    for row in rows:
+        assert row[1] > 0, row

@@ -1,0 +1,77 @@
+"""Figure 7: effect of the average distance between users and the query.
+
+Paper's claims: partitioning queries into quintiles by average user
+distance (0-20 closest ... 80-100 farthest), the influence spread
+decreases as the distance grows (user weights shrink), while the
+processing time changes only slightly (the bounds depend on the distance
+to the nearest sampled location, not to the users).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import (
+    DEFAULT_K,
+    MC_ROUNDS,
+    PARAM_DATASETS,
+    emit,
+)
+from repro.bench.reporting import format_series
+from repro.bench.runner import evaluate_spread
+from repro.bench.workloads import distance_partitioned_queries
+
+BUCKET_LABELS = ("0-20", "20-40", "40-60", "60-80", "80-100")
+
+
+def run_dataset(name, networks, mia_indexes, ris_indexes, decay):
+    net = networks[name]
+    buckets = distance_partitioned_queries(
+        net, per_bucket=2, n_buckets=5, candidates=300, seed=500
+    )
+    series = {
+        "MIA-DA_influence": [], "RIS-DA_influence": [],
+        "MIA-DA_time_ms": [], "RIS-DA_time_ms": [],
+    }
+    for bucket in buckets:
+        vals = {k: [] for k in series}
+        for q in bucket:
+            r_mia = mia_indexes[name].query(q, DEFAULT_K)
+            r_ris = ris_indexes[name].query(q, DEFAULT_K)
+            vals["MIA-DA_time_ms"].append(r_mia.elapsed * 1000)
+            vals["RIS-DA_time_ms"].append(r_ris.elapsed * 1000)
+            vals["MIA-DA_influence"].append(
+                evaluate_spread(net, r_mia.seeds, decay, q, MC_ROUNDS, seed=9)
+            )
+            vals["RIS-DA_influence"].append(
+                evaluate_spread(net, r_ris.seeds, decay, q, MC_ROUNDS, seed=9)
+            )
+        for k in series:
+            series[k].append(round(float(np.mean(vals[k])), 2))
+    return series
+
+
+@pytest.mark.parametrize("name", PARAM_DATASETS)
+def test_fig7_user_distance(
+    name, networks, mia_indexes, ris_indexes, decay, benchmark
+):
+    series = benchmark.pedantic(
+        lambda: run_dataset(name, networks, mia_indexes, ris_indexes, decay),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        f"fig7_distance_{name}",
+        format_series(
+            "bucket", list(BUCKET_LABELS), series,
+            title=(
+                f"Figure 7 ({name}): queries bucketed by average user "
+                "distance (closest to farthest)"
+            ),
+        ),
+    )
+
+    # Shape: influence decreases from the closest to the farthest bucket.
+    for m in ("MIA-DA_influence", "RIS-DA_influence"):
+        assert series[m][0] > series[m][-1], (name, m, series[m])

@@ -1,0 +1,92 @@
+"""Figure 8: impact of the decay parameter alpha (Gowalla, Twitter).
+
+Paper's claims: as alpha grows from 0.001 to 0.01, the influence spread
+decreases (every node's weight shrinks with faster decay), and the
+processing time of both MIA-DA and RIS-DA increases (faster decay loosens
+the anchor/pivot transfer bounds, so more nodes must be evaluated / more
+samples used).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import (
+    DEFAULT_K,
+    EPS_PIVOT,
+    MAX_SAMPLES,
+    MC_ROUNDS,
+    N_ANCHORS,
+    N_PIVOTS,
+    N_QUERIES,
+    PARAM_DATASETS,
+    THETA,
+    emit,
+)
+from repro.bench.reporting import format_series
+from repro.bench.runner import evaluate_spread
+from repro.bench.workloads import random_queries
+from repro.core.mia_da import MiaDaConfig, MiaDaIndex
+from repro.core.ris_da import RisDaConfig, RisDaIndex
+from repro.geo.weights import DistanceDecay
+
+ALPHAS = (0.001, 0.0025, 0.005, 0.01)
+
+
+def run_dataset(name, networks, mia_models, decay_base):
+    net = networks[name]
+    queries = random_queries(net, N_QUERIES, seed=600)
+    series = {
+        "MIA-DA_influence": [], "RIS-DA_influence": [],
+        "MIA-DA_time_ms": [], "RIS-DA_time_ms": [],
+    }
+    for alpha in ALPHAS:
+        decay = decay_base.with_alpha(alpha)
+        mia = MiaDaIndex(
+            net, decay,
+            MiaDaConfig(theta=THETA, n_anchors=N_ANCHORS, tau=200, seed=3),
+            model=mia_models[name],
+        )
+        ris = RisDaIndex(
+            net, decay,
+            RisDaConfig(
+                k_max=DEFAULT_K, n_pivots=N_PIVOTS, epsilon_pivot=EPS_PIVOT,
+                max_index_samples=MAX_SAMPLES, seed=4,
+            ),
+        )
+        vals = {k: [] for k in series}
+        for q in queries:
+            r_mia = mia.query(q, DEFAULT_K)
+            r_ris = ris.query(q, DEFAULT_K)
+            vals["MIA-DA_time_ms"].append(r_mia.elapsed * 1000)
+            vals["RIS-DA_time_ms"].append(r_ris.elapsed * 1000)
+            vals["MIA-DA_influence"].append(
+                evaluate_spread(net, r_mia.seeds, decay, q, MC_ROUNDS, seed=10)
+            )
+            vals["RIS-DA_influence"].append(
+                evaluate_spread(net, r_ris.seeds, decay, q, MC_ROUNDS, seed=10)
+            )
+        for k in series:
+            series[k].append(round(float(np.mean(vals[k])), 2))
+    return series
+
+
+@pytest.mark.parametrize("name", PARAM_DATASETS)
+def test_fig8_alpha(name, networks, mia_models, decay, benchmark):
+    series = benchmark.pedantic(
+        lambda: run_dataset(name, networks, mia_models, decay),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        f"fig8_alpha_{name}",
+        format_series(
+            "alpha", list(ALPHAS), series,
+            title=f"Figure 8 ({name}): impact of the decay parameter alpha",
+        ),
+    )
+
+    # Shape: influence decreases as alpha increases, for both methods.
+    for m in ("MIA-DA_influence", "RIS-DA_influence"):
+        assert series[m][0] > series[m][-1], (name, m, series[m])

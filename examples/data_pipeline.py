@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Data pipeline: from raw files to a certified answer.
+
+The workflow a practitioner with real check-in data would follow:
+
+1. persist / reload the network in the two-file text format
+   (SNAP-compatible edge list + check-ins);
+2. clean it: keep the largest weakly connected component, re-normalise
+   weighted-cascade probabilities;
+3. optionally crop to the metropolitan area of interest;
+4. answer a DAIM query;
+5. *certify* the answer: a fresh-sample Chernoff certificate that the
+   returned seed set provably achieves a stated fraction of the optimum.
+
+Run:  python examples/data_pipeline.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    DistanceDecay,
+    MiaDaConfig,
+    MiaDaIndex,
+    certify_seed_set,
+    load_dataset,
+    read_network,
+    write_network,
+)
+from repro.geo.point import BoundingBox
+from repro.network import (
+    assign_weighted_cascade,
+    largest_weak_component,
+    spatial_subgraph,
+    summarize,
+)
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-pipeline-"))
+    edges, checkins = workdir / "city.edges", workdir / "city.checkins"
+
+    # --- 1. Raw data on disk (here: a generated stand-in). ---------------
+    raw = load_dataset("brightkite")
+    write_network(raw, edges, checkins)
+    print(f"raw files: {edges.name}, {checkins.name} in {workdir}")
+    network = read_network(edges, checkins)
+    print(f"loaded   : {summarize(network).as_row()}")
+
+    # --- 2. Clean: largest component + WC renormalisation. ---------------
+    component, kept = largest_weak_component(network)
+    component = assign_weighted_cascade(component)
+    print(f"component: kept {component.n}/{network.n} users")
+
+    # --- 3. Crop to a city-sized window around the venue. -----------------
+    venue = (120.0, 150.0)
+    window = BoundingBox(
+        venue[0] - 100, venue[1] - 100, venue[0] + 100, venue[1] + 100
+    )
+    city, _ = spatial_subgraph(component, window)
+    city = assign_weighted_cascade(city)
+    print(f"city crop: {city.n} users inside a 200x200 window")
+
+    # --- 4. Query. ---------------------------------------------------------
+    decay = DistanceDecay(alpha=0.01)
+    index = MiaDaIndex(city, decay, MiaDaConfig(n_anchors=40))
+    result = index.query(venue, 10)
+    print(
+        f"query    : k=10 -> seeds {result.seeds[:5]}..., "
+        f"MIA estimate {result.estimate:.2f} "
+        f"({result.elapsed * 1000:.1f} ms, {result.evaluations} evals)"
+    )
+
+    # --- 5. Certify. ---------------------------------------------------------
+    cert = certify_seed_set(
+        city, venue, result.seeds, decay, n_samples=30_000, delta=0.01, seed=0
+    )
+    print(
+        f"certify  : I_q(S) >= {cert.spread_lcb:.2f} and "
+        f"OPT <= {cert.opt_ucb:.2f}  =>  provably >= "
+        f"{100 * cert.ratio:.0f}% of optimal "
+        f"(confidence {100 * (1 - cert.delta):.0f}%, "
+        f"{cert.samples} fresh samples, {cert.elapsed:.1f}s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Multi-store campaign: one seed budget across several locations.
+
+The Appendix E extension: a chain with stores in multiple cities promotes
+them all at once.  A user attends the closest store, so the node weight is
+``w(v, Q) = max_i w(v, q_i)``.  This example compares:
+
+* per-store campaigns (k seeds each, budget 3k total);
+* one combined multi-location campaign with budget k — often nearly as
+  effective because a well-placed seed serves the store nearest to its
+  audience.
+
+Run:  python examples/multi_store_campaign.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    DistanceDecay,
+    RisDaConfig,
+    RisDaIndex,
+    load_dataset,
+    monte_carlo_weighted_spread,
+    multi_location_query,
+    multi_location_weights,
+)
+
+
+def main() -> None:
+    network = load_dataset("twitter")
+    decay = DistanceDecay(c=1.0, alpha=0.01)
+    index = RisDaIndex(
+        network,
+        decay,
+        RisDaConfig(k_max=30, n_pivots=24, max_index_samples=80_000, seed=0),
+    )
+
+    # Three stores in different parts of the map.
+    box = network.bounding_box()
+    stores = [
+        (box.xmin + 0.25 * box.width, box.ymin + 0.25 * box.height),
+        (box.xmin + 0.75 * box.width, box.ymin + 0.30 * box.height),
+        (box.xmin + 0.50 * box.width, box.ymin + 0.80 * box.height),
+    ]
+    k = 15
+    combined_w = multi_location_weights(decay, network.coords, stores)
+
+    print(f"{len(stores)} stores, combined objective w(v, Q) = max_i w(v, q_i)\n")
+
+    # --- Per-store campaigns (3x the budget). ----------------------------
+    union: set[int] = set()
+    for i, q in enumerate(stores):
+        res = index.query(q, k)
+        union.update(res.seeds)
+        spread = monte_carlo_weighted_spread(
+            network, res.seeds, node_weights=combined_w, rounds=400, seed=2
+        )
+        print(
+            f"store {i + 1} at ({q[0]:5.1f}, {q[1]:5.1f}): "
+            f"k={k}, combined-objective spread {spread.value:7.2f}"
+        )
+    union_spread = monte_carlo_weighted_spread(
+        network, sorted(union), node_weights=combined_w, rounds=400, seed=2
+    )
+    print(
+        f"union of per-store campaigns: {len(union)} seeds, "
+        f"spread {union_spread.value:7.2f}\n"
+    )
+
+    # --- One multi-location campaign with a single budget k. -------------
+    multi = multi_location_query(index, stores, k)
+    multi_spread = monte_carlo_weighted_spread(
+        network, multi.seeds, node_weights=combined_w, rounds=400, seed=2
+    )
+    print(
+        f"multi-location campaign: k={k} seeds, "
+        f"spread {multi_spread.value:7.2f} "
+        f"({multi.samples_used} samples used)"
+    )
+    efficiency = multi_spread.value / max(union_spread.value, 1e-9)
+    print(
+        f"-> {100 * efficiency:.0f}% of the 3x-budget union's spread "
+        f"with 1/3 of the coupons"
+    )
+
+
+if __name__ == "__main__":
+    main()

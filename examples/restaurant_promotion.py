@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""The paper's motivating scenario: promoting a new restaurant.
+
+A restaurant ("Sokyo", Example 1 of the paper) opens at a location q and
+wants to hand out coupons to k influential users.  This example shows why
+*distance-aware* seed selection matters:
+
+1. classical influence maximization (alpha = 0) picks globally influential
+   users, many of whom live far away and whose audience will not come;
+2. a distance-aware query (alpha > 0) picks users whose influence lands
+   near the restaurant;
+3. moving the restaurant across town *changes the seed set* — the whole
+   reason per-query indexes exist.
+
+Run:  python examples/restaurant_promotion.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    DistanceDecay,
+    MiaDaConfig,
+    MiaDaIndex,
+    MiaModel,
+    load_dataset,
+    monte_carlo_weighted_spread,
+)
+
+
+def describe(network, seeds, q, decay) -> str:
+    d = np.hypot(
+        network.coords[seeds, 0] - q[0], network.coords[seeds, 1] - q[1]
+    )
+    w = decay.weights(network.coords, q)
+    spread = monte_carlo_weighted_spread(
+        network, seeds, node_weights=w, rounds=500, seed=1
+    )
+    return (
+        f"weighted spread {spread.value:7.2f}, "
+        f"median seed distance from venue {np.median(d):6.1f}"
+    )
+
+
+def main() -> None:
+    network = load_dataset("brightkite")
+    model = MiaModel(network, theta=0.05)
+    k = 15
+
+    # The restaurant opens in a secondary neighbourhood — away from the
+    # dense centre where the globally influential users live.  This is
+    # exactly the regime where classical IM misfires (its seeds are
+    # influential, but their audience is across town).
+    center = (
+        float(np.quantile(network.coords[:, 0], 0.15)),
+        float(np.quantile(network.coords[:, 1], 0.80)),
+    )
+    print(f"restaurant opens at ({center[0]:.1f}, {center[1]:.1f})\n")
+
+    # --- 1. Classical IM ignores geography (alpha = 0). ------------------
+    flat = DistanceDecay(c=1.0, alpha=0.0)
+    flat_index = MiaDaIndex(network, flat, MiaDaConfig(n_anchors=20), model=model)
+    classical = flat_index.query(center, k).seeds
+
+    # --- 2. Distance-aware IM (the paper's default alpha). ---------------
+    decay = DistanceDecay(c=1.0, alpha=0.01)
+    index = MiaDaIndex(network, decay, MiaDaConfig(n_anchors=60), model=model)
+    aware = index.query(center, k).seeds
+
+    print("evaluated under the distance-aware objective at the restaurant:")
+    print(f"  classical IM seeds:      {describe(network, classical, center, decay)}")
+    print(f"  distance-aware seeds:    {describe(network, aware, center, decay)}")
+
+    overlap = len(set(classical) & set(aware))
+    print(f"  seed overlap: {overlap}/{k}\n")
+
+    # --- 3. A second branch across town gets different seeds. ------------
+    far_corner = (
+        float(network.coords[:, 0].max() * 0.9),
+        float(network.coords[:, 1].max() * 0.9),
+    )
+    branch = index.query(far_corner, k).seeds
+    print(
+        f"second branch at ({far_corner[0]:.1f}, {far_corner[1]:.1f}): "
+        f"{len(set(branch) & set(aware))}/{k} seeds shared with the "
+        "first location"
+    )
+    print("  (different promoted locations genuinely need different seeds)")
+
+
+if __name__ == "__main__":
+    main()

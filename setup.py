@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e . --no-use-pep517`` works on offline
+environments whose setuptools lacks the ``bdist_wheel`` command (no
+``wheel`` package available).  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Benchmark harness: workloads, timing, and reporting.
+
+These helpers keep the ``benchmarks/`` scripts short and uniform: every
+figure reproduction generates a workload, runs each method through the
+same timing loop, evaluates returned seed sets with one shared Monte-Carlo
+evaluator, and prints rows in the shape the paper reports.
+"""
+
+from repro.bench.reporting import (
+    format_series,
+    format_series_with_sparklines,
+    format_table,
+    sparkline,
+)
+from repro.bench.runner import MethodResult, evaluate_methods, evaluate_spread
+from repro.bench.workloads import (
+    distance_partitioned_queries,
+    random_queries,
+)
+
+__all__ = [
+    "MethodResult",
+    "distance_partitioned_queries",
+    "evaluate_methods",
+    "evaluate_spread",
+    "format_series",
+    "format_series_with_sparklines",
+    "format_table",
+    "random_queries",
+    "sparkline",
+]

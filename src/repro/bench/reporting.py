@@ -1,0 +1,93 @@
+"""Plain-text tables and series for benchmark output.
+
+The harness prints the same rows/series the paper plots, e.g.::
+
+    Figure 3 (Brightkite): influence spread vs k
+    k      PMIA   MIA-DA   RIS-DA
+    10    62.11    61.90    66.02
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_name: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """One row per x value, one column per named series (figure layout)."""
+    headers = [x_name] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, title=title)
+
+
+#: Eight block characters from low to high for terminal sparklines.
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A unicode mini-chart of a numeric series, e.g. ``▁▂▄▆█``.
+
+    Handy for eyeballing figure trends inside benchmark logs without a
+    plotting stack.  Constant series render as a flat mid-level line.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi - lo < 1e-12:
+        return _SPARK_BLOCKS[3] * len(vals)
+    span = hi - lo
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_SPARK_BLOCKS) - 1))
+        out.append(_SPARK_BLOCKS[idx])
+    return "".join(out)
+
+
+def format_series_with_sparklines(
+    x_name: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """:func:`format_series` plus one trend sparkline per series."""
+    table = format_series(x_name, x_values, series, title=title)
+    trend_lines = [
+        f"  {name}: {sparkline(vals)}" for name, vals in series.items()
+    ]
+    return table + "\ntrends:\n" + "\n".join(trend_lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0 or 0.01 <= abs(value) < 1e6:
+            return f"{value:.2f}"
+        return f"{value:.3g}"
+    return str(value)

@@ -1,0 +1,104 @@
+"""Shared measurement loop for the figure reproductions.
+
+Every figure compares methods on two axes:
+
+* **effectiveness** — the Monte-Carlo distance-aware spread of the
+  returned seed set (method-independent evaluation, paper Section 5.1:
+  "we run 10000 round random simulations for each returned seed set");
+* **efficiency** — the online response time, averaged over the workload.
+
+:func:`evaluate_methods` runs a set of named query functions over a shared
+workload and returns both numbers per method.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.query import SeedResult
+from repro.diffusion.spread import monte_carlo_weighted_spread
+from repro.geo.point import Point
+from repro.geo.weights import DistanceDecay
+from repro.network.graph import GeoSocialNetwork
+from repro.rng import RandomLike, as_generator
+
+#: A method under test: maps (query location, k) to a SeedResult.
+QueryFn = Callable[[Point, int], SeedResult]
+
+
+@dataclass(frozen=True)
+class MethodResult:
+    """Aggregated workload measurements for one method."""
+
+    method: str
+    avg_spread: float
+    avg_time_ms: float
+    per_query_spread: List[float]
+    per_query_time_ms: List[float]
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "method": self.method,
+            "influence": round(self.avg_spread, 2),
+            "time_ms": round(self.avg_time_ms, 2),
+        }
+
+
+def evaluate_spread(
+    network: GeoSocialNetwork,
+    seeds: Sequence[int],
+    decay: DistanceDecay,
+    query: Point,
+    rounds: int = 300,
+    seed: RandomLike = 0,
+) -> float:
+    """Monte-Carlo ``I_q(S)`` of a returned seed set (shared evaluator)."""
+    weights = decay.weights(network.coords, query)
+    est = monte_carlo_weighted_spread(
+        network, seeds, node_weights=weights, rounds=rounds, seed=seed
+    )
+    return est.value
+
+
+def evaluate_methods(
+    network: GeoSocialNetwork,
+    methods: Dict[str, QueryFn],
+    queries: Sequence[Point],
+    k: int,
+    decay: DistanceDecay,
+    mc_rounds: int = 300,
+    seed: RandomLike = 0,
+) -> List[MethodResult]:
+    """Run every method over the workload; returns one row per method.
+
+    Timing covers only the method call (online phase); spread evaluation
+    is done separately with a shared Monte-Carlo evaluator so that all
+    methods are scored identically.
+    """
+    rng = as_generator(seed)
+    results: List[MethodResult] = []
+    for name, fn in methods.items():
+        spreads: List[float] = []
+        times: List[float] = []
+        for q in queries:
+            start = time.perf_counter()
+            res = fn(q, k)
+            elapsed = time.perf_counter() - start
+            times.append(elapsed * 1000.0)
+            spreads.append(
+                evaluate_spread(network, res.seeds, decay, q, mc_rounds, rng)
+            )
+        results.append(
+            MethodResult(
+                method=name,
+                avg_spread=float(np.mean(spreads)),
+                avg_time_ms=float(np.mean(times)),
+                per_query_spread=spreads,
+                per_query_time_ms=times,
+            )
+        )
+    return results

@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+generate
+    Write a synthetic dataset (edge list + check-ins) to disk.
+stats
+    Print summary statistics of a dataset or file pair.
+build-ris
+    Build a RIS-DA index over a dataset and save it to ``.npz``.
+query
+    Answer a DAIM query with MIA-DA, RIS-DA (indexed or ad-hoc), or a
+    heuristic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.heuristics import degree_discount, top_weighted_degree
+from repro.core.mia_da import MiaDaConfig, MiaDaIndex
+from repro.core.persistence import load_ris_index, save_ris_index
+from repro.core.ris_da import RisDaConfig, RisDaIndex
+from repro.exceptions import ReproError
+from repro.geo.weights import DistanceDecay
+from repro.network.datasets import DATASET_RECIPES, load_dataset
+from repro.network.io import read_network, write_network
+from repro.network.stats import summarize
+from repro.ris.adhoc import adhoc_ris_query
+
+
+def _add_network_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--dataset",
+        choices=sorted(DATASET_RECIPES),
+        help="built-in synthetic dataset name",
+    )
+    p.add_argument("--scale", type=float, default=None,
+                   help="size multiplier for --dataset")
+    p.add_argument("--edges", help="edge-list file (alternative to --dataset)")
+    p.add_argument("--checkins", help="check-in file accompanying --edges")
+
+
+def _resolve_network(args: argparse.Namespace):
+    if args.dataset and args.edges:
+        raise ReproError("pass either --dataset or --edges, not both")
+    if args.dataset:
+        return load_dataset(args.dataset, scale=args.scale)
+    if args.edges:
+        return read_network(args.edges, args.checkins)
+    raise ReproError("a network is required: --dataset or --edges")
+
+
+def _add_decay_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--alpha", type=float, default=0.01,
+                   help="weight decay rate (paper default 0.01)")
+    p.add_argument("--c", type=float, default=1.0, help="maximum node weight")
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    network = load_dataset(args.dataset, scale=args.scale)
+    write_network(network, args.out_edges, args.out_checkins)
+    print(f"wrote {network.n} nodes / {network.m} edges to "
+          f"{args.out_edges} and {args.out_checkins}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    network = _resolve_network(args)
+    for key, value in summarize(network).as_row().items():
+        print(f"{key:8s} {value}")
+    return 0
+
+
+def cmd_build_ris(args: argparse.Namespace) -> int:
+    network = _resolve_network(args)
+    decay = DistanceDecay(c=args.c, alpha=args.alpha)
+    cfg = RisDaConfig(
+        k_max=args.k_max,
+        n_pivots=args.pivots,
+        epsilon_pivot=args.epsilon_pivot,
+        epsilon=args.epsilon,
+        max_index_samples=args.max_samples,
+        seed=args.seed,
+    )
+    index = RisDaIndex(network, decay, cfg)
+    save_ris_index(index, args.out)
+    print(
+        f"built RIS-DA index in {index.build_seconds:.1f}s: "
+        f"{len(index.corpus)} samples "
+        f"({'truncated' if index.truncated else 'complete'}), "
+        f"saved to {args.out}"
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    network = _resolve_network(args)
+    decay = DistanceDecay(c=args.c, alpha=args.alpha)
+    q = (args.x, args.y)
+    if args.method == "ris" and args.index:
+        index = load_ris_index(args.index, network)
+        result = index.query(q, args.k)
+    elif args.method == "ris":
+        result = adhoc_ris_query(network, q, args.k, decay, seed=args.seed)
+    elif args.method == "mia":
+        mia = MiaDaIndex(network, decay, MiaDaConfig(seed=args.seed))
+        result = mia.query(q, args.k)
+    elif args.method == "weighted-degree":
+        result = top_weighted_degree(network, q, args.k, decay)
+    else:  # degree-discount
+        result = degree_discount(network, q, args.k, decay)
+    print(f"method    {result.method}")
+    print(f"time      {result.elapsed * 1000:.1f} ms")
+    print(f"estimate  {result.estimate:.2f}")
+    if result.samples_used is not None:
+        print(f"samples   {result.samples_used}")
+    if result.evaluations is not None:
+        print(f"evals     {result.evaluations}")
+    print("seeds     " + " ".join(str(s) for s in result.seeds))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distance-aware influence maximization (DAIM) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="write a synthetic dataset to disk")
+    p.add_argument("--dataset", choices=sorted(DATASET_RECIPES), required=True)
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--out-edges", required=True)
+    p.add_argument("--out-checkins", required=True)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("stats", help="summarise a dataset")
+    _add_network_args(p)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("build-ris", help="build and save a RIS-DA index")
+    _add_network_args(p)
+    _add_decay_args(p)
+    p.add_argument("--out", required=True, help="output .npz path")
+    p.add_argument("--k-max", type=int, default=50)
+    p.add_argument("--pivots", type=int, default=100)
+    p.add_argument("--epsilon-pivot", type=float, default=0.25)
+    p.add_argument("--epsilon", type=float, default=0.5)
+    p.add_argument("--max-samples", type=int, default=300_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_build_ris)
+
+    p = sub.add_parser("query", help="answer a DAIM query")
+    _add_network_args(p)
+    _add_decay_args(p)
+    p.add_argument("--x", type=float, required=True)
+    p.add_argument("--y", type=float, required=True)
+    p.add_argument("-k", "--k", type=int, default=30)
+    p.add_argument(
+        "--method",
+        choices=("mia", "ris", "weighted-degree", "degree-discount"),
+        default="mia",
+    )
+    p.add_argument("--index", help="saved RIS-DA index (.npz) for --method ris")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_query)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""The paper's primary contribution: DAIM queries and the two indexes.
+
+* :mod:`repro.core.query` — query and result types;
+* :mod:`repro.core.greedy` — Algorithm 1, the naive Monte-Carlo greedy
+  (the gold-standard reference on small graphs);
+* :mod:`repro.core.bounds` — MIA-DA's anchor-point and region-based
+  influence bounds (reconstruction of Appendix B/C);
+* :mod:`repro.core.mia_da` — the MIA-DA index: pruning rules + priority
+  search over the MIA model (Section 3);
+* :mod:`repro.core.ris_da` — the RIS-DA index: pivot info, Voronoi-sized
+  sample pool, online lower-bound queries (Section 4);
+* :mod:`repro.core.multi_location` — the multi-store extension sketched in
+  Appendix E.
+"""
+
+from repro.core.bounds import AnchorBounds, RegionBounds
+from repro.core.greedy import naive_greedy
+from repro.core.heuristics import (
+    degree_discount,
+    top_degree,
+    top_weight,
+    top_weighted_degree,
+)
+from repro.core.keyword import keyword_cover_query
+from repro.core.mia_da import MiaDaConfig, MiaDaIndex
+from repro.core.multi_location import multi_location_weights
+from repro.core.persistence import load_ris_index, save_ris_index
+from repro.core.query import DaimQuery, SeedResult
+from repro.core.ris_da import RisDaConfig, RisDaIndex
+
+__all__ = [
+    "AnchorBounds",
+    "DaimQuery",
+    "MiaDaConfig",
+    "MiaDaIndex",
+    "RegionBounds",
+    "RisDaConfig",
+    "RisDaIndex",
+    "SeedResult",
+    "degree_discount",
+    "keyword_cover_query",
+    "load_ris_index",
+    "multi_location_weights",
+    "naive_greedy",
+    "save_ris_index",
+    "top_degree",
+    "top_weight",
+    "top_weighted_degree",
+]

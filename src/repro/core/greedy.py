@@ -1,0 +1,113 @@
+"""Algorithm 1: the naive Monte-Carlo greedy.
+
+The reference method: at every iteration, estimate the marginal gain of
+every remaining candidate by Monte-Carlo simulation and take the best.
+This gives the classical ``1 - 1/e - eps`` guarantee on *any* graph, but
+costs ``O(k * n * rounds * cascade)`` — usable only on small graphs, which
+is exactly its role here: the correctness yardstick the index-based methods
+are compared against in tests and examples.
+
+A CELF-style lazy evaluation (Leskovec et al., KDD'07) is applied: stale
+marginal gains are upper bounds by submodularity, so most candidates are
+never re-evaluated.  This changes nothing about the output distribution,
+only the constant factor.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.query import SeedResult
+from repro.diffusion.spread import monte_carlo_weighted_spread
+from repro.exceptions import QueryError
+from repro.geo.weights import DistanceDecay
+from repro.network.graph import GeoSocialNetwork
+from repro.rng import RandomLike, as_generator
+
+
+def naive_greedy(
+    network: GeoSocialNetwork,
+    query_location: Sequence[float],
+    k: int,
+    decay: DistanceDecay | None = None,
+    rounds: int = 200,
+    candidates: Sequence[int] | None = None,
+    seed: RandomLike = None,
+) -> SeedResult:
+    """Algorithm 1 with CELF laziness; returns a :class:`SeedResult`.
+
+    Parameters
+    ----------
+    network:
+        The geo-social network.
+    query_location:
+        The promoted location ``q``.
+    k:
+        Seed budget.
+    decay:
+        Weight function (defaults to the paper's ``c=1, alpha=0.01``).
+    rounds:
+        Monte-Carlo rounds per spread evaluation.  The guarantee's ``eps``
+        shrinks as rounds grow.
+    candidates:
+        Optional restriction of the candidate pool (e.g. to high-degree
+        nodes) for larger graphs; ``None`` evaluates every node, as the
+        paper's Algorithm 1 does.
+    """
+    if k <= 0:
+        raise QueryError(f"k must be positive, got {k}")
+    if decay is None:
+        decay = DistanceDecay()
+    rng = as_generator(seed)
+    weights = decay.weights(network.coords, tuple(query_location))
+
+    pool = (
+        list(range(network.n))
+        if candidates is None
+        else sorted(set(int(c) for c in candidates))
+    )
+    if k > len(pool):
+        raise QueryError(f"k={k} exceeds candidate pool of {len(pool)}")
+
+    start = time.perf_counter()
+
+    def spread_of(seed_nodes: list[int]) -> float:
+        if not seed_nodes:
+            return 0.0
+        est = monte_carlo_weighted_spread(
+            network, seed_nodes, node_weights=weights, rounds=rounds, seed=rng
+        )
+        return est.value
+
+    seeds: list[int] = []
+    current = 0.0
+    evaluations = 0
+    # CELF heap: (-stale_gain, node, version at which the gain was computed)
+    heap: list[tuple[float, int, int]] = []
+    for u in pool:
+        gain = spread_of([u])
+        evaluations += 1
+        heapq.heappush(heap, (-gain, u, 0))
+
+    while len(seeds) < k and heap:
+        neg_gain, u, version = heapq.heappop(heap)
+        if version == len(seeds):
+            seeds.append(u)
+            current += -neg_gain
+            continue
+        gain = spread_of(seeds + [u]) - current
+        evaluations += 1
+        heapq.heappush(heap, (-gain, u, len(seeds)))
+
+    elapsed = time.perf_counter() - start
+    return SeedResult(
+        seeds=seeds,
+        estimate=current,
+        method="Greedy-MC",
+        elapsed=elapsed,
+        evaluations=evaluations,
+    )

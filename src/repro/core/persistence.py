@@ -1,0 +1,145 @@
+"""Persistence for the RIS-DA index.
+
+Index construction is the expensive phase (minutes of sampling at paper
+scale), so a production deployment builds once and serves many processes.
+:func:`save_ris_index` / :func:`load_ris_index` round-trip everything the
+online phase needs — pivots, pivot estimates, the sample corpus, and the
+configuration — into one ``.npz`` file.  The network itself is *not*
+stored (persist it with :func:`repro.network.io.write_network`); loading
+validates that the supplied network matches the saved index.
+
+MIA-DA is intentionally not persisted: rebuilding its structures from the
+network takes seconds at any scale this library targets, so a file format
+would only add a compatibility surface.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.ris_da import RisDaConfig, RisDaIndex
+from repro.exceptions import DataFormatError
+from repro.geo.kdtree import KDTree
+from repro.geo.weights import DistanceDecay
+from repro.network.graph import GeoSocialNetwork
+from repro.ris.corpus import RRCorpus
+from repro.ris.rrset import RRSampler
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_ris_index(index: RisDaIndex, path: PathLike) -> None:
+    """Serialise a built RIS-DA index to ``path`` (``.npz``)."""
+    flat, offsets = index.corpus.flat()
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "n_nodes": index.network.n,
+        "n_edges": index.network.m,
+        "k_max": index.k_max,
+        "truncated": bool(index.truncated),
+        "index_samples_required": int(index.index_samples_required),
+        "decay": {
+            "c": index.decay.c,
+            "alpha": index.decay.alpha,
+            "metric": index.decay.metric
+            if isinstance(index.decay.metric, str)
+            else "euclidean",
+        },
+        "config": {
+            "k_max": index.config.k_max,
+            "n_pivots": index.config.n_pivots,
+            "epsilon_pivot": index.config.epsilon_pivot,
+            "delta_pivot": index.config.delta_pivot,
+            "epsilon": index.config.epsilon,
+            "delta": index.config.delta,
+            "pivot_strategy": index.config.pivot_strategy,
+            "max_index_samples": index.config.max_index_samples,
+            "lb_k_grid": index.config.lb_k_grid,
+            "diffusion": index.config.diffusion,
+            "seed": index.config.seed,
+        },
+    }
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        pivots=index.pivots,
+        pivot_estimates=index.pivot_estimates,
+        pivot_lower_bounds=index.pivot_lower_bounds,
+        corpus_roots=index.corpus.roots,
+        corpus_flat=flat,
+        corpus_offsets=offsets,
+    )
+
+
+def load_ris_index(path: PathLike, network: GeoSocialNetwork) -> RisDaIndex:
+    """Restore a RIS-DA index saved by :func:`save_ris_index`.
+
+    ``network`` must be the same graph the index was built over (checked
+    by node/edge counts).  The returned index answers queries exactly as
+    the original did; it can NOT grow its corpus deterministically (the
+    sampler state is fresh), which only matters if the caller mutates it.
+    """
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise DataFormatError(
+                f"unsupported index format {meta.get('format_version')!r}"
+            )
+        if meta["n_nodes"] != network.n or meta["n_edges"] != network.m:
+            raise DataFormatError(
+                f"index was built over a graph with {meta['n_nodes']} nodes "
+                f"/ {meta['n_edges']} edges; got {network.n} / {network.m}"
+            )
+        pivots = data["pivots"]
+        pivot_estimates = data["pivot_estimates"]
+        pivot_lower_bounds = data["pivot_lower_bounds"]
+        roots = data["corpus_roots"]
+        flat = data["corpus_flat"]
+        offsets = data["corpus_offsets"]
+
+    decay = DistanceDecay(
+        c=float(meta["decay"]["c"]),
+        alpha=float(meta["decay"]["alpha"]),
+        metric=meta["decay"]["metric"],
+    )
+    cfg_raw = meta["config"]
+    config = RisDaConfig(
+        k_max=cfg_raw["k_max"],
+        n_pivots=cfg_raw["n_pivots"],
+        epsilon_pivot=cfg_raw["epsilon_pivot"],
+        delta_pivot=cfg_raw["delta_pivot"],
+        epsilon=cfg_raw["epsilon"],
+        delta=cfg_raw["delta"],
+        pivot_strategy=cfg_raw["pivot_strategy"],
+        max_index_samples=cfg_raw["max_index_samples"],
+        lb_k_grid=cfg_raw["lb_k_grid"],
+        diffusion=cfg_raw.get("diffusion", "ic"),
+        seed=cfg_raw["seed"],
+    )
+
+    # Assemble the object without re-running the build.
+    index = RisDaIndex.__new__(RisDaIndex)
+    index.network = network
+    index.decay = decay
+    index.config = config
+    index.pivots = pivots
+    index._pivot_tree = KDTree(pivots)
+    index.sampler = RRSampler(network, seed=config.seed, diffusion=config.diffusion)
+    index.corpus = RRCorpus.from_arrays(index.sampler, roots, flat, offsets)
+    index.corpus.inverted()  # pay the inverted-index cost at load time
+    index.pivot_estimates = pivot_estimates
+    index.pivot_lower_bounds = pivot_lower_bounds
+    index.k_max = int(meta["k_max"])
+    index.truncated = bool(meta["truncated"])
+    index.index_samples_required = int(meta["index_samples_required"])
+    index.voronoi = None  # only needed during construction
+    index.pivot_seconds = 0.0
+    index.voronoi_seconds = 0.0
+    index.build_seconds = 0.0
+    return index

@@ -1,0 +1,357 @@
+"""RIS-DA: the sampling-based index with theoretical guarantees (Section 4).
+
+Offline (:meth:`RisDaIndex.build`, run by the constructor):
+
+1. **Pivot phase** (Algorithm 4) — sample pivot locations; for each pivot
+   ``p`` derive a certain lower bound ``L_p^k`` of ``OPT_p^k`` with
+   Algorithm 3 (LB-EST), grow the shared sample pool to the Lemma 7 size,
+   run the weighted greedy (Algorithm 2) and record the estimated spread
+   ``I_hat_p(S_p^k)`` for every ``k`` up to ``k_max`` (greedy seed sets are
+   nested, so one run yields the whole curve).
+2. **Worst-case sizing** (Algorithm 5) — partition space into the pivots'
+   Voronoi cells; for each cell take the location furthest from its pivot,
+   transfer the pivot's estimate there with Lemma 8, and size the pool for
+   the worst (cell, k) combination.  The pool then suffices for *any*
+   online query.
+
+Online (:meth:`RisDaIndex.query`): find the nearest pivot, derive the
+query-specific lower bound via Lemma 8, compute the (much smaller) sample
+prefix it implies, and run Algorithm 2 over that prefix only — the paper's
+key observation that building the coverage structures dominates online
+cost, so using fewer samples than indexed is the main lever.
+
+Guarantee: ``1 - 1/e - epsilon`` with probability ``>= 1 - delta`` for any
+query location and any ``k <= k_max`` (Lemma 9) — provided the pool was not
+truncated by ``max_index_samples`` (a practical memory valve the paper's
+C++ implementation does not need at its scale; when it engages, the flag
+:attr:`RisDaIndex.truncated` is set and queries needing more samples than
+indexed report ``guarantee_met=False`` in their diagnostics).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.query import DaimQuery, SeedResult
+from repro.exceptions import QueryError, SamplingError
+from repro.geo.kdtree import KDTree
+from repro.geo.point import PointLike, as_point
+from repro.geo.sampling import (
+    farthest_point_sample,
+    sample_density_pivots,
+    sample_uniform_points,
+)
+from repro.geo.voronoi import VoronoiDiagram
+from repro.geo.weights import DistanceDecay
+from repro.network.graph import GeoSocialNetwork
+from repro.ris.corpus import RRCorpus
+from repro.ris.coverage import weighted_greedy_cover
+from repro.ris.lower_bound import lb_est, lb_est_lt
+from repro.ris.rrset import RRSampler
+from repro.ris.sample_size import lemma8_lower_bound, required_sample_size
+from repro.rng import as_generator
+
+
+@dataclass(frozen=True)
+class RisDaConfig:
+    """Build-time parameters of the RIS-DA index.
+
+    Paper defaults: 2000 pivots, ``epsilon_pivot = 0.1``,
+    ``delta_pivot = 1/(10n)``, online ``epsilon = 0.5``, ``delta = 1/n``.
+    ``n_pivots`` and ``epsilon_pivot`` here default to laptop-scaled
+    values; pass the paper's numbers explicitly to reproduce them.
+
+    ``lb_k_grid`` controls at which ``k`` values Algorithm 3 is re-run per
+    pivot (LB-EST is monotone in ``k``, so the bound at the largest grid
+    point below ``k`` remains valid for ``k``); 0 means every ``k``.
+    ``max_index_samples`` caps the pool size (memory valve; see module
+    docs).
+    """
+
+    k_max: int = 50
+    n_pivots: int = 100
+    epsilon_pivot: float = 0.25
+    delta_pivot: Optional[float] = None
+    epsilon: float = 0.5
+    delta: Optional[float] = None
+    pivot_strategy: str = "uniform"
+    max_index_samples: int = 300_000
+    lb_k_grid: int = 8
+    diffusion: str = "ic"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.diffusion not in ("ic", "lt"):
+            raise QueryError(
+                f"diffusion must be 'ic' or 'lt', got {self.diffusion!r}"
+            )
+        if self.k_max <= 0:
+            raise QueryError(f"k_max must be positive, got {self.k_max}")
+        if self.n_pivots <= 0:
+            raise QueryError(f"n_pivots must be positive, got {self.n_pivots}")
+        if self.pivot_strategy not in ("uniform", "density", "farthest"):
+            raise QueryError(
+                "pivot_strategy must be 'uniform', 'density' or 'farthest', "
+                f"got {self.pivot_strategy!r}"
+            )
+        if self.max_index_samples <= 0:
+            raise QueryError("max_index_samples must be positive")
+
+    def resolved_deltas(self, n: int) -> Tuple[float, float]:
+        """``(delta_pivot, delta_online)`` with the paper's defaults."""
+        dp = self.delta_pivot if self.delta_pivot is not None else 1.0 / (10.0 * n)
+        d = self.delta if self.delta is not None else 1.0 / n
+        if not 0 < dp < d < 1:
+            raise SamplingError(
+                f"need 0 < delta_pivot ({dp}) < delta ({d}) < 1 so that the "
+                "online union bound delta - delta_pivot stays positive"
+            )
+        return dp, d
+
+
+@dataclass(frozen=True)
+class QueryDiagnostics:
+    """Side-channel information about one RIS-DA query."""
+
+    pivot_index: int
+    pivot_distance: float
+    lower_bound: float
+    samples_required: int
+    samples_used: int
+    guarantee_met: bool
+
+
+class RisDaIndex:
+    """The RIS-DA offline index and its online query processor."""
+
+    def __init__(
+        self,
+        network: GeoSocialNetwork,
+        decay: DistanceDecay | None = None,
+        config: RisDaConfig | None = None,
+    ):
+        self.network = network
+        self.decay = decay if decay is not None else DistanceDecay()
+        self.config = config if config is not None else RisDaConfig()
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Offline phase
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        cfg = self.config
+        net = self.network
+        n = net.n
+        k_max = min(cfg.k_max, n)
+        delta_pivot, _ = cfg.resolved_deltas(n)
+        rng = as_generator(cfg.seed)
+        start = time.perf_counter()
+
+        box = net.bounding_box()
+        if cfg.pivot_strategy == "uniform":
+            pivots = sample_uniform_points(box, cfg.n_pivots, rng)
+        elif cfg.pivot_strategy == "density":
+            pivots = sample_density_pivots(net.coords, cfg.n_pivots, rng)
+        else:
+            candidates = sample_uniform_points(box, cfg.n_pivots * 16, rng)
+            pivots = farthest_point_sample(candidates, cfg.n_pivots, rng)
+        self.pivots = pivots
+        self._pivot_tree = KDTree(pivots)
+
+        self.sampler = RRSampler(net, seed=rng, diffusion=cfg.diffusion)
+        self.corpus = RRCorpus(self.sampler)
+
+        # ---- Algorithm 4: pivot information ----
+        w_max = self.decay.w_max
+        self.pivot_estimates = np.zeros((len(pivots), k_max), dtype=float)
+        self.pivot_lower_bounds = np.zeros((len(pivots), k_max), dtype=float)
+        self.truncated = False
+        for pi, p in enumerate(pivots):
+            loc = (float(p[0]), float(p[1]))
+            weights = self.decay.weights(net.coords, loc)
+            lbs = self._lb_curve(weights, k_max)
+            self.pivot_lower_bounds[pi] = lbs
+            # One sample size covering every k at this pivot.
+            l_p = max(
+                required_sample_size(n, k, w_max, cfg.epsilon_pivot,
+                                     delta_pivot, float(lbs[k - 1]))
+                for k in range(1, k_max + 1)
+            )
+            l_p = self._capped(l_p)
+            self.corpus.ensure(l_p)
+            cover = weighted_greedy_cover(
+                self.corpus, weights[self.corpus.roots[:l_p]], k_max, prefix=l_p
+            )
+            # Greedy is nested: prefix estimates give the whole k curve.
+            self.pivot_estimates[pi] = [
+                cover.estimate_for_prefix(k, n) for k in range(1, k_max + 1)
+            ]
+        self.pivot_seconds = time.perf_counter() - start
+
+        # ---- Algorithm 5: Voronoi worst-case sizing ----
+        vstart = time.perf_counter()
+        self.voronoi = VoronoiDiagram(pivots, box)
+        l_max = 0
+        delta_pivot, delta_online = cfg.resolved_deltas(n)
+        delta_query = delta_online - delta_pivot
+        for cell in self.voronoi.cells:
+            pi = cell.site_index
+            d_worst = cell.worst_distance
+            for k in range(1, k_max + 1):
+                lb = lemma8_lower_bound(
+                    float(self.pivot_estimates[pi, k - 1]), d_worst,
+                    self.decay.alpha, cfg.epsilon_pivot, delta_pivot, n, k,
+                )
+                if lb <= 0:
+                    lb = float(self.pivot_lower_bounds[pi, k - 1]) * np.exp(
+                        -self.decay.alpha * d_worst
+                    )
+                if lb <= 0:
+                    continue
+                l_max = max(
+                    l_max,
+                    required_sample_size(n, k, w_max, cfg.epsilon,
+                                         delta_query, lb),
+                )
+        self.index_samples_required = l_max
+        l_final = self._capped(max(l_max, len(self.corpus)))
+        self.corpus.ensure(l_final)
+        # Pay the inverted-index build offline; queries then only binary-
+        # search prefix cutoffs instead of re-sorting the corpus.
+        self.corpus.inverted()
+        self.voronoi_seconds = time.perf_counter() - vstart
+        self.build_seconds = time.perf_counter() - start
+        self.k_max = k_max
+
+    def _capped(self, l: int) -> int:
+        if l > self.config.max_index_samples:
+            self.truncated = True
+            return self.config.max_index_samples
+        return l
+
+    def _lb_curve(self, weights: np.ndarray, k_max: int) -> np.ndarray:
+        """``L_p^k`` for k = 1..k_max via Algorithm 3 on a k-grid.
+
+        LB-EST is monotone in k (adding seeds only adds weight), so for
+        off-grid k the bound at the largest grid point <= k is still a
+        valid (slightly looser) lower bound.
+        """
+        grid = self.config.lb_k_grid
+        if grid <= 0:
+            ks = list(range(1, k_max + 1))
+        else:
+            ks = sorted(set([1, k_max] + list(range(1, k_max + 1, grid))))
+        curve = np.zeros(k_max, dtype=float)
+        last = 0.0
+        bound_fn = lb_est if self.config.diffusion == "ic" else lb_est_lt
+        values = {k: bound_fn(self.network, weights, k, self.decay.w_max) for k in ks}
+        for k in range(1, k_max + 1):
+            if k in values:
+                # Guard monotonicity against tie-breaking jitter in the
+                # seed ranking.
+                last = max(last, values[k])
+            curve[k - 1] = last
+        return curve
+
+    # ------------------------------------------------------------------
+    # Online phase
+    # ------------------------------------------------------------------
+
+    def lower_bound_for(self, q: PointLike, k: int) -> Tuple[float, QueryDiagnostics]:
+        """Lemma 8 lower bound of ``OPT_q^k`` plus diagnostics skeleton."""
+        if not 0 < k <= self.k_max:
+            raise QueryError(f"k must be in [1, {self.k_max}], got {k}")
+        loc = as_point(q)
+        pi, dist = self._pivot_tree.nearest(loc)
+        cfg = self.config
+        n = self.network.n
+        delta_pivot, _ = cfg.resolved_deltas(n)
+        lb = lemma8_lower_bound(
+            float(self.pivot_estimates[pi, k - 1]), dist,
+            self.decay.alpha, cfg.epsilon_pivot, delta_pivot, n, k,
+        )
+        if lb <= 0:
+            lb = float(self.pivot_lower_bounds[pi, k - 1]) * float(
+                np.exp(-self.decay.alpha * dist)
+            )
+        diag = QueryDiagnostics(
+            pivot_index=pi,
+            pivot_distance=dist,
+            lower_bound=lb,
+            samples_required=0,
+            samples_used=0,
+            guarantee_met=True,
+        )
+        return lb, diag
+
+    def query(
+        self,
+        q: PointLike | DaimQuery,
+        k: int | None = None,
+        return_diagnostics: bool = False,
+    ) -> SeedResult | Tuple[SeedResult, QueryDiagnostics]:
+        """Answer a DAIM query from the indexed samples.
+
+        Accepts either ``query(DaimQuery(loc, k))`` or ``query(loc, k)``.
+        """
+        if isinstance(q, DaimQuery):
+            location, k = q.location, q.k
+        else:
+            if k is None:
+                raise QueryError("k is required when passing a bare location")
+            location = as_point(q)
+
+        start = time.perf_counter()
+        lb, diag = self.lower_bound_for(location, k)
+        cfg = self.config
+        n = self.network.n
+        delta_pivot, delta_online = cfg.resolved_deltas(n)
+        if lb <= 0:
+            raise SamplingError(
+                f"lower bound collapsed to {lb} at {location}; the pivot "
+                "phase produced no usable estimate (graph too sparse or "
+                "decay too aggressive)"
+            )
+        l_required = required_sample_size(
+            n, k, self.decay.w_max, cfg.epsilon, delta_online - delta_pivot, lb
+        )
+        l_used = min(l_required, len(self.corpus))
+        guarantee = l_used >= l_required
+
+        roots = self.corpus.roots[:l_used]
+        sample_weights = self.decay.weights(
+            self.network.coords[roots], location
+        )
+        cover = weighted_greedy_cover(
+            self.corpus, sample_weights, k, prefix=l_used
+        )
+        elapsed = time.perf_counter() - start
+        result = SeedResult(
+            seeds=cover.seeds,
+            estimate=cover.estimate,
+            method="RIS-DA",
+            elapsed=elapsed,
+            samples_used=l_used,
+        )
+        if return_diagnostics:
+            diag = QueryDiagnostics(
+                pivot_index=diag.pivot_index,
+                pivot_distance=diag.pivot_distance,
+                lower_bound=lb,
+                samples_required=l_required,
+                samples_used=l_used,
+                guarantee_met=guarantee,
+            )
+            return result, diag
+        return result
+
+    def query_many(
+        self, locations: Sequence[PointLike], k: int
+    ) -> list[SeedResult]:
+        """Answer a batch of queries with the same budget."""
+        return [self.query(q, k) for q in locations]  # type: ignore[misc]

@@ -1,0 +1,43 @@
+"""Influence-diffusion substrate.
+
+* :mod:`repro.diffusion.ic` — the independent cascade model (the paper's
+  diffusion model): single cascades and batched simulation;
+* :mod:`repro.diffusion.lt` — the linear threshold model (extension);
+* :mod:`repro.diffusion.spread` — Monte-Carlo influence-spread estimators,
+  unweighted and distance-weighted;
+* :mod:`repro.diffusion.possible_world` — exact spread by possible-world
+  enumeration for tiny graphs (ground truth in tests).
+"""
+
+from repro.diffusion.ic import simulate_ic, simulate_ic_batch
+from repro.diffusion.lt import (
+    exact_lt_activation_probabilities,
+    exact_lt_spread,
+    lt_spread,
+    simulate_lt,
+)
+from repro.diffusion.possible_world import (
+    exact_activation_probabilities,
+    exact_spread,
+    exact_weighted_spread,
+)
+from repro.diffusion.spread import (
+    SpreadEstimate,
+    monte_carlo_spread,
+    monte_carlo_weighted_spread,
+)
+
+__all__ = [
+    "SpreadEstimate",
+    "exact_activation_probabilities",
+    "exact_lt_activation_probabilities",
+    "exact_lt_spread",
+    "exact_spread",
+    "exact_weighted_spread",
+    "lt_spread",
+    "monte_carlo_spread",
+    "monte_carlo_weighted_spread",
+    "simulate_ic",
+    "simulate_ic_batch",
+    "simulate_lt",
+]

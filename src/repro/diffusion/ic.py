@@ -1,0 +1,129 @@
+"""Independent cascade (IC) forward simulation.
+
+The IC process (Section 2.1): seeds are active at time 0; each newly
+activated node gets exactly one chance to activate each currently inactive
+out-neighbour ``v`` with probability ``Pr(u, v)``; the cascade stops when a
+round activates nobody.
+
+The simulator processes the whole frontier per round with numpy gather +
+vectorized coin flips, which keeps the per-round cost at "a few array ops"
+instead of a Python loop over edges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.network.graph import GeoSocialNetwork
+from repro.rng import RandomLike, as_generator
+
+
+def _seed_array(network: GeoSocialNetwork, seeds: Iterable[int]) -> np.ndarray:
+    arr = np.asarray(sorted(set(int(s) for s in seeds)), dtype=np.int64)
+    if arr.size and (arr.min() < 0 or arr.max() >= network.n):
+        raise GraphError(
+            f"seed ids must be in [0, {network.n}), got range "
+            f"[{arr.min()}, {arr.max()}]"
+        )
+    return arr
+
+
+def simulate_ic(
+    network: GeoSocialNetwork,
+    seeds: Iterable[int],
+    seed: RandomLike = None,
+) -> np.ndarray:
+    """Run one IC cascade; returns a boolean ``(n,)`` activation mask.
+
+    Each edge is examined at most once (when its source first activates),
+    exactly matching the model semantics.
+    """
+    rng = as_generator(seed)
+    active = np.zeros(network.n, dtype=bool)
+    frontier = _seed_array(network, seeds)
+    if frontier.size == 0:
+        return active
+    active[frontier] = True
+
+    offsets = network.out_offsets
+    targets = network.out_targets
+    probs = network.out_probs
+
+    while frontier.size:
+        # Gather all out-edges of the frontier in one shot.
+        starts = offsets[frontier]
+        ends = offsets[frontier + 1]
+        counts = ends - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        # Build the flat index of candidate edges: for each frontier node,
+        # the contiguous CSR slice [start, end).
+        idx = np.repeat(starts, counts) + _ragged_arange(counts)
+        cand_targets = targets[idx]
+        cand_probs = probs[idx]
+        hit = rng.random(total) < cand_probs
+        newly = cand_targets[hit]
+        # Keep only first activations this round.
+        newly = np.unique(newly)
+        newly = newly[~active[newly]]
+        active[newly] = True
+        frontier = newly
+    return active
+
+
+def simulate_ic_batch(
+    network: GeoSocialNetwork,
+    seeds: Iterable[int],
+    rounds: int,
+    seed: RandomLike = None,
+) -> np.ndarray:
+    """Run ``rounds`` independent cascades; returns ``(rounds, n)`` bool.
+
+    A convenience wrapper over :func:`simulate_ic` with a single generator,
+    used by the Monte-Carlo spread estimators.
+    """
+    if rounds <= 0:
+        raise GraphError(f"rounds must be positive, got {rounds}")
+    rng = as_generator(seed)
+    seed_list = list(seeds)
+    out = np.zeros((rounds, network.n), dtype=bool)
+    for r in range(rounds):
+        out[r] = simulate_ic(network, seed_list, rng)
+    return out
+
+
+def activation_frequency(
+    network: GeoSocialNetwork,
+    seeds: Sequence[int],
+    rounds: int,
+    seed: RandomLike = None,
+) -> np.ndarray:
+    """Empirical per-node activation probability ``I(S, v)`` estimates.
+
+    The Monte-Carlo counterpart of the exact activation probabilities in
+    :mod:`repro.diffusion.possible_world`.
+    """
+    masks = simulate_ic_batch(network, seeds, rounds, seed)
+    return masks.mean(axis=0)
+
+
+def _ragged_arange(counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(c)`` for each c in counts, without Python loops.
+
+    Example: counts [2, 0, 3] -> [0, 1, 0, 1, 2].
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # Zero-count groups contribute no elements, so drop them up front —
+    # this keeps the boundary arithmetic simple and correct.
+    nz = counts[counts > 0]
+    out = np.ones(total, dtype=np.int64)
+    out[0] = 0
+    boundaries = np.cumsum(nz)[:-1]
+    out[boundaries] = 1 - nz[:-1]
+    return np.cumsum(out)

@@ -1,0 +1,206 @@
+"""Convex polygons and half-plane clipping.
+
+RIS-DA's index construction (Algorithm 5) needs, for each Voronoi cell, the
+location inside the cell that is *furthest* from the cell's pivot.  A bounded
+Voronoi cell is a convex polygon (an intersection of half-planes with the
+bounding box); the furthest point of a convex polygon from any location is
+always one of its vertices, so the computation reduces to polygon clipping
+followed by a vertex scan.  This module implements that machinery with no
+external geometry dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import GeometryError
+from repro.geo.point import BoundingBox, Point, PointLike, as_point
+
+#: Tolerance for classifying a point as lying on a half-plane boundary.
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class HalfPlane:
+    """The half-plane ``a*x + b*y <= c``."""
+
+    a: float
+    b: float
+    c: float
+
+    def __post_init__(self) -> None:
+        if self.a == 0.0 and self.b == 0.0:
+            raise GeometryError("half-plane normal must be non-zero")
+
+    @classmethod
+    def bisector(cls, keep: PointLike, other: PointLike) -> "HalfPlane":
+        """The half-plane of points at least as close to ``keep`` as ``other``.
+
+        This is the perpendicular bisector between the two sites, oriented so
+        that ``keep`` satisfies the inequality.  Used to carve Voronoi cells.
+        """
+        kx, ky = as_point(keep)
+        ox, oy = as_point(other)
+        if kx == ox and ky == oy:
+            raise GeometryError("bisector of identical points is undefined")
+        # |p - keep|^2 <= |p - other|^2   simplifies to a linear inequality.
+        a = 2.0 * (ox - kx)
+        b = 2.0 * (oy - ky)
+        c = ox * ox + oy * oy - kx * kx - ky * ky
+        return cls(a, b, c)
+
+    def signed_value(self, p: PointLike) -> float:
+        """``a*x + b*y - c``; non-positive means inside."""
+        x, y = as_point(p)
+        return self.a * x + self.b * y - self.c
+
+    def contains(self, p: PointLike, tol: float = _EPS) -> bool:
+        return self.signed_value(p) <= tol
+
+
+class ConvexPolygon:
+    """A convex polygon stored as a counter-clockwise vertex ring.
+
+    Construction does not verify convexity exhaustively (the library only
+    ever produces these via box corners and half-plane clipping, which
+    preserve convexity), but degenerate inputs are rejected.
+    """
+
+    __slots__ = ("_vertices",)
+
+    def __init__(self, vertices: Sequence[PointLike]):
+        pts = [as_point(v) for v in vertices]
+        if len(pts) < 3:
+            raise GeometryError(f"a polygon needs >= 3 vertices, got {len(pts)}")
+        self._vertices = np.asarray(pts, dtype=float)
+
+    @classmethod
+    def from_box(cls, box: BoundingBox) -> "ConvexPolygon":
+        return cls(box.corners())
+
+    @property
+    def vertices(self) -> np.ndarray:
+        """The ``(m, 2)`` vertex array (copy-safe view; treat as read-only)."""
+        return self._vertices
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def area(self) -> float:
+        """Polygon area via the shoelace formula."""
+        x = self._vertices[:, 0]
+        y = self._vertices[:, 1]
+        return 0.5 * abs(
+            float(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1)))
+        )
+
+    def centroid(self) -> Point:
+        """Area centroid of the polygon."""
+        v = self._vertices
+        x, y = v[:, 0], v[:, 1]
+        xn, yn = np.roll(x, -1), np.roll(y, -1)
+        cross = x * yn - xn * y
+        a = float(cross.sum()) / 2.0
+        if abs(a) < _EPS:
+            # Degenerate (zero-area) polygon; fall back to the vertex mean.
+            return (float(x.mean()), float(y.mean()))
+        cx = float(((x + xn) * cross).sum()) / (6.0 * a)
+        cy = float(((y + yn) * cross).sum()) / (6.0 * a)
+        return (cx, cy)
+
+    def contains(self, p: PointLike, tol: float = 1e-9) -> bool:
+        """Point-in-convex-polygon test (boundary counts as inside)."""
+        x, y = as_point(p)
+        v = self._vertices
+        xn = np.roll(v[:, 0], -1)
+        yn = np.roll(v[:, 1], -1)
+        cross = (xn - v[:, 0]) * (y - v[:, 1]) - (yn - v[:, 1]) * (x - v[:, 0])
+        return bool(np.all(cross >= -tol) or np.all(cross <= tol))
+
+    def clip(self, hp: HalfPlane) -> "ConvexPolygon | None":
+        """Intersect with a half-plane (Sutherland–Hodgman, one edge).
+
+        Returns the clipped polygon, or ``None`` when the intersection is
+        empty or degenerate (fewer than 3 distinct vertices).
+        """
+        out: List[Point] = []
+        verts = self._vertices
+        m = len(verts)
+        values = verts @ np.array([hp.a, hp.b]) - hp.c
+        for i in range(m):
+            cur, nxt = verts[i], verts[(i + 1) % m]
+            vc, vn = float(values[i]), float(values[(i + 1) % m])
+            cur_in = vc <= _EPS
+            nxt_in = vn <= _EPS
+            if cur_in:
+                out.append((float(cur[0]), float(cur[1])))
+            if cur_in != nxt_in:
+                # The edge crosses the boundary; add the intersection point.
+                t = vc / (vc - vn)
+                ix = float(cur[0] + t * (nxt[0] - cur[0]))
+                iy = float(cur[1] + t * (nxt[1] - cur[1]))
+                out.append((ix, iy))
+        deduped = _dedupe_ring(out)
+        if len(deduped) < 3:
+            return None
+        return ConvexPolygon(deduped)
+
+    def furthest_vertex(self, p: PointLike) -> tuple[Point, float]:
+        """The vertex furthest from ``p`` and its Euclidean distance.
+
+        Because the polygon is convex, this vertex realises the maximum of
+        ``d(p, .)`` over the entire polygon — the quantity Algorithm 5 needs
+        (``q_{c(p)}``, the furthest location from a pivot in its cell).
+        """
+        x, y = as_point(p)
+        d = np.hypot(self._vertices[:, 0] - x, self._vertices[:, 1] - y)
+        i = int(np.argmax(d))
+        vx, vy = self._vertices[i]
+        return (float(vx), float(vy)), float(d[i])
+
+    def min_distance(self, p: PointLike) -> float:
+        """Distance from ``p`` to the polygon (0 when inside)."""
+        if self.contains(p):
+            return 0.0
+        x, y = as_point(p)
+        v = self._vertices
+        best = math.inf
+        m = len(v)
+        for i in range(m):
+            best = min(best, _point_segment_distance((x, y), v[i], v[(i + 1) % m]))
+        return best
+
+
+def _dedupe_ring(points: List[Point], tol: float = 1e-9) -> List[Point]:
+    """Remove consecutive (and wrap-around) duplicate vertices."""
+    if not points:
+        return []
+    out: List[Point] = [points[0]]
+    for p in points[1:]:
+        q = out[-1]
+        if math.hypot(p[0] - q[0], p[1] - q[1]) > tol:
+            out.append(p)
+    if len(out) > 1:
+        first, last = out[0], out[-1]
+        if math.hypot(first[0] - last[0], first[1] - last[1]) <= tol:
+            out.pop()
+    return out
+
+
+def _point_segment_distance(p: Point, a: np.ndarray, b: np.ndarray) -> float:
+    """Distance from point ``p`` to the segment ``ab``."""
+    px, py = p
+    ax, ay = float(a[0]), float(a[1])
+    bx, by = float(b[0]), float(b[1])
+    dx, dy = bx - ax, by - ay
+    seg_len2 = dx * dx + dy * dy
+    if seg_len2 <= _EPS:
+        return math.hypot(px - ax, py - ay)
+    t = ((px - ax) * dx + (py - ay) * dy) / seg_len2
+    t = min(1.0, max(0.0, t))
+    cx, cy = ax + t * dx, ay + t * dy
+    return math.hypot(px - cx, py - cy)

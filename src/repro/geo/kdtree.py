@@ -1,0 +1,159 @@
+"""A static 2-D k-d tree for nearest-neighbour queries.
+
+Both indexes need "find the closest pre-sampled location to the query":
+MIA-DA picks the closest *anchor*, RIS-DA picks the closest *pivot*
+(Section 4.3.2).  A k-d tree answers that in ``O(log n)`` expected time.
+
+The tree is built once over a fixed point set (median splits, array-based
+nodes — no Python object per node) and is immutable afterwards, which fits
+the offline-index / online-query split of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import GeometryError
+from repro.geo.point import PointLike, as_point
+
+
+class KDTree:
+    """Immutable 2-D k-d tree over an ``(n, 2)`` coordinate array.
+
+    Queries return *indices into the original array*, so callers can keep
+    satellite data (pivot metadata, anchor influence tables) in parallel
+    arrays.
+    """
+
+    __slots__ = (
+        "_points",
+        "_index",
+        "_left",
+        "_right",
+        "_axis",
+        "_root",
+        "_size",
+        "_next_slot",
+    )
+
+    _LEAF = -1
+
+    def __init__(self, points: np.ndarray):
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        if pts.size == 0:
+            raise GeometryError("cannot build a k-d tree over an empty point set")
+        if pts.shape[1] != 2:
+            raise GeometryError(f"expected (n, 2) points, got shape {pts.shape}")
+        self._points = pts
+        n = len(pts)
+        self._size = n
+        # Node storage: each node is identified by its position in these
+        # arrays; _index[i] is the point stored at node i.
+        self._index = np.empty(n, dtype=np.int64)
+        self._left = np.full(n, self._LEAF, dtype=np.int64)
+        self._right = np.full(n, self._LEAF, dtype=np.int64)
+        self._axis = np.zeros(n, dtype=np.int8)
+        self._next_slot = 0
+        order = np.arange(n, dtype=np.int64)
+        self._root = self._build(order, depth=0)
+        del self._next_slot  # construction-only scratch
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def points(self) -> np.ndarray:
+        return self._points
+
+    def _build(self, order: np.ndarray, depth: int) -> int:
+        if order.size == 0:
+            return self._LEAF
+        axis = depth % 2
+        coords = self._points[order, axis]
+        mid = order.size // 2
+        part = np.argpartition(coords, mid)
+        order = order[part]
+        node = self._next_slot
+        self._next_slot += 1
+        self._index[node] = order[mid]
+        self._axis[node] = axis
+        self._left[node] = self._build(order[:mid], depth + 1)
+        self._right[node] = self._build(order[mid + 1 :], depth + 1)
+        return node
+
+    def nearest(self, q: PointLike) -> Tuple[int, float]:
+        """Index of the nearest stored point to ``q`` and its distance."""
+        qx, qy = as_point(q)
+        best_idx = -1
+        best_d2 = math.inf
+        # Iterative search with an explicit stack of (node, dist2-to-split).
+        stack: list[int] = [self._root]
+        pts = self._points
+        while stack:
+            node = stack.pop()
+            if node == self._LEAF:
+                continue
+            i = int(self._index[node])
+            dx = pts[i, 0] - qx
+            dy = pts[i, 1] - qy
+            d2 = dx * dx + dy * dy
+            if d2 < best_d2:
+                best_d2 = d2
+                best_idx = i
+            axis = int(self._axis[node])
+            delta = (qx - pts[i, 0]) if axis == 0 else (qy - pts[i, 1])
+            near = self._left[node] if delta <= 0 else self._right[node]
+            far = self._right[node] if delta <= 0 else self._left[node]
+            # Visit the near side first; only cross the split if the slab
+            # could still contain a closer point.
+            if far != self._LEAF and delta * delta < best_d2:
+                stack.append(int(far))
+            if near != self._LEAF:
+                stack.append(int(near))
+        return best_idx, math.sqrt(best_d2)
+
+    def nearest_many(self, queries: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vector form of :meth:`nearest` over an ``(m, 2)`` query array."""
+        qs = np.atleast_2d(np.asarray(queries, dtype=float))
+        idx = np.empty(len(qs), dtype=np.int64)
+        dist = np.empty(len(qs), dtype=float)
+        for row, q in enumerate(qs):
+            i, d = self.nearest((float(q[0]), float(q[1])))
+            idx[row] = i
+            dist[row] = d
+        return idx, dist
+
+    def within_radius(self, q: PointLike, radius: float) -> np.ndarray:
+        """Indices of all stored points within ``radius`` of ``q``.
+
+        Used by pivot-pruned Voronoi construction: only nearby sites can
+        constrain a cell.
+        """
+        if radius < 0:
+            raise GeometryError(f"radius must be non-negative, got {radius}")
+        qx, qy = as_point(q)
+        r2 = radius * radius
+        hits: list[int] = []
+        stack: list[int] = [self._root]
+        pts = self._points
+        while stack:
+            node = stack.pop()
+            if node == self._LEAF:
+                continue
+            i = int(self._index[node])
+            dx = pts[i, 0] - qx
+            dy = pts[i, 1] - qy
+            if dx * dx + dy * dy <= r2:
+                hits.append(i)
+            axis = int(self._axis[node])
+            delta = (qx - pts[i, 0]) if axis == 0 else (qy - pts[i, 1])
+            near = self._left[node] if delta <= 0 else self._right[node]
+            far = self._right[node] if delta <= 0 else self._left[node]
+            if near != self._LEAF:
+                stack.append(int(near))
+            if far != self._LEAF and delta * delta <= r2:
+                stack.append(int(far))
+        return np.asarray(sorted(hits), dtype=np.int64)

@@ -1,0 +1,173 @@
+"""Points, bounding boxes and distance metrics.
+
+Coordinates throughout the library are plain ``(x, y)`` pairs in an abstract
+planar space (the paper uses projected longitude/latitude; any consistent
+planar embedding works because the algorithms only consume distances).
+
+Two metric families are supported, matching the paper's claim that the
+techniques extend beyond Euclidean distance:
+
+* ``"euclidean"`` — the metric used in all of the paper's experiments;
+* ``"manhattan"`` — the L1 alternative mentioned in Section 2.1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import GeometryError
+
+#: A point is any 2-sequence of floats; ``Point`` is the canonical tuple form.
+Point = Tuple[float, float]
+
+PointLike = Union[Point, Iterable[float], np.ndarray]
+
+MetricFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def as_point(p: PointLike) -> Point:
+    """Coerce ``p`` into a ``(float, float)`` tuple, validating its shape."""
+    arr = tuple(float(c) for c in p)
+    if len(arr) != 2:
+        raise GeometryError(f"expected a 2-D point, got {len(arr)} coordinates")
+    if not all(math.isfinite(c) for c in arr):
+        raise GeometryError(f"point coordinates must be finite, got {arr}")
+    return arr  # type: ignore[return-value]
+
+
+def euclidean(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Euclidean (L2) distance; broadcasts over leading dimensions.
+
+    ``a`` and ``b`` are arrays whose last dimension has size 2.
+    """
+    diff = np.asarray(a, dtype=float) - np.asarray(b, dtype=float)
+    return np.sqrt(np.sum(diff * diff, axis=-1))
+
+
+def manhattan(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Manhattan (L1) distance; broadcasts over leading dimensions."""
+    diff = np.asarray(a, dtype=float) - np.asarray(b, dtype=float)
+    return np.sum(np.abs(diff), axis=-1)
+
+
+_METRICS: dict[str, MetricFn] = {
+    "euclidean": euclidean,
+    "manhattan": manhattan,
+}
+
+
+def resolve_metric(metric: Union[str, MetricFn]) -> MetricFn:
+    """Return a metric function for a name or pass a callable through.
+
+    Raises :class:`GeometryError` for unknown metric names.
+    """
+    if callable(metric):
+        return metric
+    try:
+        return _METRICS[metric]
+    except KeyError:
+        known = ", ".join(sorted(_METRICS))
+        raise GeometryError(f"unknown metric {metric!r}; known metrics: {known}") from None
+
+
+def pairwise_distances(
+    points: np.ndarray, queries: np.ndarray, metric: Union[str, MetricFn] = "euclidean"
+) -> np.ndarray:
+    """Distance from every query to every point.
+
+    Returns an array of shape ``(len(queries), len(points))``.
+    """
+    fn = resolve_metric(metric)
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    qs = np.atleast_2d(np.asarray(queries, dtype=float))
+    return fn(qs[:, None, :], pts[None, :, :])
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise GeometryError(
+                f"degenerate bounding box: ({self.xmin}, {self.ymin}) .. "
+                f"({self.xmax}, {self.ymax})"
+            )
+
+    @classmethod
+    def of_points(cls, coords: np.ndarray, pad: float = 0.0) -> "BoundingBox":
+        """Smallest box containing ``coords`` (an ``(n, 2)`` array), padded."""
+        coords = np.atleast_2d(np.asarray(coords, dtype=float))
+        if coords.size == 0:
+            raise GeometryError("cannot bound an empty point set")
+        return cls(
+            xmin=float(coords[:, 0].min() - pad),
+            ymin=float(coords[:, 1].min() - pad),
+            xmax=float(coords[:, 0].max() + pad),
+            ymax=float(coords[:, 1].max() + pad),
+        )
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the box diagonal — the maximum distance within the box."""
+        return math.hypot(self.width, self.height)
+
+    @property
+    def center(self) -> Point:
+        return ((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    def corners(self) -> np.ndarray:
+        """The four corners in counter-clockwise order, shape ``(4, 2)``."""
+        return np.array(
+            [
+                [self.xmin, self.ymin],
+                [self.xmax, self.ymin],
+                [self.xmax, self.ymax],
+                [self.xmin, self.ymax],
+            ]
+        )
+
+    def contains(self, p: PointLike) -> bool:
+        x, y = as_point(p)
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    def clamp(self, p: PointLike) -> Point:
+        """The closest point inside the box to ``p``."""
+        x, y = as_point(p)
+        return (min(max(x, self.xmin), self.xmax), min(max(y, self.ymin), self.ymax))
+
+    def min_distance(self, p: PointLike) -> float:
+        """Euclidean distance from ``p`` to the box (0 if inside)."""
+        x, y = as_point(p)
+        cx, cy = self.clamp((x, y))
+        return math.hypot(x - cx, y - cy)
+
+    def max_distance(self, p: PointLike) -> float:
+        """Euclidean distance from ``p`` to the farthest point of the box."""
+        x, y = as_point(p)
+        dx = max(abs(x - self.xmin), abs(x - self.xmax))
+        dy = max(abs(y - self.ymin), abs(y - self.ymax))
+        return math.hypot(dx, dy)
+
+    def expanded(self, pad: float) -> "BoundingBox":
+        """A copy grown by ``pad`` on every side."""
+        return BoundingBox(
+            self.xmin - pad, self.ymin - pad, self.xmax + pad, self.ymax + pad
+        )

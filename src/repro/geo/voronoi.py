@@ -1,0 +1,143 @@
+"""Bounded Voronoi diagrams over a pivot set.
+
+RIS-DA (Algorithm 5) partitions the query space into the Voronoi cells of the
+sampled pivots and sizes the sample index for the *worst* query in each cell
+— the location furthest from the cell's pivot.  Because every cell clipped to
+the bounding box is a convex polygon, that worst location is a cell vertex.
+
+Cells are computed by half-plane clipping: start from the bounding box and
+intersect with the bisector half-plane against every other site.  A k-d tree
+over the sites orders candidate clippers by proximity and stops early once no
+further site can cut the cell (classic security-radius argument: a site
+further than twice the cell's current max distance from the pivot cannot
+contribute), which makes construction near-linear for well-spread pivots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import GeometryError
+from repro.geo.convex import ConvexPolygon, HalfPlane
+from repro.geo.kdtree import KDTree
+from repro.geo.point import BoundingBox, Point, PointLike, as_point
+
+
+@dataclass(frozen=True)
+class VoronoiCell:
+    """One bounded Voronoi cell.
+
+    Attributes
+    ----------
+    site_index:
+        Index of the owning pivot in the diagram's site array.
+    polygon:
+        The cell geometry clipped to the bounding box.
+    worst_point:
+        The location in the cell furthest from the pivot — the worst-case
+        query Algorithm 5 sizes the sample index for.
+    worst_distance:
+        ``d(pivot, worst_point)``; also called the cell radius.
+    """
+
+    site_index: int
+    polygon: ConvexPolygon
+    worst_point: Point
+    worst_distance: float
+
+
+class VoronoiDiagram:
+    """Voronoi cells of a site set, clipped to a bounding box."""
+
+    def __init__(self, sites: np.ndarray, box: BoundingBox):
+        pts = np.atleast_2d(np.asarray(sites, dtype=float))
+        if pts.size == 0:
+            raise GeometryError("cannot build a Voronoi diagram over zero sites")
+        if pts.shape[1] != 2:
+            raise GeometryError(f"expected (n, 2) sites, got shape {pts.shape}")
+        self._sites = pts
+        self._box = box
+        self._tree = KDTree(pts) if len(pts) > 1 else None
+        self._cells: List[VoronoiCell] = [self._build_cell(i) for i in range(len(pts))]
+
+    @property
+    def sites(self) -> np.ndarray:
+        return self._sites
+
+    @property
+    def box(self) -> BoundingBox:
+        return self._box
+
+    @property
+    def cells(self) -> Sequence[VoronoiCell]:
+        return self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def _build_cell(self, i: int) -> VoronoiCell:
+        site = (float(self._sites[i, 0]), float(self._sites[i, 1]))
+        cell: Optional[ConvexPolygon] = ConvexPolygon.from_box(self._box)
+        if self._tree is not None:
+            cell = self._clip_against_neighbours(i, site, cell)
+        if cell is None:
+            # The cell collapsed to (near) nothing — can happen with
+            # coincident sites.  The worst query then coincides with the
+            # site itself.
+            return VoronoiCell(i, _point_like_polygon(site), site, 0.0)
+        worst, dist = cell.furthest_vertex(site)
+        return VoronoiCell(i, cell, worst, dist)
+
+    def _clip_against_neighbours(
+        self, i: int, site: Point, cell: Optional[ConvexPolygon]
+    ) -> Optional[ConvexPolygon]:
+        assert self._tree is not None
+        # Candidate clippers ordered by distance from the site.  We expand
+        # the search radius geometrically; once all remaining sites are
+        # further than twice the current cell radius they cannot clip.
+        n = len(self._sites)
+        d = np.hypot(self._sites[:, 0] - site[0], self._sites[:, 1] - site[1])
+        order = np.argsort(d)
+        for j in order:
+            j = int(j)
+            if j == i or cell is None:
+                if cell is None:
+                    break
+                continue
+            if d[j] == 0.0:
+                # A coincident duplicate site: the bisector is undefined.
+                # By convention the lower-indexed site keeps the cell.
+                if j < i:
+                    return None
+                continue
+            _, radius = cell.furthest_vertex(site)
+            if d[j] > 2.0 * radius:
+                # Security radius reached: no further site can cut the cell.
+                break
+            cell = cell.clip(HalfPlane.bisector(site, (self._sites[j, 0], self._sites[j, 1])))
+        return cell
+
+    def locate(self, q: PointLike) -> int:
+        """Index of the site whose cell contains ``q`` (nearest site)."""
+        qp = as_point(q)
+        if self._tree is None:
+            return 0
+        idx, _ = self._tree.nearest(qp)
+        return idx
+
+    def max_cell_radius(self) -> float:
+        """The largest worst-case distance over all cells.
+
+        This controls the global looseness of RIS-DA's lower bound: more
+        pivots => smaller radius => tighter bound => fewer samples.
+        """
+        return max(c.worst_distance for c in self._cells)
+
+
+def _point_like_polygon(p: Point) -> ConvexPolygon:
+    """A tiny triangle standing in for a degenerate (empty) cell."""
+    eps = 1e-9
+    return ConvexPolygon([(p[0], p[1]), (p[0] + eps, p[1]), (p[0], p[1] + eps)])

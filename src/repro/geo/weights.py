@@ -1,0 +1,143 @@
+"""The distance-decay weight function ``w(v, q) = c * exp(-alpha * d(v, q))``.
+
+This is the weight family the paper analyses (Section 2.1): ``c > 0`` is the
+maximum weight a node can attain (at distance zero) and ``alpha > 0`` is the
+decay speed.  ``alpha = 0`` is allowed as the degenerate "classical influence
+maximization" case where every node weighs ``c``.
+
+The exponential form gives the multiplicative shift property that both
+indexes rely on (used in Lemma 8 and the anchor bounds of MIA-DA)::
+
+    exp(-alpha * d(p, q)) * w(v, p) <= w(v, q) <= exp(+alpha * d(p, q)) * w(v, p)
+
+which follows from the triangle inequality
+``d(v, p) - d(p, q) <= d(v, q) <= d(v, p) + d(p, q)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import GeometryError
+from repro.geo.point import MetricFn, PointLike, as_point, resolve_metric
+
+
+@dataclass(frozen=True)
+class DistanceDecay:
+    """Exponential distance-decay node-weight function.
+
+    Parameters
+    ----------
+    c:
+        Maximum weight, attained at distance 0.  Paper default: 1.
+    alpha:
+        Decay rate per unit distance.  Paper default: 0.01 (with distances
+        roughly in kilometres).  ``alpha = 0`` degrades to uniform weights.
+    metric:
+        Distance metric name or callable; Euclidean by default.
+    """
+
+    c: float = 1.0
+    alpha: float = 0.01
+    metric: Union[str, MetricFn] = "euclidean"
+    _metric_fn: MetricFn = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.c <= 0:
+            raise GeometryError(f"weight scale c must be positive, got {self.c}")
+        if self.alpha < 0:
+            raise GeometryError(f"decay alpha must be non-negative, got {self.alpha}")
+        object.__setattr__(self, "_metric_fn", resolve_metric(self.metric))
+
+    @property
+    def w_max(self) -> float:
+        """The largest weight any node can have (``c``, per the paper)."""
+        return self.c
+
+    def weight_of_distance(self, d: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+        """Weight as a function of distance alone."""
+        return self.c * np.exp(-self.alpha * np.asarray(d, dtype=float))
+
+    def weights(self, coords: np.ndarray, q: PointLike) -> np.ndarray:
+        """Vector of node weights ``w(v, q)`` for all rows of ``coords``.
+
+        ``coords`` is an ``(n, 2)`` array of node locations; the result has
+        shape ``(n,)``.  This is the hot kernel both indexes call once per
+        query, so it stays fully vectorized.
+        """
+        q = np.asarray(as_point(q), dtype=float)
+        coords = np.atleast_2d(np.asarray(coords, dtype=float))
+        d = self._metric_fn(coords, q[None, :])
+        return self.c * np.exp(-self.alpha * d)
+
+    def weight(self, v: PointLike, q: PointLike) -> float:
+        """Scalar weight of a node at location ``v`` for query ``q``."""
+        a = np.asarray(as_point(v), dtype=float)
+        b = np.asarray(as_point(q), dtype=float)
+        return float(self.c * math.exp(-self.alpha * float(self._metric_fn(a, b))))
+
+    def distance(self, a: PointLike, b: PointLike) -> float:
+        """The underlying metric distance ``d(a, b)``."""
+        pa = np.asarray(as_point(a), dtype=float)
+        pb = np.asarray(as_point(b), dtype=float)
+        return float(self._metric_fn(pa, pb))
+
+    # ------------------------------------------------------------------
+    # Shift bounds: the algebraic heart of anchor/pivot-based indexing.
+    # ------------------------------------------------------------------
+
+    def shift_factor(self, d_pq: float) -> float:
+        """Multiplier ``exp(-alpha * d(p, q))`` used to transfer weights.
+
+        For any node ``v``: ``w(v, q) >= shift_factor(d(p, q)) * w(v, p)``.
+        """
+        if d_pq < 0:
+            raise GeometryError(f"distance must be non-negative, got {d_pq}")
+        return math.exp(-self.alpha * d_pq)
+
+    def lower_shift(self, weights_at_p: np.ndarray, d_pq: float) -> np.ndarray:
+        """Lower bound of ``w(., q)`` from weights computed at anchor ``p``."""
+        return np.asarray(weights_at_p, dtype=float) * self.shift_factor(d_pq)
+
+    def upper_shift(self, weights_at_p: np.ndarray, d_pq: float) -> np.ndarray:
+        """Upper bound of ``w(., q)`` from weights computed at anchor ``p``.
+
+        The bound ``w(v, q) <= e^{+alpha d(p,q)} w(v, p)`` is capped at ``c``
+        because no weight can exceed the maximum.
+        """
+        if d_pq < 0:
+            raise GeometryError(f"distance must be non-negative, got {d_pq}")
+        # Work in log space: alpha * d_pq can exceed the float exponent
+        # range on its own, but log(w) + alpha * d_pq is well-behaved, and
+        # any residual overflow saturates to inf before the cap at c.
+        w = np.asarray(weights_at_p, dtype=float)
+        with np.errstate(over="ignore", divide="ignore"):
+            raised = np.exp(np.log(w) + self.alpha * d_pq)
+        # A weight that underflowed to (near) zero carries no usable
+        # information — subnormals lose log precision — so the only safe
+        # upper bound there is the maximum weight c.
+        raised = np.where(w > 1e-300, raised, self.c)
+        return np.minimum(raised, self.c)
+
+    def interval_weights(self, d_min: float, d_max: float) -> tuple[float, float]:
+        """(lower, upper) weight bounds for nodes at distance in [d_min, d_max].
+
+        Used by region-based bounds: if every node of a region is between
+        ``d_min`` and ``d_max`` from the query, each node's weight lies in
+        the returned interval (the decay is monotone decreasing).
+        """
+        if d_min < 0 or d_max < d_min:
+            raise GeometryError(
+                f"invalid distance interval [{d_min}, {d_max}] (need 0 <= min <= max)"
+            )
+        lo = self.c * math.exp(-self.alpha * d_max)
+        hi = self.c * math.exp(-self.alpha * d_min)
+        return lo, hi
+
+    def with_alpha(self, alpha: float) -> "DistanceDecay":
+        """A copy with a different decay rate (used by the alpha sweep)."""
+        return DistanceDecay(c=self.c, alpha=alpha, metric=self.metric)

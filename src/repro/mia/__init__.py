@@ -1,0 +1,31 @@
+"""Maximum Influence Arborescence (MIA) substrate.
+
+The MIA model (Chen, Wang & Wang, KDD'10; paper Section 2.2.1) approximates
+influence as travelling only along each pair's *maximum influence path*
+(MIP) — the path of largest probability — and prunes MIPs whose probability
+falls below a threshold ``theta``.
+
+* :mod:`repro.mia.paths` — MIP computation (Dijkstra on ``-log p``);
+* :mod:`repro.mia.arborescence` — the ``MIIA(v)`` / ``MIOA(v)`` trees;
+* :mod:`repro.mia.influence` — activation probabilities on a tree (Eq. 5)
+  and the linear (alpha) coefficients for incremental marginal gains;
+* :mod:`repro.mia.pmia` — the PMIA-DA baseline: greedy seed selection over
+  pre-built arborescences with distance-aware node weights.
+"""
+
+from repro.mia.arborescence import Arborescence, build_miia, build_mioa
+from repro.mia.influence import activation_probabilities, linear_coefficients
+from repro.mia.paths import max_influence_paths_from, max_influence_paths_to
+from repro.mia.pmia import MiaModel, PmiaDa
+
+__all__ = [
+    "Arborescence",
+    "MiaModel",
+    "PmiaDa",
+    "activation_probabilities",
+    "build_miia",
+    "build_mioa",
+    "linear_coefficients",
+    "max_influence_paths_from",
+    "max_influence_paths_to",
+]

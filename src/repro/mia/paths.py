@@ -1,0 +1,109 @@
+"""Maximum influence path (MIP) computation.
+
+``MIP(u, v)`` is the path from ``u`` to ``v`` maximising the product of edge
+probabilities (Eq. 4).  Maximising a product of values in (0, 1] is a
+shortest-path problem on edge lengths ``-log Pr``; we run Dijkstra and stop
+expanding once path probability drops below the pruning threshold ``theta``
+(paths with ``Pr(MIP) < theta`` are "insignificant" and treated as
+non-existent, per Section 2.2.1).
+
+Ties between equal-probability paths are broken deterministically by
+preferring lower node ids, so MIP subpath consistency holds (needed for the
+``u in MIIA(v)  <=>  v in MIOA(u)`` equivalence the algorithms rely on).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.network.graph import GeoSocialNetwork
+
+#: Result type: node -> (path probability, predecessor toward the source).
+PathMap = Dict[int, Tuple[float, int]]
+
+
+def _dijkstra(
+    n: int,
+    offsets: np.ndarray,
+    adjacency: np.ndarray,
+    probs: np.ndarray,
+    source: int,
+    theta: float,
+) -> PathMap:
+    """Max-product Dijkstra from ``source`` over the given CSR arrays.
+
+    Returns ``{node: (prob, hop)}`` where ``hop`` is the neighbour through
+    which the optimal path reaches ``node`` (i.e. the previous node on the
+    path in traversal direction); the source maps to ``(1.0, -1)``.
+    """
+    if not 0 <= source < n:
+        raise GraphError(f"source {source} out of range [0, {n})")
+    if not 0.0 < theta <= 1.0:
+        raise GraphError(f"theta must be in (0, 1], got {theta}")
+
+    best: PathMap = {}
+    # Heap entries: (-log prob, tie-break node id, node, hop)
+    heap: list[tuple[float, int, int, int]] = [(0.0, source, source, -1)]
+    log_theta = -math.log(theta)
+    while heap:
+        dist, _, node, hop = heapq.heappop(heap)
+        if node in best:
+            continue
+        best[node] = (math.exp(-dist), hop)
+        lo, hi = offsets[node], offsets[node + 1]
+        for j in range(lo, hi):
+            nxt = int(adjacency[j])
+            p = float(probs[j])
+            if p <= 0.0 or nxt in best:
+                continue
+            ndist = dist - math.log(p)
+            if ndist > log_theta + 1e-12:
+                continue
+            heapq.heappush(heap, (ndist, nxt, nxt, node))
+    return best
+
+
+def max_influence_paths_from(
+    network: GeoSocialNetwork, u: int, theta: float
+) -> PathMap:
+    """All MIPs *out of* ``u`` with probability >= theta.
+
+    Returns ``{v: (Pr(MIP(u, v)), predecessor of v on the path)}``.
+    The node set is exactly ``MIOA(u)``.
+    """
+    return _dijkstra(
+        network.n, network.out_offsets, network.out_targets, network.out_probs,
+        u, theta,
+    )
+
+
+def max_influence_paths_to(
+    network: GeoSocialNetwork, v: int, theta: float
+) -> PathMap:
+    """All MIPs *into* ``v`` with probability >= theta.
+
+    Returns ``{u: (Pr(MIP(u, v)), successor of u on the path toward v)}``.
+    The node set is exactly ``MIIA(v)``.
+    """
+    return _dijkstra(
+        network.n, network.in_offsets, network.in_sources, network.in_probs,
+        v, theta,
+    )
+
+
+def mip_probability(
+    network: GeoSocialNetwork, u: int, v: int, theta: float
+) -> float:
+    """``Pr(MIP(u, v))``, or 0.0 when it falls below ``theta``.
+
+    Convenience accessor (runs a full Dijkstra; batch callers should use
+    :func:`max_influence_paths_from` directly).
+    """
+    paths = max_influence_paths_from(network, u, theta)
+    entry = paths.get(int(v))
+    return entry[0] if entry is not None else 0.0

@@ -1,0 +1,64 @@
+"""Geo-social network substrate.
+
+* :mod:`repro.network.graph` — the immutable CSR :class:`GeoSocialNetwork`;
+* :mod:`repro.network.probability` — edge-probability models (weighted
+  cascade — the paper's choice — plus trivalency and constant);
+* :mod:`repro.network.generators` — synthetic geo-social graph generators;
+* :mod:`repro.network.datasets` — pre-parameterised dataset recipes that
+  mimic the shape of the paper's four datasets at laptop scale;
+* :mod:`repro.network.io` — text IO for edge lists and check-ins;
+* :mod:`repro.network.stats` — summary statistics used by Table 2.
+"""
+
+from repro.network.datasets import DATASET_RECIPES, DatasetRecipe, load_dataset
+from repro.network.generators import (
+    GeoSocialConfig,
+    generate_geo_social_network,
+    gaussian_cities,
+)
+from repro.network.graph import GeoSocialNetwork
+from repro.network.io import (
+    read_checkins,
+    read_edge_list,
+    read_network,
+    write_checkins,
+    write_edge_list,
+    write_network,
+)
+from repro.network.probability import (
+    assign_constant,
+    assign_trivalency,
+    assign_weighted_cascade,
+)
+from repro.network.stats import NetworkStats, summarize
+from repro.network.subgraph import (
+    induced_subgraph,
+    largest_weak_component,
+    spatial_subgraph,
+    weakly_connected_components,
+)
+
+__all__ = [
+    "DATASET_RECIPES",
+    "DatasetRecipe",
+    "GeoSocialConfig",
+    "GeoSocialNetwork",
+    "NetworkStats",
+    "assign_constant",
+    "assign_trivalency",
+    "assign_weighted_cascade",
+    "gaussian_cities",
+    "generate_geo_social_network",
+    "induced_subgraph",
+    "largest_weak_component",
+    "load_dataset",
+    "spatial_subgraph",
+    "weakly_connected_components",
+    "read_checkins",
+    "read_edge_list",
+    "read_network",
+    "summarize",
+    "write_checkins",
+    "write_edge_list",
+    "write_network",
+]

@@ -1,0 +1,179 @@
+"""Text IO for geo-social networks.
+
+Two file formats cover the paper's inputs:
+
+* **edge list** — one ``u v [prob]`` triple per line (SNAP-compatible when
+  the probability column is absent);
+* **check-ins** — one ``node x y`` triple per line (for SNAP check-in dumps
+  a caller can pre-reduce multiple check-ins to one location per user, which
+  is exactly what the paper does: "for users who have multiple check-ins, we
+  randomly select one").
+
+``read_network`` combines both into a ready :class:`GeoSocialNetwork`; users
+without a check-in line get a uniformly random location over the bounding
+box of the known locations — again following the paper.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import DataFormatError
+from repro.geo.point import BoundingBox
+from repro.network.graph import GeoSocialNetwork
+from repro.network.probability import assign_weighted_cascade
+from repro.rng import RandomLike, as_generator
+
+PathLike = Union[str, Path]
+
+
+def read_edge_list(path: PathLike) -> Tuple[np.ndarray, np.ndarray | None]:
+    """Parse an edge-list file into ``(edges, probabilities-or-None)``.
+
+    Lines starting with ``#`` and blank lines are ignored.  Either every
+    line has a probability column or none does.
+    """
+    edges: list[tuple[int, int]] = []
+    probs: list[float] = []
+    has_probs: bool | None = None
+    for lineno, line in enumerate(_iter_lines(path), start=1):
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise DataFormatError(
+                f"{path}:{lineno}: expected 'u v' or 'u v prob', got {line!r}"
+            )
+        try:
+            u, v = int(parts[0]), int(parts[1])
+        except ValueError:
+            raise DataFormatError(
+                f"{path}:{lineno}: non-integer node id in {line!r}"
+            ) from None
+        row_has_prob = len(parts) == 3
+        if has_probs is None:
+            has_probs = row_has_prob
+        elif has_probs != row_has_prob:
+            raise DataFormatError(
+                f"{path}:{lineno}: inconsistent probability column"
+            )
+        edges.append((u, v))
+        if row_has_prob:
+            try:
+                probs.append(float(parts[2]))
+            except ValueError:
+                raise DataFormatError(
+                    f"{path}:{lineno}: non-numeric probability in {line!r}"
+                ) from None
+    edge_arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    return edge_arr, (np.asarray(probs, dtype=float) if has_probs else None)
+
+
+def read_checkins(path: PathLike) -> dict[int, tuple[float, float]]:
+    """Parse a check-in file into ``{node: (x, y)}``.
+
+    When a node appears multiple times the *first* occurrence wins, matching
+    a deterministic version of the paper's "randomly select one check-in".
+    """
+    locs: dict[int, tuple[float, float]] = {}
+    for lineno, line in enumerate(_iter_lines(path), start=1):
+        parts = line.split()
+        if len(parts) != 3:
+            raise DataFormatError(
+                f"{path}:{lineno}: expected 'node x y', got {line!r}"
+            )
+        try:
+            node = int(parts[0])
+            x, y = float(parts[1]), float(parts[2])
+        except ValueError:
+            raise DataFormatError(f"{path}:{lineno}: cannot parse {line!r}") from None
+        locs.setdefault(node, (x, y))
+    return locs
+
+
+def read_network(
+    edges_path: PathLike,
+    checkins_path: PathLike | None = None,
+    weighted_cascade: bool = True,
+    seed: RandomLike = 0,
+) -> GeoSocialNetwork:
+    """Load a complete geo-social network from text files.
+
+    Node ids are compacted to ``0..n-1`` preserving order of first
+    appearance.  Nodes without a check-in get a uniform random location over
+    the bounding box of the known check-ins (paper Section 5.1).  When the
+    edge file has no probability column and ``weighted_cascade`` is true,
+    WC probabilities are assigned.
+    """
+    edges, probs = read_edge_list(edges_path)
+    if edges.size == 0:
+        raise DataFormatError(f"{edges_path}: no edges found")
+    raw_ids = np.unique(edges)
+    remap = {int(r): i for i, r in enumerate(raw_ids)}
+    compact = np.vectorize(remap.__getitem__, otypes=[np.int64])(edges)
+    n = len(raw_ids)
+
+    rng = as_generator(seed)
+    if checkins_path is not None:
+        raw_locs = read_checkins(checkins_path)
+        known = {
+            remap[node]: xy for node, xy in raw_locs.items() if node in remap
+        }
+    else:
+        known = {}
+    if known:
+        pts = np.asarray(list(known.values()), dtype=float)
+        box = BoundingBox.of_points(pts)
+    else:
+        box = BoundingBox(0.0, 0.0, 1000.0, 1000.0)
+    coords = np.column_stack(
+        [
+            rng.uniform(box.xmin, box.xmax, size=n),
+            rng.uniform(box.ymin, box.ymax, size=n),
+        ]
+    )
+    for node, (x, y) in known.items():
+        coords[node] = (x, y)
+
+    network = GeoSocialNetwork(n, compact, probs, coords)
+    if probs is None and weighted_cascade:
+        network = assign_weighted_cascade(network)
+    return network
+
+
+def write_edge_list(
+    network: GeoSocialNetwork, path: PathLike, probabilities: bool = True
+) -> None:
+    """Write the network's edges (optionally with probabilities)."""
+    edges, probs = network.edge_array()
+    with open(path, "w", encoding="ascii") as f:
+        f.write(f"# repro edge list: n={network.n} m={network.m}\n")
+        for i in range(len(edges)):
+            if probabilities:
+                f.write(f"{edges[i, 0]} {edges[i, 1]} {probs[i]:.12g}\n")
+            else:
+                f.write(f"{edges[i, 0]} {edges[i, 1]}\n")
+
+
+def write_checkins(network: GeoSocialNetwork, path: PathLike) -> None:
+    """Write every node's location as a check-in line."""
+    with open(path, "w", encoding="ascii") as f:
+        f.write(f"# repro checkins: n={network.n}\n")
+        for v in range(network.n):
+            x, y = network.coords[v]
+            f.write(f"{v} {x:.12g} {y:.12g}\n")
+
+
+def write_network(network: GeoSocialNetwork, edges_path: PathLike, checkins_path: PathLike) -> None:
+    """Persist a network to the two-file format readable by :func:`read_network`."""
+    write_edge_list(network, edges_path, probabilities=True)
+    write_checkins(network, checkins_path)
+
+
+def _iter_lines(path: PathLike):
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            stripped = line.strip()
+            if stripped and not stripped.startswith("#"):
+                yield stripped

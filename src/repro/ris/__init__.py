@@ -1,0 +1,42 @@
+"""Reverse influence sampling (RIS) substrate.
+
+* :mod:`repro.ris.rrset` — random reverse-reachable set sampling, with a
+  binomial fast path for uniform per-node in-edge probabilities (weighted
+  cascade);
+* :mod:`repro.ris.corpus` — a growable RR-set corpus with flat storage and
+  an inverted (node -> samples) index;
+* :mod:`repro.ris.coverage` — the weighted greedy max-coverage of
+  Algorithm 2 and the unbiased spread estimator of Eq. 9;
+* :mod:`repro.ris.sample_size` — the Chernoff-based sample-size formulas of
+  Lemmas 4–7 and Eq. 12;
+* :mod:`repro.ris.lower_bound` — Algorithm 3 (LB-EST, the two-hop lower
+  bound for ``OPT_q^k``) and the TOPK-SUM baseline.
+"""
+
+from repro.ris.adhoc import adhoc_ris_query
+from repro.ris.certify import Certificate, certify_seed_set
+from repro.ris.corpus import RRCorpus
+from repro.ris.coverage import CoverageResult, weighted_greedy_cover
+from repro.ris.lower_bound import lb_est, lb_est_lt, topk_sum
+from repro.ris.rrset import RRSampler
+from repro.ris.sample_size import (
+    epsilon_one,
+    log_binomial,
+    required_sample_size,
+)
+
+__all__ = [
+    "Certificate",
+    "CoverageResult",
+    "certify_seed_set",
+    "RRCorpus",
+    "RRSampler",
+    "adhoc_ris_query",
+    "epsilon_one",
+    "lb_est",
+    "lb_est_lt",
+    "log_binomial",
+    "required_sample_size",
+    "topk_sum",
+    "weighted_greedy_cover",
+]

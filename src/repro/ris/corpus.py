@@ -1,0 +1,148 @@
+"""A growable corpus of RR samples with flat storage.
+
+RIS-DA indexes one shared pool of samples (Algorithms 4–5 both append to
+the same ``R``) and answers queries over a *prefix* of it, so the corpus
+must support cheap appends and prefix views.  Samples are stored as one
+concatenated member array plus offsets (CSR-style); the inverted index
+(node -> containing samples) is rebuilt lazily when the corpus grows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import SamplingError
+from repro.ris.rrset import RRSampler
+
+
+class RRCorpus:
+    """An append-only collection of RR samples.
+
+    Attributes
+    ----------
+    roots:
+        ``roots[i]`` is the sampled node ``v_i`` of sample ``i`` (whose
+        weight the DAIM estimator uses).
+    """
+
+    def __init__(self, sampler: RRSampler):
+        self._sampler = sampler
+        self._roots: List[int] = []
+        self._members: List[np.ndarray] = []
+        self._flat_cache: tuple[np.ndarray, np.ndarray] | None = None
+        self._roots_cache: np.ndarray | None = None
+        self._inverted_cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def __len__(self) -> int:
+        return len(self._roots)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        sampler: RRSampler,
+        roots: np.ndarray,
+        flat: np.ndarray,
+        offsets: np.ndarray,
+    ) -> "RRCorpus":
+        """Restore a corpus from its flat representation (persistence).
+
+        ``flat`` / ``offsets`` must follow the :meth:`flat` layout; the
+        sampler is kept so the corpus can keep growing afterwards.
+        """
+        roots = np.asarray(roots, dtype=np.int64)
+        flat = np.asarray(flat, dtype=np.int64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if len(offsets) != len(roots) + 1 or (len(offsets) and offsets[-1] != len(flat)):
+            raise SamplingError("inconsistent corpus arrays")
+        corpus = cls(sampler)
+        corpus._roots = [int(r) for r in roots]
+        corpus._members = [
+            flat[offsets[i]: offsets[i + 1]].copy() for i in range(len(roots))
+        ]
+        return corpus
+
+    @property
+    def n_nodes(self) -> int:
+        return self._sampler.network.n
+
+    @property
+    def roots(self) -> np.ndarray:
+        if self._roots_cache is None:
+            self._roots_cache = np.asarray(self._roots, dtype=np.int64)
+        return self._roots_cache
+
+    def members(self, i: int) -> np.ndarray:
+        """The node set of sample ``i``."""
+        return self._members[i]
+
+    def ensure(self, count: int) -> int:
+        """Grow the corpus to at least ``count`` samples; returns new size."""
+        if count < 0:
+            raise SamplingError(f"sample count must be non-negative, got {count}")
+        missing = count - len(self._roots)
+        if missing > 0:
+            roots, members = self._sampler.sample_many(missing)
+            self._roots.extend(int(r) for r in roots)
+            self._members.extend(members)
+            self._flat_cache = None
+            self._roots_cache = None
+            self._inverted_cache = None
+        return len(self._roots)
+
+    def flat(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(flat_members, offsets)`` over the whole corpus.
+
+        ``flat_members[offsets[i]:offsets[i+1]]`` is sample ``i``'s node
+        set.  Cached until the corpus grows.
+        """
+        if self._flat_cache is None:
+            sizes = np.asarray([len(m) for m in self._members], dtype=np.int64)
+            offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+            np.cumsum(sizes, out=offsets[1:])
+            flat = (
+                np.concatenate(self._members)
+                if self._members
+                else np.empty(0, dtype=np.int64)
+            )
+            self._flat_cache = (flat, offsets)
+        return self._flat_cache
+
+    def inverted(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(inv_samples, inv_offsets)`` — the node -> samples index.
+
+        ``inv_samples[inv_offsets[u]:inv_offsets[u+1]]`` lists the ids of
+        the samples containing node ``u``, in ascending order — so a
+        prefix query can cut each list with one binary search.  Cached
+        until the corpus grows; building it is the dominant cost of the
+        first query, so index construction calls this eagerly.
+        """
+        if self._inverted_cache is None:
+            flat, offsets = self.flat()
+            n_samples = len(self._roots)
+            sample_of_entry = np.repeat(
+                np.arange(n_samples, dtype=np.int64), np.diff(offsets)
+            )
+            order = np.argsort(flat, kind="stable")
+            inv_samples = sample_of_entry[order]
+            inv_offsets = np.zeros(self.n_nodes + 1, dtype=np.int64)
+            np.add.at(inv_offsets, flat + 1, 1)
+            np.cumsum(inv_offsets, out=inv_offsets)
+            self._inverted_cache = (inv_samples, inv_offsets)
+        return self._inverted_cache
+
+    def average_size(self) -> float:
+        """Mean RR-set size (diagnostic; drives memory/time estimates)."""
+        if not self._members:
+            return 0.0
+        flat, _ = self.flat()
+        return len(flat) / len(self._members)
+
+    def total_entries(self, prefix: int | None = None) -> int:
+        """Total member entries in the first ``prefix`` samples."""
+        flat, offsets = self.flat()
+        if prefix is None:
+            return int(offsets[-1])
+        prefix = min(prefix, len(self))
+        return int(offsets[prefix])

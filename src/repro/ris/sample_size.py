@@ -1,0 +1,135 @@
+"""Sample-size analysis for RIS-DA (Lemmas 4–7, Eq. 12).
+
+The chain of results (Section 4.2):
+
+* Lemma 5 — with ``l1 = 2 n w_max ln(1/delta1) / (eps1^2 OPT)`` samples,
+  the greedy's *estimated* spread is close to optimal w.h.p.;
+* Lemma 6 — with ``l2 = 2 (1-1/e) n w_max ln(C(n,k)/delta2) / (OPT eps2^2)``
+  samples, estimates of all ``C(n, k)`` candidate sets concentrate, so the
+  *true* spread of the greedy result is within ``1 - 1/e - eps0`` w.h.p.;
+* Lemma 7 / Eq. 12 — choosing ``eps1`` so that ``l1 == l2`` (with
+  ``delta1 = delta2 = delta0 / 2``) gives one sample size ``l0`` satisfying
+  both, hence a ``1 - 1/e - eps0`` approximation with probability
+  ``1 - delta0``.
+
+``OPT_q^k`` is unknown; callers plug in a lower bound (Algorithm 3 or
+Lemma 8), which only makes the sample size larger — still sufficient.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import SamplingError
+
+#: 1 - 1/e, the greedy approximation factor of weighted max coverage.
+GREEDY_FACTOR = 1.0 - 1.0 / math.e
+
+
+def log_binomial(n: int, k: int) -> float:
+    """``ln C(n, k)`` via lgamma (exact enough for sample-size formulas)."""
+    if k < 0 or n < 0 or k > n:
+        raise SamplingError(f"invalid binomial arguments C({n}, {k})")
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+
+
+def epsilon_one(epsilon0: float, delta0: float, n: int, k: int) -> float:
+    """Eq. 12: the split of the error budget between Lemmas 5 and 6.
+
+    Returns ``eps1``; the Lemma 6 share is
+    ``eps2 = eps0 - eps1 * (1 - 1/e)``.
+    """
+    _validate(epsilon0, delta0, n, k)
+    log_term = math.log(2.0 / delta0)
+    log_choose = log_binomial(n, k) + log_term  # ln(2 C(n,k) / delta0)
+    denom = GREEDY_FACTOR * math.sqrt(log_term) + math.sqrt(
+        GREEDY_FACTOR * log_choose
+    )
+    return epsilon0 * math.sqrt(log_term) / denom
+
+
+def required_sample_size(
+    n: int,
+    k: int,
+    w_max: float,
+    epsilon: float,
+    delta: float,
+    lower_bound: float,
+) -> int:
+    """The function ``l(eps, delta, q, k, L_q^k)`` of Section 4.2.
+
+    ``lower_bound`` is a lower bound on ``OPT_q^k`` (the optimal
+    distance-aware spread); tighter bounds directly shrink the index.
+
+    Returns the number of RR samples sufficient for Algorithm 2 to return a
+    ``1 - 1/e - epsilon`` approximate seed set with probability at least
+    ``1 - delta``.
+    """
+    _validate(epsilon, delta, n, k)
+    if w_max <= 0:
+        raise SamplingError(f"w_max must be positive, got {w_max}")
+    if lower_bound <= 0:
+        raise SamplingError(
+            f"lower bound of OPT must be positive, got {lower_bound}"
+        )
+    eps1 = epsilon_one(epsilon, delta, n, k)
+    delta1 = delta / 2.0
+    l0 = (
+        2.0 * n * w_max * math.log(1.0 / delta1)
+        / (eps1 * eps1 * lower_bound)
+    )
+    return int(math.ceil(l0))
+
+
+def epsilon_two(epsilon0: float, delta0: float, n: int, k: int) -> float:
+    """``eps2 = eps0 - eps1 (1 - 1/e)`` — Lemma 6's error share.
+
+    Needed online by Lemma 8's lower-bound transfer factor.
+    """
+    eps1 = epsilon_one(epsilon0, delta0, n, k)
+    return epsilon0 - eps1 * GREEDY_FACTOR
+
+
+def lemma8_lower_bound(
+    pivot_estimate: float,
+    distance: float,
+    alpha: float,
+    epsilon0: float,
+    delta0: float,
+    n: int,
+    k: int,
+) -> float:
+    """Lemma 8: transfer a pivot's estimated spread to a nearby query.
+
+    ``L_q^k = (1-1/e-eps0) / (1-1/e-eps0+eps2) * exp(-alpha d(p,q)) *
+    I_hat_p(S_p^k)`` is a lower bound of ``OPT_q^k`` w.p. ``>= 1-delta0``,
+    provided the pivot's seed set was computed with sample size at least
+    ``l(eps0, delta0, p, k, OPT_p^k)``.
+    """
+    if pivot_estimate < 0:
+        raise SamplingError(f"pivot estimate must be >= 0, got {pivot_estimate}")
+    if distance < 0:
+        raise SamplingError(f"distance must be >= 0, got {distance}")
+    if alpha < 0:
+        raise SamplingError(f"alpha must be >= 0, got {alpha}")
+    eps2 = epsilon_two(epsilon0, delta0, n, k)
+    numerator = GREEDY_FACTOR - epsilon0
+    if numerator <= 0:
+        raise SamplingError(
+            f"epsilon0={epsilon0} >= 1 - 1/e makes the guarantee vacuous"
+        )
+    factor = numerator / (numerator + eps2)
+    return factor * math.exp(-alpha * distance) * pivot_estimate
+
+
+def _validate(epsilon: float, delta: float, n: int, k: int) -> None:
+    if not 0.0 < epsilon < 1.0:
+        raise SamplingError(f"epsilon must be in (0, 1), got {epsilon}")
+    if not 0.0 < delta < 1.0:
+        raise SamplingError(f"delta must be in (0, 1), got {delta}")
+    if n <= 0:
+        raise SamplingError(f"n must be positive, got {n}")
+    if not 0 < k <= n:
+        raise SamplingError(f"k must be in [1, {n}], got {k}")

@@ -1,0 +1,39 @@
+"""Seeded random-number-generation helpers.
+
+All stochastic components of the library (graph generators, Monte Carlo
+diffusion, RR-set sampling, pivot placement) accept either an integer seed,
+an existing :class:`numpy.random.Generator`, or ``None``.  This module
+centralises the coercion so every component behaves identically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RandomLike = Union[int, np.random.Generator, None]
+
+
+def as_generator(seed: RandomLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged (shared state), an
+    int creates a fresh deterministic generator, and ``None`` creates an
+    OS-entropy-seeded generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Children are statistically independent of each other and of the parent's
+    future output, which makes parallel or per-pivot sampling reproducible.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of generators: {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

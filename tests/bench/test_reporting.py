@@ -1,0 +1,69 @@
+"""Tests for repro.bench.reporting."""
+
+from repro.bench.reporting import (
+    format_series,
+    format_series_with_sparklines,
+    format_table,
+    sparkline,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = out.splitlines()
+        assert len(lines) == 3
+        # Columns right-aligned to equal width.
+        assert lines[1].split()[0] == "1"
+        assert lines[2].split()[0] == "30"
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[3.14159]])
+        assert "3.14" in out
+
+    def test_tiny_float_scientific(self):
+        out = format_table(["v"], [[1e-9]])
+        assert "1e-09" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert out.splitlines()[-1].split() == ["a", "b"]
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        s = sparkline([1, 2, 3, 4])
+        assert s[0] == "▁"
+        assert s[-1] == "█"
+        assert len(s) == 4
+
+    def test_constant_series_is_flat(self):
+        s = sparkline([5.0, 5.0, 5.0])
+        assert len(set(s)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_with_sparklines_layout(self):
+        out = format_series_with_sparklines(
+            "k", [1, 2], {"A": [1.0, 2.0]}, title="T"
+        )
+        assert "trends:" in out
+        assert "A: " in out
+
+
+class TestFormatSeries:
+    def test_layout(self):
+        out = format_series(
+            "k", [10, 20], {"PMIA": [1.0, 2.0], "RIS-DA": [3.0, 4.0]},
+            title="Figure X",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Figure X"
+        assert lines[1].split() == ["k", "PMIA", "RIS-DA"]
+        assert lines[2].split() == ["10", "1.00", "3.00"]
+        assert lines[3].split() == ["20", "2.00", "4.00"]

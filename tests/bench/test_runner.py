@@ -1,0 +1,56 @@
+"""Tests for repro.bench.runner."""
+
+import pytest
+
+from repro.bench.runner import evaluate_methods, evaluate_spread
+from repro.core.query import SeedResult
+from repro.geo.weights import DistanceDecay
+
+
+class TestEvaluateSpread:
+    def test_seed_only(self, small_net):
+        decay = DistanceDecay(alpha=0.0)  # uniform weights
+        # With alpha 0 every weight is 1; spread of a sink-only seed >= 1.
+        val = evaluate_spread(small_net, [0], decay, (0.0, 0.0), rounds=50)
+        assert val >= 1.0
+
+
+class TestEvaluateMethods:
+    def test_rows_per_method(self, small_net):
+        decay = DistanceDecay(alpha=0.02)
+
+        def fake_method(q, k):
+            return SeedResult(seeds=list(range(k)), estimate=0.0, method="F")
+
+        def other_method(q, k):
+            return SeedResult(
+                seeds=list(range(10, 10 + k)), estimate=0.0, method="O"
+            )
+
+        rows = evaluate_methods(
+            small_net,
+            {"fake": fake_method, "other": other_method},
+            queries=[(10.0, 10.0), (50.0, 50.0)],
+            k=3,
+            decay=decay,
+            mc_rounds=50,
+        )
+        assert [r.method for r in rows] == ["fake", "other"]
+        for r in rows:
+            assert len(r.per_query_spread) == 2
+            assert len(r.per_query_time_ms) == 2
+            assert r.avg_spread > 0
+            assert r.avg_time_ms >= 0
+
+    def test_as_row(self, small_net):
+        decay = DistanceDecay(alpha=0.02)
+        rows = evaluate_methods(
+            small_net,
+            {"f": lambda q, k: SeedResult(seeds=[0], estimate=0.0, method="f")},
+            queries=[(10.0, 10.0)],
+            k=1,
+            decay=decay,
+            mc_rounds=20,
+        )
+        row = rows[0].as_row()
+        assert set(row) == {"method", "influence", "time_ms"}

@@ -1,0 +1,57 @@
+"""Tests for repro.bench.workloads."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import (
+    average_user_distance,
+    distance_partitioned_queries,
+    random_queries,
+)
+from repro.exceptions import QueryError
+
+
+class TestRandomQueries:
+    def test_count_and_bounds(self, small_net):
+        qs = random_queries(small_net, 50, seed=0)
+        assert len(qs) == 50
+        box = small_net.bounding_box()
+        for x, y in qs:
+            assert box.contains((x, y))
+
+    def test_deterministic(self, small_net):
+        assert random_queries(small_net, 5, seed=1) == random_queries(
+            small_net, 5, seed=1
+        )
+
+
+class TestAverageUserDistance:
+    def test_matches_manual(self, small_net):
+        q = (10.0, 20.0)
+        d = np.hypot(
+            small_net.coords[:, 0] - 10.0, small_net.coords[:, 1] - 20.0
+        ).mean()
+        assert average_user_distance(small_net, q) == pytest.approx(float(d))
+
+
+class TestDistancePartitionedQueries:
+    def test_bucket_structure(self, small_net):
+        buckets = distance_partitioned_queries(
+            small_net, per_bucket=4, n_buckets=5, candidates=200, seed=0
+        )
+        assert len(buckets) == 5
+        assert all(len(b) == 4 for b in buckets)
+
+    def test_buckets_ordered_by_distance(self, small_net):
+        buckets = distance_partitioned_queries(
+            small_net, per_bucket=6, n_buckets=5, candidates=400, seed=1
+        )
+        means = [
+            np.mean([average_user_distance(small_net, q) for q in b])
+            for b in buckets
+        ]
+        assert all(means[i] <= means[i + 1] for i in range(4))
+
+    def test_validation(self, small_net):
+        with pytest.raises(QueryError):
+            distance_partitioned_queries(small_net, per_bucket=0)

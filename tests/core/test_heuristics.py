@@ -1,0 +1,108 @@
+"""Tests for repro.core.heuristics (the cheap baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.core.heuristics import (
+    degree_discount,
+    top_degree,
+    top_weight,
+    top_weighted_degree,
+)
+from repro.exceptions import QueryError
+from repro.geo.weights import DistanceDecay
+
+
+class TestValidation:
+    @pytest.mark.parametrize("fn_needs_q", [True, False])
+    def test_bad_k(self, example_net, fn_needs_q):
+        with pytest.raises(QueryError):
+            if fn_needs_q:
+                top_weight(example_net, (0, 0), 0)
+            else:
+                top_degree(example_net, 99)
+
+
+class TestTopDegree:
+    def test_picks_highest_out_degree(self, example_net):
+        res = top_degree(example_net, 1)
+        deg = np.asarray(example_net.out_degree())
+        assert deg[res.seeds[0]] == deg.max()
+
+    def test_ranked_descending(self, small_net):
+        res = top_degree(small_net, 5)
+        deg = np.asarray(small_net.out_degree())
+        vals = deg[res.seeds]
+        assert all(vals[i] >= vals[i + 1] for i in range(4))
+
+    def test_method_name(self, example_net):
+        assert top_degree(example_net, 2).method == "TopDegree"
+
+
+class TestTopWeight:
+    def test_picks_closest_nodes(self, small_net):
+        q = tuple(small_net.coords[17])
+        res = top_weight(small_net, q, 3)
+        assert 17 in res.seeds
+
+    def test_ordering_by_distance(self, small_net):
+        q = (10.0, 10.0)
+        res = top_weight(small_net, q, 5)
+        d = np.hypot(
+            small_net.coords[res.seeds, 0] - 10.0,
+            small_net.coords[res.seeds, 1] - 10.0,
+        )
+        assert all(d[i] <= d[i + 1] + 1e-9 for i in range(4))
+
+
+class TestTopWeightedDegree:
+    def test_matches_manual_ranking(self, small_net):
+        decay = DistanceDecay(alpha=0.05)
+        q = (20.0, 20.0)
+        res = top_weighted_degree(small_net, q, 4, decay)
+        score = decay.weights(small_net.coords, q) * np.asarray(
+            small_net.out_degree(), dtype=float
+        )
+        top = set(np.argsort(score)[-4:].tolist())
+        assert set(res.seeds) == top
+
+
+class TestDegreeDiscount:
+    def test_selects_k_distinct(self, small_net):
+        res = degree_discount(small_net, (20.0, 20.0), 6)
+        assert len(set(res.seeds)) == 6
+
+    def test_discount_avoids_clustered_seeds(self):
+        """A hub and its satellite should not both be picked when an
+        independent hub of equal strength exists."""
+        import numpy as np
+        from repro.network.graph import GeoSocialNetwork
+
+        # hub A (0) -> 1..4; node 1 -> same neighbours 2..4 (redundant);
+        # hub B (5) -> 6..9 (independent).
+        coords = np.zeros((10, 2))
+        edges = (
+            [(0, i) for i in (1, 2, 3, 4)]
+            + [(1, i) for i in (2, 3, 4)]
+            + [(5, i) for i in (6, 7, 8, 9)]
+        )
+        net = GeoSocialNetwork.from_edges(edges, coords, [0.5] * len(edges))
+        res = degree_discount(net, (0.0, 0.0), 2, DistanceDecay(alpha=0.0))
+        assert set(res.seeds) == {0, 5}
+
+    def test_quality_beats_top_weight_on_average(self, medium_net):
+        """Degree discount should out-spread the pure proximity pick."""
+        from repro.diffusion.spread import monte_carlo_weighted_spread
+
+        decay = DistanceDecay(alpha=0.02)
+        q = tuple(medium_net.bounding_box().center)
+        w = decay.weights(medium_net.coords, q)
+        dd = degree_discount(medium_net, q, 10, decay)
+        tw = top_weight(medium_net, q, 10, decay)
+        s_dd = monte_carlo_weighted_spread(
+            medium_net, dd.seeds, node_weights=w, rounds=400, seed=1
+        ).value
+        s_tw = monte_carlo_weighted_spread(
+            medium_net, tw.seeds, node_weights=w, rounds=400, seed=1
+        ).value
+        assert s_dd > s_tw

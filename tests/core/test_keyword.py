@@ -1,0 +1,100 @@
+"""Tests for repro.core.keyword (the influential-cover-set extension)."""
+
+import pytest
+
+from repro.core.keyword import keyword_cover_query
+from repro.exceptions import QueryError
+from repro.geo.weights import DistanceDecay
+from repro.mia.pmia import MiaModel, PmiaDa
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.network.generators import GeoSocialConfig, generate_geo_social_network
+
+    net = generate_geo_social_network(
+        GeoSocialConfig(n=120, avg_out_degree=4.0, extent=100.0, city_std=8.0),
+        seed=81,
+    )
+    model = MiaModel(net, theta=0.05)
+    decay = DistanceDecay(alpha=0.02)
+    # Deterministic keyword assignment: node u gets keyword "kw<u mod 6>".
+    keywords = {u: {f"kw{u % 6}"} for u in range(net.n)}
+    return net, model, decay, keywords
+
+
+class TestCoverage:
+    def test_required_keywords_covered(self, setup):
+        net, model, decay, keywords = setup
+        res = keyword_cover_query(
+            model, decay, (50.0, 50.0), 5, {"kw0", "kw3"}, keywords
+        )
+        covered = set()
+        for s in res.seeds:
+            covered |= keywords[s]
+        assert {"kw0", "kw3"} <= covered
+        assert res.k == 5
+        assert res.method == "MIA-DA-keyword"
+
+    def test_no_constraint_matches_plain_greedy(self, setup):
+        net, model, decay, keywords = setup
+        res = keyword_cover_query(model, decay, (50.0, 50.0), 4, set(), keywords)
+        w = decay.weights(net.coords, (50.0, 50.0))
+        plain, _ = PmiaDa(net, model=model).select(w, 4)
+        assert res.seeds == plain
+
+    def test_estimate_matches_objective(self, setup):
+        net, model, decay, keywords = setup
+        res = keyword_cover_query(
+            model, decay, (30.0, 70.0), 4, {"kw1"}, keywords
+        )
+        # Recompute the MIA objective of the returned set.
+        from repro.mia.influence import activation_probabilities
+
+        w = decay.weights(net.coords, (30.0, 70.0))
+        expected = sum(
+            activation_probabilities(t, set(res.seeds))[0] * w[t.root]
+            for t in model.trees
+            if any(s in t for s in res.seeds)
+        )
+        assert res.estimate == pytest.approx(expected, rel=1e-9)
+
+    def test_constraint_costs_influence(self, setup):
+        """Forcing rare keywords can only lower the unconstrained optimum."""
+        net, model, decay, keywords = setup
+        q = (50.0, 50.0)
+        constrained = keyword_cover_query(
+            model, decay, q, 4, {"kw0", "kw1", "kw2", "kw5"}, keywords
+        )
+        free = keyword_cover_query(model, decay, q, 4, set(), keywords)
+        assert constrained.estimate <= free.estimate + 1e-9
+
+
+class TestValidation:
+    def test_impossible_keyword_rejected(self, setup):
+        net, model, decay, keywords = setup
+        with pytest.raises(QueryError, match="no node"):
+            keyword_cover_query(
+                model, decay, (0.0, 0.0), 3, {"unicorn"}, keywords
+            )
+
+    def test_budget_too_small_rejected(self, setup):
+        net, model, decay, keywords = setup
+        # 6 distinct keywords, each node holds exactly one: k=2 cannot
+        # cover 3 distinct keywords... it can cover at most 2.
+        with pytest.raises(QueryError):
+            keyword_cover_query(
+                model, decay, (0.0, 0.0), 2,
+                {"kw0", "kw1", "kw2"}, keywords,
+            )
+
+    def test_bad_k(self, setup):
+        net, model, decay, keywords = setup
+        with pytest.raises(QueryError):
+            keyword_cover_query(model, decay, (0.0, 0.0), 0, set(), keywords)
+
+    def test_sequence_keywords_accepted(self, setup):
+        net, model, decay, _ = setup
+        seq = [{f"kw{u % 3}"} for u in range(net.n)]
+        res = keyword_cover_query(model, decay, (10.0, 10.0), 3, {"kw2"}, seq)
+        assert any("kw2" in seq[s] for s in res.seeds)

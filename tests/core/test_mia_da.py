@@ -1,0 +1,139 @@
+"""Tests for repro.core.mia_da.
+
+The decisive property: MIA-DA's pruning is *lossless* — it must return
+exactly the same seed set as PMIA (full greedy over the same MIA model),
+just with fewer marginal evaluations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mia_da import MiaDaConfig, MiaDaIndex
+from repro.core.query import DaimQuery
+from repro.exceptions import QueryError
+from repro.geo.weights import DistanceDecay
+from repro.mia.pmia import MiaModel, PmiaDa
+
+
+@pytest.fixture(scope="module")
+def net():
+    from repro.network.generators import GeoSocialConfig, generate_geo_social_network
+
+    return generate_geo_social_network(
+        GeoSocialConfig(n=200, avg_out_degree=5.0, extent=100.0, city_std=8.0),
+        seed=31,
+    )
+
+
+@pytest.fixture(scope="module")
+def model(net):
+    return MiaModel(net, theta=0.03)
+
+
+@pytest.fixture(scope="module")
+def index(net, model):
+    decay = DistanceDecay(alpha=0.03)
+    return MiaDaIndex(
+        net, decay, MiaDaConfig(theta=0.03, n_anchors=40, tau=100), model=model
+    )
+
+
+class TestConfig:
+    def test_bad_anchor_count(self):
+        with pytest.raises(QueryError):
+            MiaDaConfig(n_anchors=0)
+
+    def test_bad_strategy(self):
+        with pytest.raises(QueryError):
+            MiaDaConfig(anchor_strategy="magic")
+
+
+class TestQueryBasics:
+    def test_returns_k_seeds(self, index):
+        res = index.query((50.0, 50.0), 5)
+        assert res.k == 5
+        assert res.method == "MIA-DA"
+        assert res.estimate > 0
+        assert res.evaluations is not None
+
+    def test_daim_query_object(self, index):
+        res = index.query(DaimQuery((50.0, 50.0), 3))
+        assert res.k == 3
+
+    def test_missing_k_rejected(self, index):
+        with pytest.raises(QueryError):
+            index.query((0.0, 0.0))
+
+    def test_bad_k_rejected(self, index):
+        with pytest.raises(QueryError):
+            index.query((0.0, 0.0), 0)
+        with pytest.raises(QueryError):
+            index.query((0.0, 0.0), 10_000)
+
+
+class TestEquivalenceWithPmia:
+    """MIA-DA == PMIA on seeds and objective, across queries and k."""
+
+    @pytest.mark.parametrize("qx,qy,k", [
+        (50.0, 50.0, 5),
+        (10.0, 90.0, 10),
+        (95.0, 5.0, 3),
+        (150.0, 150.0, 5),   # outside the data extent
+    ])
+    def test_same_seeds_and_spread(self, net, model, index, qx, qy, k):
+        decay = index.decay
+        res = index.query((qx, qy), k)
+        w = decay.weights(net.coords, (qx, qy))
+        pm_seeds, pm_spread = PmiaDa(net, model=model).select(w, k)
+        assert res.seeds == pm_seeds
+        assert res.estimate == pytest.approx(pm_spread, rel=1e-9)
+
+    def test_pruning_reduces_evaluations(self, net, index):
+        """The priority search must evaluate far fewer than n·k nodes."""
+        res = index.query((50.0, 50.0), 10)
+        assert res.evaluations < net.n  # PMIA touches all n up front
+
+    def test_estimate_matches_model_recomputation(self, net, model, index):
+        res = index.query((30.0, 70.0), 4)
+        from repro.mia.influence import activation_probabilities
+
+        w = index.decay.weights(net.coords, (30.0, 70.0))
+        expected = sum(
+            activation_probabilities(t, set(res.seeds))[0] * w[t.root]
+            for t in model.trees
+            if any(s in t for s in res.seeds)
+        )
+        assert res.estimate == pytest.approx(expected, rel=1e-9)
+
+
+class TestQueryMany:
+    def test_batch_matches_single(self, index):
+        locs = [(20.0, 20.0), (80.0, 30.0)]
+        batch = index.query_many(locs, 4)
+        assert len(batch) == 2
+        for res, q in zip(batch, locs):
+            assert res.seeds == index.query(q, 4).seeds
+
+
+class TestBoundsIntegration:
+    def test_node_bounds_valid(self, net, model, index):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            q = tuple(rng.uniform(0, 100, 2))
+            w = index.decay.weights(net.coords, q)
+            truth = model.singleton_influences(w)
+            lower, upper = index.node_bounds(q)
+            assert np.all(truth <= upper + 1e-9)
+            assert np.all(truth >= lower - 1e-9)
+
+    def test_spread_monotone_in_k(self, index):
+        estimates = [index.query((50.0, 50.0), k).estimate for k in (1, 5, 10)]
+        assert estimates[0] < estimates[1] < estimates[2]
+
+    def test_closer_queries_spread_more(self, net, index):
+        """A query at the data centroid beats one far outside (Figure 7)."""
+        centroid = tuple(net.coords.mean(axis=0))
+        far = (500.0, 500.0)
+        close_est = index.query(centroid, 5).estimate
+        far_est = index.query(far, 5).estimate
+        assert close_est > far_est

@@ -1,0 +1,78 @@
+"""Tests for repro.core.persistence (RIS-DA index save/load)."""
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import load_ris_index, save_ris_index
+from repro.core.ris_da import RisDaConfig, RisDaIndex
+from repro.exceptions import DataFormatError
+from repro.geo.weights import DistanceDecay
+from repro.network.generators import GeoSocialConfig, generate_geo_social_network
+
+
+@pytest.fixture(scope="module")
+def net():
+    return generate_geo_social_network(
+        GeoSocialConfig(n=150, avg_out_degree=4.0, extent=100.0, city_std=8.0),
+        seed=71,
+    )
+
+
+@pytest.fixture(scope="module")
+def index(net):
+    cfg = RisDaConfig(
+        k_max=6, n_pivots=8, epsilon_pivot=0.4, max_index_samples=10_000,
+        seed=9,
+    )
+    return RisDaIndex(net, DistanceDecay(alpha=0.03), cfg)
+
+
+class TestRoundTrip:
+    def test_identical_query_results(self, net, index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_ris_index(index, path)
+        loaded = load_ris_index(path, net)
+        for q in [(10.0, 10.0), (50.0, 80.0), (90.0, 20.0)]:
+            a = index.query(q, 4)
+            b = loaded.query(q, 4)
+            assert a.seeds == b.seeds
+            assert a.estimate == pytest.approx(b.estimate)
+            assert a.samples_used == b.samples_used
+
+    def test_metadata_preserved(self, net, index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_ris_index(index, path)
+        loaded = load_ris_index(path, net)
+        assert loaded.k_max == index.k_max
+        assert loaded.truncated == index.truncated
+        assert loaded.config == index.config
+        assert loaded.decay.alpha == index.decay.alpha
+        assert np.array_equal(loaded.pivots, index.pivots)
+        assert np.allclose(loaded.pivot_estimates, index.pivot_estimates)
+        assert len(loaded.corpus) == len(index.corpus)
+
+    def test_corpus_members_preserved(self, net, index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_ris_index(index, path)
+        loaded = load_ris_index(path, net)
+        for i in range(0, len(index.corpus), 997):
+            assert np.array_equal(
+                loaded.corpus.members(i), index.corpus.members(i)
+            )
+
+    def test_wrong_network_rejected(self, index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_ris_index(index, path)
+        other = generate_geo_social_network(
+            GeoSocialConfig(n=80, avg_out_degree=3.0, extent=50.0), seed=1
+        )
+        with pytest.raises(DataFormatError, match="built over a graph"):
+            load_ris_index(path, other)
+
+    def test_diagnostics_still_work(self, net, index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_ris_index(index, path)
+        loaded = load_ris_index(path, net)
+        res, diag = loaded.query((30.0, 30.0), 3, return_diagnostics=True)
+        assert diag.lower_bound > 0
+        assert res.k == 3

@@ -1,0 +1,48 @@
+"""Tests for repro.core.query."""
+
+import pytest
+
+from repro.core.query import DaimQuery, SeedResult
+from repro.exceptions import GeometryError, QueryError
+
+
+class TestDaimQuery:
+    def test_construction(self):
+        q = DaimQuery((1.0, 2.0), 5)
+        assert q.location == (1.0, 2.0)
+        assert q.k == 5
+
+    def test_location_coerced(self):
+        q = DaimQuery([3, 4], 1)
+        assert q.location == (3.0, 4.0)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(QueryError):
+            DaimQuery((0, 0), 0)
+        with pytest.raises(QueryError):
+            DaimQuery((0, 0), -3)
+
+    def test_bad_location_rejected(self):
+        with pytest.raises(GeometryError):
+            DaimQuery((0, 0, 0), 1)
+
+    def test_frozen(self):
+        q = DaimQuery((0, 0), 1)
+        with pytest.raises(AttributeError):
+            q.k = 2
+
+
+class TestSeedResult:
+    def test_k_property(self):
+        r = SeedResult(seeds=[1, 2, 3], estimate=5.0, method="X")
+        assert r.k == 3
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(QueryError):
+            SeedResult(seeds=[1, 1], estimate=0.0, method="X")
+
+    def test_optional_fields_default(self):
+        r = SeedResult(seeds=[0], estimate=1.0, method="X")
+        assert r.samples_used is None
+        assert r.evaluations is None
+        assert r.elapsed == 0.0

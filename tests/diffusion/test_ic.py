@@ -1,0 +1,117 @@
+"""Tests for repro.diffusion.ic (the independent cascade simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.ic import (
+    _ragged_arange,
+    activation_frequency,
+    simulate_ic,
+    simulate_ic_batch,
+)
+from repro.exceptions import GraphError
+from repro.network.graph import GeoSocialNetwork
+from repro.network.probability import assign_constant
+
+
+class TestRaggedArange:
+    @pytest.mark.parametrize(
+        "counts,expected",
+        [
+            ([3], [0, 1, 2]),
+            ([1, 1, 1], [0, 0, 0]),
+            ([2, 0, 3], [0, 1, 0, 1, 2]),
+            ([0, 0, 2], [0, 1]),
+            ([0], []),
+            ([], []),
+            ([4, 1], [0, 1, 2, 3, 0]),
+        ],
+    )
+    def test_values(self, counts, expected):
+        got = _ragged_arange(np.asarray(counts, dtype=np.int64))
+        assert got.tolist() == expected
+
+    def test_random_agreement_with_loop(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            counts = rng.integers(0, 6, size=rng.integers(1, 20))
+            want = np.concatenate(
+                [np.arange(c) for c in counts] or [np.empty(0, np.int64)]
+            )
+            got = _ragged_arange(counts.astype(np.int64))
+            assert got.tolist() == want.tolist()
+
+
+class TestSimulateIC:
+    def test_seeds_always_active(self, line_net):
+        mask = simulate_ic(line_net, [0], seed=0)
+        assert mask[0]
+
+    def test_empty_seeds(self, line_net):
+        mask = simulate_ic(line_net, [], seed=0)
+        assert not mask.any()
+
+    def test_deterministic_edges(self, line_net):
+        net = assign_constant(line_net, 1.0)
+        mask = simulate_ic(net, [0], seed=0)
+        assert mask.all()
+
+    def test_zero_probability_edges(self, line_net):
+        net = assign_constant(line_net, 0.0)
+        mask = simulate_ic(net, [0], seed=0)
+        assert mask.tolist() == [True, False, False]
+
+    def test_bad_seed_rejected(self, line_net):
+        with pytest.raises(GraphError):
+            simulate_ic(line_net, [99])
+
+    def test_negative_seed_rejected(self, line_net):
+        with pytest.raises(GraphError):
+            simulate_ic(line_net, [-1])
+
+    def test_duplicate_seeds_collapsed(self, line_net):
+        mask = simulate_ic(line_net, [0, 0, 0], seed=1)
+        assert mask[0]
+
+    def test_activation_respects_reachability(self, diamond_net):
+        """Node 3 can only activate if 1 or 2 did."""
+        for s in range(200):
+            mask = simulate_ic(diamond_net, [0], seed=s)
+            if mask[3]:
+                assert mask[1] or mask[2]
+
+    def test_frequency_matches_edge_probability(self, line_net):
+        freq = activation_frequency(line_net, [0], rounds=20000, seed=2)
+        assert freq[0] == 1.0
+        assert freq[1] == pytest.approx(0.5, abs=0.02)
+        assert freq[2] == pytest.approx(0.25, abs=0.02)
+
+    def test_each_edge_fires_once(self):
+        """An edge examined and failed must not retry in later rounds.
+
+        Construct 0 -> 1 (p=1), {0,1} -> 2 (p=0.5 each): the probability
+        node 2 activates is 1 - 0.5^2 = 0.75, *not* higher — each of the
+        two edges gets exactly one shot.
+        """
+        coords = np.zeros((3, 2))
+        net = GeoSocialNetwork.from_edges(
+            [(0, 1), (0, 2), (1, 2)], coords, [1.0, 0.5, 0.5]
+        )
+        freq = activation_frequency(net, [0], rounds=20000, seed=3)
+        assert freq[2] == pytest.approx(0.75, abs=0.02)
+
+
+class TestBatch:
+    def test_shape(self, line_net):
+        out = simulate_ic_batch(line_net, [0], rounds=7, seed=0)
+        assert out.shape == (7, 3)
+        assert out.dtype == bool
+
+    def test_rounds_positive(self, line_net):
+        with pytest.raises(GraphError):
+            simulate_ic_batch(line_net, [0], rounds=0)
+
+    def test_deterministic_given_seed(self, diamond_net):
+        a = simulate_ic_batch(diamond_net, [0], rounds=20, seed=5)
+        b = simulate_ic_batch(diamond_net, [0], rounds=20, seed=5)
+        assert np.array_equal(a, b)

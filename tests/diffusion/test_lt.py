@@ -1,0 +1,72 @@
+"""Tests for repro.diffusion.lt (the linear threshold extension)."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.lt import lt_spread, simulate_lt
+from repro.exceptions import GraphError
+from repro.network.generators import GeoSocialConfig, generate_geo_social_network
+from repro.network.graph import GeoSocialNetwork
+
+
+def wc_line() -> GeoSocialNetwork:
+    """0 -> 1 -> 2 with WC probabilities (all 1.0, indegree 1)."""
+    coords = np.zeros((3, 2))
+    return GeoSocialNetwork.from_edges([(0, 1), (1, 2)], coords, [1.0, 1.0])
+
+
+class TestSimulateLT:
+    def test_weight_one_chain_fully_activates(self):
+        mask = simulate_lt(wc_line(), [0], seed=0)
+        assert mask.all()
+
+    def test_empty_seeds(self):
+        mask = simulate_lt(wc_line(), [], seed=0)
+        assert not mask.any()
+
+    def test_seed_out_of_range(self):
+        with pytest.raises(GraphError):
+            simulate_lt(wc_line(), [5])
+
+    def test_overweight_graph_rejected(self):
+        coords = np.zeros((3, 2))
+        net = GeoSocialNetwork.from_edges(
+            [(0, 2), (1, 2)], coords, [0.8, 0.8]
+        )
+        with pytest.raises(GraphError, match="in-weights"):
+            simulate_lt(net, [0])
+
+    def test_activation_probability_matches_edge_weight(self):
+        """For a single in-edge of weight p, LT activates with prob p."""
+        coords = np.zeros((2, 2))
+        net = GeoSocialNetwork.from_edges([(0, 1)], coords, [0.3])
+        rng_hits = sum(
+            simulate_lt(net, [0], seed=s)[1] for s in range(4000)
+        )
+        assert rng_hits / 4000 == pytest.approx(0.3, abs=0.03)
+
+    def test_monotone_in_seeds(self):
+        cfg = GeoSocialConfig(n=80, avg_out_degree=3.0, extent=50.0)
+        net = generate_geo_social_network(cfg, seed=0)
+        rng = np.random.default_rng(1)
+        # Same threshold draw via same seed: more seeds => superset.
+        a = simulate_lt(net, [0], seed=9)
+        b = simulate_lt(net, [0, 1, 2], seed=9)
+        assert b.sum() >= a.sum() - 5  # stochastic but strongly biased
+
+
+class TestLTSpread:
+    def test_weighted_scaling(self):
+        net = wc_line()
+        w = np.full(3, 0.5)
+        full = lt_spread(net, [0], rounds=50, seed=0)
+        half = lt_spread(net, [0], rounds=50, node_weights=w, seed=0)
+        assert half == pytest.approx(0.5 * full)
+
+    def test_rounds_positive(self):
+        with pytest.raises(GraphError):
+            lt_spread(wc_line(), [0], rounds=0)
+
+    def test_weight_shape_rejected(self):
+        with pytest.raises(GraphError):
+            lt_spread(wc_line(), [0], node_weights=np.ones(5))

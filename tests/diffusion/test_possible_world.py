@@ -1,0 +1,89 @@
+"""Tests for repro.diffusion.possible_world (the exact ground truth)."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.possible_world import (
+    MAX_EXACT_EDGES,
+    exact_activation_probabilities,
+    exact_spread,
+    exact_weighted_spread,
+)
+from repro.exceptions import GraphError
+from repro.network.graph import GeoSocialNetwork
+
+
+class TestExactActivation:
+    def test_line_graph_hand_computed(self, line_net):
+        ap = exact_activation_probabilities(line_net, [0])
+        assert ap.tolist() == pytest.approx([1.0, 0.5, 0.25])
+
+    def test_diamond_hand_computed(self, diamond_net):
+        ap = exact_activation_probabilities(diamond_net, [0])
+        # Two independent 2-hop paths of prob 0.25: 1 - 0.75^2 = 0.4375.
+        assert ap[3] == pytest.approx(0.4375)
+
+    def test_empty_seed_set(self, line_net):
+        ap = exact_activation_probabilities(line_net, [])
+        assert np.all(ap == 0.0)
+
+    def test_seed_probability_one(self, diamond_net):
+        ap = exact_activation_probabilities(diamond_net, [3])
+        assert ap[3] == 1.0
+        assert ap[0] == 0.0  # no reverse edges
+
+    def test_multiple_seeds_superset(self, diamond_net):
+        ap1 = exact_activation_probabilities(diamond_net, [1])
+        ap2 = exact_activation_probabilities(diamond_net, [1, 2])
+        assert np.all(ap2 >= ap1 - 1e-12)
+
+    def test_too_many_edges_rejected(self):
+        n = MAX_EXACT_EDGES + 2
+        coords = np.zeros((n, 2))
+        edges = [(i, i + 1) for i in range(n - 1)]
+        net = GeoSocialNetwork.from_edges(edges, coords, [0.5] * (n - 1))
+        with pytest.raises(GraphError, match="at most"):
+            exact_activation_probabilities(net, [0])
+
+    def test_bad_seed_rejected(self, line_net):
+        with pytest.raises(GraphError):
+            exact_activation_probabilities(line_net, [42])
+
+    def test_probabilities_in_unit_interval(self, example_net):
+        ap = exact_activation_probabilities(example_net, [2, 3])
+        assert np.all(ap >= 0.0) and np.all(ap <= 1.0)
+
+
+class TestExactSpread:
+    def test_line(self, line_net):
+        assert exact_spread(line_net, [0]) == pytest.approx(1.75)
+
+    def test_monotone_in_seeds(self, example_net):
+        s1 = exact_spread(example_net, [0])
+        s2 = exact_spread(example_net, [0, 1])
+        assert s2 >= s1
+
+    def test_submodular_on_example(self, example_net):
+        """f(S+v) - f(S) >= f(T+v) - f(T) for S subset T (Lemma 1)."""
+        f = lambda s: exact_spread(example_net, s)  # noqa: E731
+        S = [2]
+        T = [2, 0]
+        v = 1
+        assert f(S + [v]) - f(S) >= f(T + [v]) - f(T) - 1e-12
+
+
+class TestExactWeightedSpread:
+    def test_uniform_weights_match_unweighted(self, line_net):
+        w = np.ones(3)
+        assert exact_weighted_spread(line_net, [0], w) == pytest.approx(
+            exact_spread(line_net, [0])
+        )
+
+    def test_weighting(self, line_net):
+        w = np.array([1.0, 2.0, 4.0])
+        # 1*1 + 0.5*2 + 0.25*4 = 3.0
+        assert exact_weighted_spread(line_net, [0], w) == pytest.approx(3.0)
+
+    def test_shape_mismatch_rejected(self, line_net):
+        with pytest.raises(GraphError):
+            exact_weighted_spread(line_net, [0], np.ones(5))

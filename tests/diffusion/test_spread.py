@@ -1,0 +1,94 @@
+"""Tests for repro.diffusion.spread (Monte-Carlo estimators vs exact)."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.possible_world import exact_spread, exact_weighted_spread
+from repro.diffusion.spread import (
+    SpreadEstimate,
+    monte_carlo_spread,
+    monte_carlo_weighted_spread,
+)
+from repro.exceptions import GraphError
+from repro.geo.weights import DistanceDecay
+
+
+class TestSpreadEstimate:
+    def test_confidence_interval(self):
+        est = SpreadEstimate(value=10.0, std_error=1.0, rounds=100)
+        lo, hi = est.confidence_interval()
+        assert lo == pytest.approx(10.0 - 1.96)
+        assert hi == pytest.approx(10.0 + 1.96)
+
+
+class TestMonteCarloSpread:
+    def test_matches_exact_line(self, line_net):
+        mc = monte_carlo_spread(line_net, [0], rounds=20000, seed=0)
+        exact = exact_spread(line_net, [0])
+        assert abs(mc.value - exact) < 4 * mc.std_error + 1e-9
+
+    def test_matches_exact_example(self, example_net):
+        mc = monte_carlo_spread(example_net, [2], rounds=20000, seed=1)
+        exact = exact_spread(example_net, [2])
+        assert abs(mc.value - exact) < 4 * mc.std_error + 1e-9
+
+    def test_seed_only_spread_is_exact(self, line_net):
+        mc = monte_carlo_spread(line_net, [2], rounds=100, seed=2)
+        assert mc.value == pytest.approx(1.0)
+        assert mc.std_error == 0.0
+
+    def test_rounds_positive(self, line_net):
+        with pytest.raises(GraphError):
+            monte_carlo_spread(line_net, [0], rounds=0)
+
+    def test_deterministic_given_seed(self, diamond_net):
+        a = monte_carlo_spread(diamond_net, [0], rounds=100, seed=3)
+        b = monte_carlo_spread(diamond_net, [0], rounds=100, seed=3)
+        assert a.value == b.value
+
+
+class TestMonteCarloWeightedSpread:
+    def test_matches_exact_weighted(self, example_net):
+        decay = DistanceDecay(alpha=0.3)
+        q = (1.0, 0.5)
+        w = decay.weights(example_net.coords, q)
+        mc = monte_carlo_weighted_spread(
+            example_net, [2], node_weights=w, rounds=20000, seed=4
+        )
+        exact = exact_weighted_spread(example_net, [2], w)
+        assert abs(mc.value - exact) < 4 * mc.std_error + 1e-9
+
+    def test_decay_and_query_path(self, example_net):
+        decay = DistanceDecay(alpha=0.3)
+        q = (1.0, 0.5)
+        via_weights = monte_carlo_weighted_spread(
+            example_net,
+            [2],
+            node_weights=decay.weights(example_net.coords, q),
+            rounds=500,
+            seed=5,
+        )
+        via_query = monte_carlo_weighted_spread(
+            example_net, [2], decay=decay, query=q, rounds=500, seed=5
+        )
+        assert via_weights.value == pytest.approx(via_query.value)
+
+    def test_missing_arguments_rejected(self, example_net):
+        with pytest.raises(GraphError, match="provide node_weights"):
+            monte_carlo_weighted_spread(example_net, [0])
+
+    def test_weight_shape_rejected(self, example_net):
+        with pytest.raises(GraphError):
+            monte_carlo_weighted_spread(
+                example_net, [0], node_weights=np.ones(2)
+            )
+
+    def test_weighted_lower_than_unweighted_when_weights_below_one(
+        self, example_net
+    ):
+        w = np.full(example_net.n, 0.5)
+        wu = monte_carlo_spread(example_net, [2], rounds=2000, seed=6)
+        ww = monte_carlo_weighted_spread(
+            example_net, [2], node_weights=w, rounds=2000, seed=6
+        )
+        assert ww.value == pytest.approx(0.5 * wu.value, rel=1e-9)

@@ -1,0 +1,118 @@
+"""Tests for repro.geo.convex (polygons and half-plane clipping)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geo.convex import ConvexPolygon, HalfPlane
+from repro.geo.point import BoundingBox
+
+
+def unit_square() -> ConvexPolygon:
+    return ConvexPolygon.from_box(BoundingBox(0, 0, 1, 1))
+
+
+class TestHalfPlane:
+    def test_contains(self):
+        hp = HalfPlane(1.0, 0.0, 0.5)  # x <= 0.5
+        assert hp.contains((0.4, 10.0))
+        assert not hp.contains((0.6, 0.0))
+
+    def test_zero_normal_rejected(self):
+        with pytest.raises(GeometryError):
+            HalfPlane(0.0, 0.0, 1.0)
+
+    def test_bisector_keeps_near_site(self):
+        hp = HalfPlane.bisector((0.0, 0.0), (2.0, 0.0))
+        assert hp.contains((0.0, 0.0))
+        assert not hp.contains((2.0, 0.0))
+        # Mid-line points lie exactly on the boundary.
+        assert abs(hp.signed_value((1.0, 5.0))) < 1e-9
+
+    def test_bisector_identical_sites_rejected(self):
+        with pytest.raises(GeometryError):
+            HalfPlane.bisector((1.0, 1.0), (1.0, 1.0))
+
+
+class TestConvexPolygon:
+    def test_too_few_vertices_rejected(self):
+        with pytest.raises(GeometryError):
+            ConvexPolygon([(0, 0), (1, 1)])
+
+    def test_area_unit_square(self):
+        assert unit_square().area() == pytest.approx(1.0)
+
+    def test_centroid_unit_square(self):
+        assert unit_square().centroid() == pytest.approx((0.5, 0.5))
+
+    def test_contains(self):
+        sq = unit_square()
+        assert sq.contains((0.5, 0.5))
+        assert sq.contains((0.0, 0.0))  # vertex
+        assert not sq.contains((1.5, 0.5))
+
+    def test_clip_keeps_half(self):
+        sq = unit_square()
+        left = sq.clip(HalfPlane(1.0, 0.0, 0.5))  # x <= 0.5
+        assert left is not None
+        assert left.area() == pytest.approx(0.5)
+
+    def test_clip_no_change_when_fully_inside(self):
+        sq = unit_square()
+        clipped = sq.clip(HalfPlane(1.0, 0.0, 5.0))  # x <= 5
+        assert clipped is not None
+        assert clipped.area() == pytest.approx(1.0)
+
+    def test_clip_empty_when_fully_outside(self):
+        sq = unit_square()
+        assert sq.clip(HalfPlane(1.0, 0.0, -1.0)) is None  # x <= -1
+
+    def test_clip_diagonal(self):
+        sq = unit_square()
+        tri = sq.clip(HalfPlane(1.0, 1.0, 1.0))  # x + y <= 1
+        assert tri is not None
+        assert tri.area() == pytest.approx(0.5)
+
+    def test_repeated_clipping_monotone_area(self):
+        rng = np.random.default_rng(4)
+        poly = ConvexPolygon.from_box(BoundingBox(-1, -1, 1, 1))
+        area = poly.area()
+        for _ in range(20):
+            angle = rng.uniform(0, 2 * math.pi)
+            hp = HalfPlane(math.cos(angle), math.sin(angle), rng.uniform(0.2, 1.0))
+            nxt = poly.clip(hp)
+            if nxt is None:
+                break
+            assert nxt.area() <= area + 1e-9
+            area = nxt.area()
+            poly = nxt
+
+    def test_furthest_vertex_square(self):
+        sq = unit_square()
+        point, dist = sq.furthest_vertex((0.0, 0.0))
+        assert point == pytest.approx((1.0, 1.0))
+        assert dist == pytest.approx(math.sqrt(2))
+
+    def test_furthest_vertex_dominates_interior_samples(self):
+        """Convexity: no interior point is farther than the best vertex."""
+        rng = np.random.default_rng(1)
+        poly = ConvexPolygon([(0, 0), (4, 0), (5, 3), (2, 5), (-1, 2)])
+        site = (1.0, 1.0)
+        _, best = poly.furthest_vertex(site)
+        verts = poly.vertices
+        for _ in range(300):
+            # Random convex combination of vertices is inside the polygon.
+            lam = rng.dirichlet(np.ones(len(verts)))
+            p = lam @ verts
+            assert math.hypot(p[0] - site[0], p[1] - site[1]) <= best + 1e-9
+
+    def test_min_distance_inside_zero(self):
+        assert unit_square().min_distance((0.5, 0.5)) == 0.0
+
+    def test_min_distance_outside(self):
+        assert unit_square().min_distance((2.0, 0.5)) == pytest.approx(1.0)
+
+    def test_len(self):
+        assert len(unit_square()) == 4

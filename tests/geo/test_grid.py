@@ -1,0 +1,111 @@
+"""Tests for repro.geo.grid."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geo.grid import UniformGrid
+from repro.geo.point import BoundingBox
+
+
+@pytest.fixture
+def grid() -> UniformGrid:
+    return UniformGrid(BoundingBox(0, 0, 10, 10), rows=5, cols=5)
+
+
+class TestConstruction:
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GeometryError):
+            UniformGrid(BoundingBox(0, 0, 1, 1), rows=0, cols=3)
+
+    def test_cell_budget_approx(self):
+        g = UniformGrid.with_cell_budget(BoundingBox(0, 0, 10, 10), 200)
+        assert 150 <= g.n_cells <= 260
+
+    def test_cell_budget_respects_aspect(self):
+        g = UniformGrid.with_cell_budget(BoundingBox(0, 0, 100, 10), 100)
+        assert g.cols > g.rows
+
+    def test_cell_budget_positive(self):
+        with pytest.raises(GeometryError):
+            UniformGrid.with_cell_budget(BoundingBox(0, 0, 1, 1), 0)
+
+    def test_zero_extent_box_padded(self):
+        g = UniformGrid(BoundingBox(1, 1, 1, 1), rows=2, cols=2)
+        assert g.cell_of((1.0, 1.0)) in range(4)
+
+
+class TestCellAssignment:
+    def test_cell_of_origin(self, grid):
+        assert grid.cell_of((0.1, 0.1)) == 0
+
+    def test_cell_of_center(self, grid):
+        cell = grid.cell_of((5.0, 5.0))
+        row, col = divmod(cell, grid.cols)
+        assert row == 2 and col == 2
+
+    def test_out_of_box_clamped(self, grid):
+        assert grid.cell_of((-5.0, -5.0)) == 0
+        assert grid.cell_of((50.0, 50.0)) == grid.n_cells - 1
+
+    def test_vectorized_matches_scalar(self, grid):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(-2, 12, size=(100, 2))
+        vec = grid.cells_of(pts)
+        for i, p in enumerate(pts):
+            assert vec[i] == grid.cell_of(tuple(p))
+
+    def test_cell_box_roundtrip(self, grid):
+        for cell in range(grid.n_cells):
+            box = grid.cell_box(cell)
+            assert grid.cell_of(box.center) == cell
+
+    def test_cell_box_out_of_range(self, grid):
+        with pytest.raises(GeometryError):
+            grid.cell_box(99)
+
+
+class TestDistanceBounds:
+    def test_shapes(self, grid):
+        d_min, d_max = grid.distance_bounds((3.0, 3.0))
+        assert d_min.shape == (25,)
+        assert d_max.shape == (25,)
+
+    def test_min_zero_for_containing_cell(self, grid):
+        q = (3.3, 7.7)
+        d_min, _ = grid.distance_bounds(q)
+        assert d_min[grid.cell_of(q)] == 0.0
+
+    def test_bounds_bracket_all_cell_points(self, grid):
+        """Every point of a cell lies within [d_min, d_max] of the query."""
+        rng = np.random.default_rng(1)
+        q = (-1.0, 4.5)  # outside the box, general position
+        d_min, d_max = grid.distance_bounds(q)
+        for cell in range(grid.n_cells):
+            box = grid.cell_box(cell)
+            for _ in range(20):
+                p = (
+                    rng.uniform(box.xmin, box.xmax),
+                    rng.uniform(box.ymin, box.ymax),
+                )
+                d = np.hypot(p[0] - q[0], p[1] - q[1])
+                assert d_min[cell] - 1e-9 <= d <= d_max[cell] + 1e-9
+
+    def test_matches_boundingbox_methods(self, grid):
+        q = (12.0, -3.0)
+        d_min, d_max = grid.distance_bounds(q)
+        for cell in range(grid.n_cells):
+            box = grid.cell_box(cell)
+            assert d_min[cell] == pytest.approx(box.min_distance(q))
+            assert d_max[cell] == pytest.approx(box.max_distance(q))
+
+    def test_cell_centers_order(self, grid):
+        centers = grid.cell_centers()
+        assert centers.shape == (25, 2)
+        for cell in range(25):
+            assert grid.cell_of(tuple(centers[cell])) == cell
+
+    def test_iter_cells(self, grid):
+        cells = list(grid.iter_cells())
+        assert len(cells) == 25
+        assert cells[0][0] == 0

@@ -1,0 +1,100 @@
+"""Tests for repro.geo.kdtree (validated against brute force)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geo.kdtree import KDTree
+
+
+def brute_nearest(points: np.ndarray, q) -> tuple[int, float]:
+    d = np.hypot(points[:, 0] - q[0], points[:, 1] - q[1])
+    i = int(np.argmin(d))
+    return i, float(d[i])
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            KDTree(np.empty((0, 2)))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(GeometryError):
+            KDTree(np.zeros((3, 3)))
+
+    def test_len(self):
+        assert len(KDTree(np.zeros((5, 2)) + np.arange(5)[:, None])) == 5
+
+
+class TestNearest:
+    def test_single_point(self):
+        t = KDTree(np.array([[1.0, 2.0]]))
+        idx, d = t.nearest((4.0, 6.0))
+        assert idx == 0
+        assert d == pytest.approx(5.0)
+
+    def test_exact_hit_distance_zero(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 0.0]])
+        idx, d = KDTree(pts).nearest((1.0, 1.0))
+        assert idx == 1
+        assert d == 0.0
+
+    def test_matches_brute_force_random(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(-100, 100, size=(500, 2))
+        tree = KDTree(pts)
+        for _ in range(200):
+            q = tuple(rng.uniform(-120, 120, size=2))
+            ti, td = tree.nearest(q)
+            bi, bd = brute_nearest(pts, q)
+            assert td == pytest.approx(bd)
+            # Index may differ only under exact distance ties.
+            if ti != bi:
+                assert td == pytest.approx(bd, abs=1e-12)
+
+    def test_duplicate_points_ok(self):
+        pts = np.array([[0.0, 0.0]] * 10 + [[5.0, 5.0]])
+        idx, d = KDTree(pts).nearest((4.0, 4.0))
+        assert idx == 10
+        assert d == pytest.approx(np.sqrt(2))
+
+    def test_collinear_points(self):
+        pts = np.column_stack([np.arange(50, dtype=float), np.zeros(50)])
+        tree = KDTree(pts)
+        idx, d = tree.nearest((17.4, 3.0))
+        assert idx == 17
+        assert d == pytest.approx(np.hypot(0.4, 3.0))
+
+    def test_nearest_many(self):
+        rng = np.random.default_rng(3)
+        pts = rng.random((100, 2))
+        qs = rng.random((20, 2))
+        tree = KDTree(pts)
+        idx, dist = tree.nearest_many(qs)
+        assert idx.shape == (20,)
+        for row, q in enumerate(qs):
+            _, bd = brute_nearest(pts, q)
+            assert dist[row] == pytest.approx(bd)
+
+
+class TestWithinRadius:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(5)
+        pts = rng.uniform(0, 10, size=(300, 2))
+        tree = KDTree(pts)
+        for _ in range(50):
+            q = tuple(rng.uniform(0, 10, size=2))
+            r = rng.uniform(0.5, 4.0)
+            got = set(tree.within_radius(q, r).tolist())
+            d = np.hypot(pts[:, 0] - q[0], pts[:, 1] - q[1])
+            want = set(np.flatnonzero(d <= r).tolist())
+            assert got == want
+
+    def test_zero_radius(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        got = KDTree(pts).within_radius((0.0, 0.0), 0.0)
+        assert got.tolist() == [0]
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(GeometryError):
+            KDTree(np.array([[0.0, 0.0]])).within_radius((0, 0), -1.0)

@@ -1,0 +1,94 @@
+"""Tests for repro.geo.voronoi (validated against brute-force nearest-site)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geo.point import BoundingBox
+from repro.geo.voronoi import VoronoiDiagram
+
+
+@pytest.fixture
+def box() -> BoundingBox:
+    return BoundingBox(0, 0, 10, 10)
+
+
+class TestConstruction:
+    def test_empty_sites_rejected(self, box):
+        with pytest.raises(GeometryError):
+            VoronoiDiagram(np.empty((0, 2)), box)
+
+    def test_single_site_cell_is_whole_box(self, box):
+        vd = VoronoiDiagram(np.array([[2.0, 3.0]]), box)
+        assert len(vd) == 1
+        cell = vd.cells[0]
+        assert cell.polygon.area() == pytest.approx(100.0)
+        # Worst point is the farthest box corner from (2, 3).
+        assert cell.worst_distance == pytest.approx(np.hypot(8, 7))
+
+    def test_two_sites_split(self, box):
+        vd = VoronoiDiagram(np.array([[2.5, 5.0], [7.5, 5.0]]), box)
+        areas = sorted(c.polygon.area() for c in vd.cells)
+        assert areas[0] == pytest.approx(50.0)
+        assert areas[1] == pytest.approx(50.0)
+
+    def test_cell_areas_partition_the_box(self, box):
+        rng = np.random.default_rng(0)
+        sites = rng.uniform(0, 10, size=(25, 2))
+        vd = VoronoiDiagram(sites, box)
+        total = sum(c.polygon.area() for c in vd.cells)
+        assert total == pytest.approx(100.0, rel=1e-6)
+
+    def test_duplicate_sites_keep_one_cell(self, box):
+        sites = np.array([[5.0, 5.0], [5.0, 5.0], [1.0, 1.0]])
+        vd = VoronoiDiagram(sites, box)
+        total = sum(c.polygon.area() for c in vd.cells)
+        assert total == pytest.approx(100.0, rel=1e-6)
+
+
+class TestCellSemantics:
+    def test_cells_contain_their_sites(self, box):
+        rng = np.random.default_rng(1)
+        sites = rng.uniform(0, 10, size=(40, 2))
+        vd = VoronoiDiagram(sites, box)
+        for i, cell in enumerate(vd.cells):
+            assert cell.polygon.contains(tuple(sites[i]), tol=1e-6)
+
+    def test_random_points_land_in_nearest_site_cell(self, box):
+        rng = np.random.default_rng(2)
+        sites = rng.uniform(0, 10, size=(15, 2))
+        vd = VoronoiDiagram(sites, box)
+        for _ in range(200):
+            p = rng.uniform(0, 10, size=2)
+            d = np.hypot(sites[:, 0] - p[0], sites[:, 1] - p[1])
+            nearest = int(np.argmin(d))
+            cell = vd.cells[nearest]
+            # The point must be inside (or on the boundary of) that cell.
+            assert cell.polygon.contains(tuple(p), tol=1e-6)
+
+    def test_worst_distance_dominates_cell_samples(self, box):
+        """No point of the cell is farther from the site than worst_point."""
+        rng = np.random.default_rng(3)
+        sites = rng.uniform(0, 10, size=(12, 2))
+        vd = VoronoiDiagram(sites, box)
+        for _ in range(400):
+            p = rng.uniform(0, 10, size=2)
+            d = np.hypot(sites[:, 0] - p[0], sites[:, 1] - p[1])
+            nearest = int(np.argmin(d))
+            cell = vd.cells[nearest]
+            assert d[nearest] <= cell.worst_distance + 1e-6
+
+    def test_locate_matches_brute_force(self, box):
+        rng = np.random.default_rng(4)
+        sites = rng.uniform(0, 10, size=(30, 2))
+        vd = VoronoiDiagram(sites, box)
+        for _ in range(100):
+            p = tuple(rng.uniform(0, 10, size=2))
+            d = np.hypot(sites[:, 0] - p[0], sites[:, 1] - p[1])
+            assert vd.locate(p) == int(np.argmin(d)) or d[vd.locate(p)] == pytest.approx(d.min())
+
+    def test_max_cell_radius_shrinks_with_more_sites(self, box):
+        rng = np.random.default_rng(5)
+        r_small = VoronoiDiagram(rng.uniform(0, 10, (5, 2)), box).max_cell_radius()
+        r_large = VoronoiDiagram(rng.uniform(0, 10, (80, 2)), box).max_cell_radius()
+        assert r_large < r_small

@@ -1,0 +1,122 @@
+"""Tests for repro.geo.weights (the decay function and its shift bounds)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geo.weights import DistanceDecay
+
+
+class TestConstruction:
+    def test_defaults_match_paper(self):
+        d = DistanceDecay()
+        assert d.c == 1.0
+        assert d.alpha == 0.01
+        assert d.w_max == 1.0
+
+    def test_negative_c_rejected(self):
+        with pytest.raises(GeometryError):
+            DistanceDecay(c=-1.0)
+
+    def test_zero_c_rejected(self):
+        with pytest.raises(GeometryError):
+            DistanceDecay(c=0.0)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(GeometryError):
+            DistanceDecay(alpha=-0.1)
+
+    def test_alpha_zero_allowed_degenerate_uniform(self):
+        d = DistanceDecay(alpha=0.0)
+        assert d.weight((0, 0), (100, 100)) == 1.0
+
+    def test_with_alpha_copy(self):
+        d = DistanceDecay(c=2.0, alpha=0.01)
+        d2 = d.with_alpha(0.05)
+        assert d2.alpha == 0.05
+        assert d2.c == 2.0
+        assert d.alpha == 0.01
+
+
+class TestWeightValues:
+    def test_weight_at_zero_distance_is_c(self):
+        d = DistanceDecay(c=3.0, alpha=0.5)
+        assert d.weight((1, 1), (1, 1)) == pytest.approx(3.0)
+
+    def test_weight_formula(self):
+        d = DistanceDecay(c=1.0, alpha=0.1)
+        assert d.weight((0, 0), (3, 4)) == pytest.approx(math.exp(-0.5))
+
+    def test_weights_vector_matches_scalar(self):
+        d = DistanceDecay(alpha=0.2)
+        coords = np.array([[0.0, 0.0], [1.0, 2.0], [-3.0, 0.5]])
+        q = (0.5, 0.5)
+        vec = d.weights(coords, q)
+        for i, row in enumerate(coords):
+            assert vec[i] == pytest.approx(d.weight(tuple(row), q))
+
+    def test_weights_monotone_in_distance(self):
+        d = DistanceDecay(alpha=0.3)
+        w1 = d.weight((0, 0), (1, 0))
+        w2 = d.weight((0, 0), (2, 0))
+        assert w1 > w2 > 0
+
+    def test_manhattan_metric(self):
+        d = DistanceDecay(alpha=0.1, metric="manhattan")
+        assert d.weight((0, 0), (3, 4)) == pytest.approx(math.exp(-0.7))
+
+    def test_weight_of_distance_array(self):
+        d = DistanceDecay(alpha=1.0)
+        out = d.weight_of_distance(np.array([0.0, 1.0]))
+        assert out[0] == pytest.approx(1.0)
+        assert out[1] == pytest.approx(math.exp(-1.0))
+
+
+class TestShiftBounds:
+    """The triangle-inequality bounds that anchor/pivot indexing relies on."""
+
+    def test_shift_factor(self):
+        d = DistanceDecay(alpha=0.5)
+        assert d.shift_factor(2.0) == pytest.approx(math.exp(-1.0))
+
+    def test_shift_factor_rejects_negative(self):
+        with pytest.raises(GeometryError):
+            DistanceDecay().shift_factor(-1.0)
+
+    def test_bounds_bracket_true_weight(self):
+        """For random geometry: lower <= w(v, q) <= upper, always."""
+        rng = np.random.default_rng(0)
+        d = DistanceDecay(alpha=0.07)
+        for _ in range(200):
+            v = rng.uniform(-50, 50, 2)
+            p = rng.uniform(-50, 50, 2)
+            q = rng.uniform(-50, 50, 2)
+            w_p = d.weight(tuple(v), tuple(p))
+            w_q = d.weight(tuple(v), tuple(q))
+            d_pq = float(np.hypot(*(p - q)))
+            lo = d.lower_shift(np.array([w_p]), d_pq)[0]
+            hi = d.upper_shift(np.array([w_p]), d_pq)[0]
+            assert lo - 1e-12 <= w_q <= hi + 1e-12
+
+    def test_upper_shift_capped_at_c(self):
+        d = DistanceDecay(c=1.0, alpha=1.0)
+        hi = d.upper_shift(np.array([0.9]), 10.0)
+        assert hi[0] == 1.0
+
+    def test_interval_weights(self):
+        d = DistanceDecay(alpha=0.5)
+        lo, hi = d.interval_weights(1.0, 3.0)
+        assert lo == pytest.approx(math.exp(-1.5))
+        assert hi == pytest.approx(math.exp(-0.5))
+
+    def test_interval_weights_invalid(self):
+        with pytest.raises(GeometryError):
+            DistanceDecay().interval_weights(3.0, 1.0)
+        with pytest.raises(GeometryError):
+            DistanceDecay().interval_weights(-1.0, 1.0)
+
+    def test_distance_accessor(self):
+        d = DistanceDecay()
+        assert d.distance((0, 0), (3, 4)) == pytest.approx(5.0)

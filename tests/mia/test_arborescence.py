@@ -1,0 +1,125 @@
+"""Tests for repro.mia.arborescence."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.mia.arborescence import Arborescence, build_miia, build_mioa
+from repro.network.graph import GeoSocialNetwork
+
+
+def chain_with_branch() -> GeoSocialNetwork:
+    """0 -> 1 -> 3, 2 -> 3 (various probs)."""
+    coords = np.zeros((4, 2))
+    return GeoSocialNetwork.from_edges(
+        [(0, 1), (1, 3), (2, 3)], coords, [0.5, 0.4, 0.9]
+    )
+
+
+class TestBuildMiia:
+    def test_root_first(self):
+        t = build_miia(chain_with_branch(), 3, theta=0.01)
+        assert t.nodes[0] == 3
+        assert t.parent[0] == -1
+        assert t.path_prob[0] == 1.0
+
+    def test_members(self):
+        t = build_miia(chain_with_branch(), 3, theta=0.01)
+        assert set(t.nodes.tolist()) == {0, 1, 2, 3}
+
+    def test_theta_prunes_members(self):
+        t = build_miia(chain_with_branch(), 3, theta=0.3)
+        # 0's path prob is 0.5 * 0.4 = 0.2 < 0.3.
+        assert 0 not in t
+        assert 1 in t
+
+    def test_parent_points_toward_root(self):
+        t = build_miia(chain_with_branch(), 3, theta=0.01)
+        i0 = t.local_index(0)
+        i1 = t.local_index(1)
+        assert t.parent[i0] == i1
+        assert t.parent[i1] == 0  # root local index
+
+    def test_edge_probs_multiply_to_path_prob(self):
+        t = build_miia(chain_with_branch(), 3, theta=0.01)
+        for i in range(len(t)):
+            prod = 1.0
+            j = i
+            while t.parent[j] != -1:
+                prod *= t.edge_prob[j]
+                j = t.parent[j]
+            assert prod == pytest.approx(t.path_prob[i])
+
+    def test_children_lists(self):
+        t = build_miia(chain_with_branch(), 3, theta=0.01)
+        root_kids = {int(t.nodes[c]) for c in t.children[0]}
+        assert root_kids == {1, 2}
+
+    def test_probability_one_edges_topological(self):
+        """Edges of probability 1 (WC with indegree 1) must not break order."""
+        coords = np.zeros((4, 2))
+        net = GeoSocialNetwork.from_edges(
+            [(0, 1), (1, 2), (2, 3)], coords, [1.0, 1.0, 1.0]
+        )
+        t = build_miia(net, 3, theta=0.5)
+        assert set(t.nodes.tolist()) == {0, 1, 2, 3}
+        for i in range(1, len(t)):
+            assert t.parent[i] < i
+
+    def test_contains_and_local_index(self):
+        t = build_miia(chain_with_branch(), 3, theta=0.01)
+        assert 2 in t
+        assert 7 not in t
+        assert t.nodes[t.local_index(2)] == 2
+        with pytest.raises(KeyError):
+            t.local_index(7)
+
+
+class TestBuildMioa:
+    def test_out_tree(self):
+        t = build_mioa(chain_with_branch(), 0, theta=0.01)
+        assert t.nodes[0] == 0
+        assert set(t.nodes.tolist()) == {0, 1, 3}
+
+    def test_path_probs(self):
+        t = build_mioa(chain_with_branch(), 0, theta=0.01)
+        assert t.path_prob[t.local_index(3)] == pytest.approx(0.2)
+
+    def test_kind(self):
+        assert build_mioa(chain_with_branch(), 0, theta=0.1).kind == "mioa"
+        assert build_miia(chain_with_branch(), 3, theta=0.1).kind == "miia"
+
+
+class TestValidation:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(GraphError):
+            Arborescence(
+                root=0,
+                nodes=np.array([0]),
+                parent=np.array([-1]),
+                edge_prob=np.array([1.0]),
+                path_prob=np.array([1.0]),
+                kind="tree",
+            )
+
+    def test_root_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            Arborescence(
+                root=5,
+                nodes=np.array([0, 5]),
+                parent=np.array([-1, 0]),
+                edge_prob=np.array([1.0, 0.5]),
+                path_prob=np.array([1.0, 0.5]),
+                kind="miia",
+            )
+
+    def test_non_topological_rejected(self):
+        with pytest.raises(GraphError):
+            Arborescence(
+                root=0,
+                nodes=np.array([0, 1, 2]),
+                parent=np.array([-1, 2, 0]),  # node 1's parent comes later
+                edge_prob=np.array([1.0, 0.5, 0.5]),
+                path_prob=np.array([1.0, 0.25, 0.5]),
+                kind="miia",
+            )

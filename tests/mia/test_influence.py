@@ -1,0 +1,144 @@
+"""Tests for repro.mia.influence (Eq. 5 and the alpha coefficients)."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.possible_world import exact_activation_probabilities
+from repro.mia.arborescence import build_miia, build_mioa
+from repro.mia.influence import (
+    activation_probabilities,
+    linear_coefficients,
+    singleton_weighted_influence,
+    tree_influence,
+)
+from repro.network.graph import GeoSocialNetwork
+
+
+def tree_graph() -> GeoSocialNetwork:
+    """A directed in-tree: 0 -> 2, 1 -> 2, 2 -> 4, 3 -> 4.
+
+    On a tree MIA is exact, so Eq. 5 must equal possible-world truth.
+    """
+    coords = np.zeros((5, 2))
+    return GeoSocialNetwork.from_edges(
+        [(0, 2), (1, 2), (2, 4), (3, 4)], coords, [0.5, 0.6, 0.7, 0.8]
+    )
+
+
+class TestActivationProbabilities:
+    def test_no_seeds_all_zero(self):
+        t = build_miia(tree_graph(), 4, theta=0.01)
+        ap = activation_probabilities(t, set())
+        assert np.all(ap == 0.0)
+
+    def test_root_seed(self):
+        t = build_miia(tree_graph(), 4, theta=0.01)
+        ap = activation_probabilities(t, {4})
+        assert ap[0] == 1.0
+
+    def test_hand_computed_single_seed(self):
+        t = build_miia(tree_graph(), 4, theta=0.01)
+        ap = activation_probabilities(t, {0})
+        # 0 -> 2 (0.5) -> 4 (0.7): ap(4) = 0.35.
+        assert ap[0] == pytest.approx(0.35)
+
+    def test_hand_computed_two_seeds(self):
+        t = build_miia(tree_graph(), 4, theta=0.01)
+        ap = activation_probabilities(t, {0, 1})
+        # ap(2) = 1 - (1 - 0.5)(1 - 0.6) = 0.8; ap(4) = 0.8 * 0.7 = 0.56.
+        assert ap[t.local_index(2)] == pytest.approx(0.8)
+        assert ap[0] == pytest.approx(0.56)
+
+    def test_exact_on_tree_graphs(self):
+        """MIA == possible-world exact when the graph is a tree."""
+        net = tree_graph()
+        t = build_miia(net, 4, theta=0.001)
+        for seeds in [{0}, {1}, {3}, {0, 3}, {0, 1, 3}, {2}]:
+            ap = activation_probabilities(t, seeds)
+            exact = exact_activation_probabilities(net, seeds)
+            assert ap[0] == pytest.approx(exact[4], abs=1e-12), seeds
+
+    def test_seed_blocks_subtree(self):
+        """A seed's ap is 1 regardless of what its subtree contributes."""
+        t = build_miia(tree_graph(), 4, theta=0.01)
+        ap = activation_probabilities(t, {2, 0})
+        assert ap[t.local_index(2)] == 1.0
+        assert ap[0] == pytest.approx(0.7)  # only via the seeded node 2
+
+
+class TestLinearCoefficients:
+    def test_root_alpha_is_one(self):
+        t = build_miia(tree_graph(), 4, theta=0.01)
+        ap = activation_probabilities(t, set())
+        alpha = linear_coefficients(t, set(), ap)
+        assert alpha[0] == 1.0
+
+    def test_empty_seed_alpha_equals_path_prob(self):
+        t = build_miia(tree_graph(), 4, theta=0.01)
+        ap = activation_probabilities(t, set())
+        alpha = linear_coefficients(t, set(), ap)
+        assert np.allclose(alpha, t.path_prob)
+
+    def test_alpha_predicts_seed_addition(self):
+        """ap_new(root) == ap_old(root) + alpha(u) * (1 - ap_old(u))."""
+        t = build_miia(tree_graph(), 4, theta=0.01)
+        for base in [set(), {0}, {3}, {0, 1}]:
+            ap = activation_probabilities(t, base)
+            alpha = linear_coefficients(t, base, ap)
+            for u in [0, 1, 2, 3]:
+                if u in base:
+                    continue
+                i = t.local_index(u)
+                predicted = ap[0] + alpha[i] * (1 - ap[i])
+                actual = activation_probabilities(t, base | {u})[0]
+                assert predicted == pytest.approx(actual, abs=1e-12), (base, u)
+
+    def test_seed_children_blocked(self):
+        t = build_miia(tree_graph(), 4, theta=0.01)
+        ap = activation_probabilities(t, {2})
+        alpha = linear_coefficients(t, {2}, ap)
+        # Children of the seeded node 2 (i.e. nodes 0 and 1) cannot add.
+        assert alpha[t.local_index(0)] == 0.0
+        assert alpha[t.local_index(1)] == 0.0
+
+    def test_alpha_on_random_arborescences(self):
+        """The prediction identity on a random graph's MIIA trees."""
+        rng = np.random.default_rng(1)
+        n = 25
+        coords = rng.random((n, 2))
+        edges, probs, seen = [], [], set()
+        for _ in range(100):
+            u, v = rng.integers(0, n, 2)
+            if u != v and (u, v) not in seen:
+                seen.add((u, v))
+                edges.append((int(u), int(v)))
+                probs.append(float(rng.uniform(0.2, 0.95)))
+        net = GeoSocialNetwork.from_edges(edges, coords, probs)
+        for root in range(0, n, 5):
+            t = build_miia(net, root, theta=0.05)
+            if len(t) < 3:
+                continue
+            base = {int(t.nodes[len(t) // 2])}
+            ap = activation_probabilities(t, base)
+            alpha = linear_coefficients(t, base, ap)
+            for i in range(1, len(t)):
+                u = int(t.nodes[i])
+                if u in base:
+                    continue
+                predicted = ap[0] + alpha[i] * (1 - ap[i])
+                actual = activation_probabilities(t, base | {u})[0]
+                assert predicted == pytest.approx(actual, abs=1e-9)
+
+
+class TestHelpers:
+    def test_tree_influence(self):
+        t = build_miia(tree_graph(), 4, theta=0.01)
+        assert tree_influence(t, {0}) == pytest.approx(0.35)
+
+    def test_singleton_weighted_influence(self):
+        net = tree_graph()
+        t = build_mioa(net, 0, theta=0.01)
+        w = np.arange(1.0, 6.0)  # weights 1..5
+        # Reach of 0: itself (1.0 * w0), 2 (0.5 * w2), 4 (0.35 * w4).
+        expected = 1.0 * 1.0 + 0.5 * 3.0 + 0.35 * 5.0
+        assert singleton_weighted_influence(t, w) == pytest.approx(expected)

@@ -1,0 +1,109 @@
+"""Tests for repro.mia.paths (maximum influence paths)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.mia.paths import (
+    max_influence_paths_from,
+    max_influence_paths_to,
+    mip_probability,
+)
+from repro.network.graph import GeoSocialNetwork
+
+
+def branching() -> GeoSocialNetwork:
+    """0 -> 1 (0.9), 0 -> 2 (0.2), 1 -> 2 (0.8): best 0~>2 is via 1 (0.72)."""
+    coords = np.zeros((3, 2))
+    return GeoSocialNetwork.from_edges(
+        [(0, 1), (0, 2), (1, 2)], coords, [0.9, 0.2, 0.8]
+    )
+
+
+class TestForwardPaths:
+    def test_source_has_probability_one(self):
+        paths = max_influence_paths_from(branching(), 0, theta=0.01)
+        assert paths[0] == (1.0, -1)
+
+    def test_picks_max_product_path(self):
+        paths = max_influence_paths_from(branching(), 0, theta=0.01)
+        prob, hop = paths[2]
+        assert prob == pytest.approx(0.72)
+        assert hop == 1  # via node 1, not the direct 0.2 edge
+
+    def test_theta_prunes(self):
+        paths = max_influence_paths_from(branching(), 0, theta=0.8)
+        assert 1 in paths  # 0.9 >= 0.8
+        assert 2 not in paths  # 0.72 < 0.8
+
+    def test_theta_boundary_inclusive(self):
+        paths = max_influence_paths_from(branching(), 0, theta=0.72)
+        assert 2 in paths
+
+    def test_bad_theta_rejected(self):
+        with pytest.raises(GraphError):
+            max_influence_paths_from(branching(), 0, theta=0.0)
+        with pytest.raises(GraphError):
+            max_influence_paths_from(branching(), 0, theta=1.5)
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(GraphError):
+            max_influence_paths_from(branching(), 9, theta=0.1)
+
+    def test_zero_probability_edges_ignored(self):
+        coords = np.zeros((2, 2))
+        net = GeoSocialNetwork.from_edges([(0, 1)], coords, [0.0])
+        paths = max_influence_paths_from(net, 0, theta=0.01)
+        assert 1 not in paths
+
+
+class TestReversePaths:
+    def test_reverse_mirrors_forward(self):
+        net = branching()
+        fwd = max_influence_paths_from(net, 0, theta=0.01)
+        rev = max_influence_paths_to(net, 2, theta=0.01)
+        assert rev[0][0] == pytest.approx(fwd[2][0])
+
+    def test_membership_symmetry(self):
+        """u in MIIA(v)  <=>  v in MIOA(u), for all pairs (theta fixed)."""
+        rng = np.random.default_rng(0)
+        n = 30
+        coords = rng.random((n, 2))
+        edges = []
+        probs = []
+        seen = set()
+        for _ in range(120):
+            u, v = rng.integers(0, n, 2)
+            if u != v and (u, v) not in seen:
+                seen.add((u, v))
+                edges.append((int(u), int(v)))
+                probs.append(float(rng.uniform(0.1, 0.9)))
+        net = GeoSocialNetwork.from_edges(edges, coords, probs)
+        theta = 0.05
+        mioa = {
+            u: set(max_influence_paths_from(net, u, theta)) for u in range(n)
+        }
+        miia = {
+            v: set(max_influence_paths_to(net, v, theta)) for v in range(n)
+        }
+        for u in range(n):
+            for v in range(n):
+                assert (v in mioa[u]) == (u in miia[v])
+
+    def test_path_probabilities_agree_both_directions(self):
+        net = branching()
+        fwd = max_influence_paths_from(net, 0, theta=0.01)
+        for v, (p, _) in fwd.items():
+            rev = max_influence_paths_to(net, v, theta=0.01)
+            assert rev[0][0] == pytest.approx(p)
+
+
+class TestMipProbability:
+    def test_existing_path(self):
+        assert mip_probability(branching(), 0, 2, 0.01) == pytest.approx(0.72)
+
+    def test_pruned_path_is_zero(self):
+        assert mip_probability(branching(), 0, 2, 0.9) == 0.0
+
+    def test_self_probability_one(self):
+        assert mip_probability(branching(), 1, 1, 0.5) == 1.0

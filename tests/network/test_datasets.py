@@ -1,0 +1,87 @@
+"""Tests for repro.network.datasets (the Table 2 stand-ins)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.network.datasets import (
+    DATASET_RECIPES,
+    default_scale,
+    load_dataset,
+)
+
+
+class TestRecipes:
+    def test_all_four_paper_datasets_present(self):
+        assert set(DATASET_RECIPES) == {
+            "brightkite", "gowalla", "twitter", "foursquare"
+        }
+
+    def test_paper_sizes_recorded(self):
+        assert DATASET_RECIPES["brightkite"].paper_nodes == 58_000
+        assert DATASET_RECIPES["foursquare"].paper_edges == 53_700_000
+
+    def test_node_ordering_matches_paper(self):
+        """Brightkite < Gowalla < Twitter < Foursquare, as in Table 2."""
+        sizes = [
+            DATASET_RECIPES[name].base_nodes
+            for name in ("brightkite", "gowalla", "twitter", "foursquare")
+        ]
+        assert sizes == sorted(sizes)
+        assert len(set(sizes)) == 4
+
+    def test_density_matches_paper(self):
+        for name, recipe in DATASET_RECIPES.items():
+            paper_density = recipe.paper_edges / recipe.paper_nodes
+            assert recipe.avg_out_degree == pytest.approx(
+                paper_density, rel=0.05
+            ), name
+
+
+class TestLoadDataset:
+    def test_load_and_cache(self):
+        a = load_dataset("brightkite", scale=0.2)
+        b = load_dataset("brightkite", scale=0.2)
+        assert a is b  # memoised
+
+    def test_cache_bypass(self):
+        a = load_dataset("brightkite", scale=0.2)
+        b = load_dataset("brightkite", scale=0.2, cache=False)
+        assert a is not b
+
+    def test_case_insensitive(self):
+        a = load_dataset("BrightKite", scale=0.2)
+        b = load_dataset("brightkite", scale=0.2)
+        assert a is b
+
+    def test_unknown_rejected(self):
+        with pytest.raises(GraphError, match="unknown dataset"):
+            load_dataset("orkut")
+
+    def test_scale_changes_size(self):
+        small = load_dataset("brightkite", scale=0.1, cache=False)
+        large = load_dataset("brightkite", scale=0.3, cache=False)
+        assert large.n > small.n
+
+    def test_minimum_size_floor(self):
+        tiny = load_dataset("brightkite", scale=0.0001, cache=False)
+        assert tiny.n >= 64
+
+
+class TestDefaultScale:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert default_scale() == 1.0
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert default_scale() == 2.5
+
+    def test_bad_value_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "big")
+        with pytest.raises(GraphError):
+            default_scale()
+
+    def test_non_positive_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(GraphError):
+            default_scale()

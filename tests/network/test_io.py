@@ -1,0 +1,153 @@
+"""Tests for repro.network.io."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataFormatError
+from repro.network.generators import GeoSocialConfig, generate_geo_social_network
+from repro.network.io import (
+    read_checkins,
+    read_edge_list,
+    read_network,
+    write_checkins,
+    write_edge_list,
+    write_network,
+)
+
+
+class TestReadEdgeList:
+    def test_basic(self, tmp_path):
+        p = tmp_path / "edges.txt"
+        p.write_text("# comment\n0 1\n1 2\n\n2 0\n")
+        edges, probs = read_edge_list(p)
+        assert edges.tolist() == [[0, 1], [1, 2], [2, 0]]
+        assert probs is None
+
+    def test_with_probabilities(self, tmp_path):
+        p = tmp_path / "edges.txt"
+        p.write_text("0 1 0.5\n1 2 0.25\n")
+        edges, probs = read_edge_list(p)
+        assert probs.tolist() == [0.5, 0.25]
+
+    def test_inconsistent_columns_rejected(self, tmp_path):
+        p = tmp_path / "edges.txt"
+        p.write_text("0 1 0.5\n1 2\n")
+        with pytest.raises(DataFormatError, match="inconsistent"):
+            read_edge_list(p)
+
+    def test_bad_token_count_rejected(self, tmp_path):
+        p = tmp_path / "edges.txt"
+        p.write_text("0 1 2 3\n")
+        with pytest.raises(DataFormatError):
+            read_edge_list(p)
+
+    def test_non_integer_id_rejected(self, tmp_path):
+        p = tmp_path / "edges.txt"
+        p.write_text("a b\n")
+        with pytest.raises(DataFormatError, match="non-integer"):
+            read_edge_list(p)
+
+    def test_non_numeric_prob_rejected(self, tmp_path):
+        p = tmp_path / "edges.txt"
+        p.write_text("0 1 x\n")
+        with pytest.raises(DataFormatError, match="non-numeric"):
+            read_edge_list(p)
+
+
+class TestReadCheckins:
+    def test_basic(self, tmp_path):
+        p = tmp_path / "ci.txt"
+        p.write_text("0 1.5 2.5\n1 -3 4\n")
+        locs = read_checkins(p)
+        assert locs == {0: (1.5, 2.5), 1: (-3.0, 4.0)}
+
+    def test_first_checkin_wins(self, tmp_path):
+        p = tmp_path / "ci.txt"
+        p.write_text("0 1 1\n0 9 9\n")
+        assert read_checkins(p)[0] == (1.0, 1.0)
+
+    def test_malformed_rejected(self, tmp_path):
+        p = tmp_path / "ci.txt"
+        p.write_text("0 1\n")
+        with pytest.raises(DataFormatError):
+            read_checkins(p)
+
+
+class TestReadNetwork:
+    def test_compacts_ids(self, tmp_path):
+        e = tmp_path / "edges.txt"
+        e.write_text("100 200\n200 300\n")
+        net = read_network(e)
+        assert net.n == 3
+        assert net.m == 2
+
+    def test_checkins_applied(self, tmp_path):
+        e = tmp_path / "edges.txt"
+        e.write_text("5 7\n")
+        c = tmp_path / "ci.txt"
+        c.write_text("5 1.0 2.0\n7 3.0 4.0\n")
+        net = read_network(e, c)
+        # id 5 appears first -> compacted to 0.
+        assert tuple(net.coords[0]) == (1.0, 2.0)
+        assert tuple(net.coords[1]) == (3.0, 4.0)
+
+    def test_missing_checkin_randomised_within_box(self, tmp_path):
+        e = tmp_path / "edges.txt"
+        e.write_text("0 1\n1 2\n")
+        c = tmp_path / "ci.txt"
+        c.write_text("0 0 0\n1 10 10\n")
+        net = read_network(e, c, seed=0)
+        x, y = net.coords[2]
+        assert 0.0 <= x <= 10.0 and 0.0 <= y <= 10.0
+
+    def test_weighted_cascade_default(self, tmp_path):
+        e = tmp_path / "edges.txt"
+        e.write_text("0 2\n1 2\n")
+        net = read_network(e)
+        assert np.allclose(net.in_probabilities(net.n - 1), 0.5)
+
+    def test_explicit_probabilities_kept(self, tmp_path):
+        e = tmp_path / "edges.txt"
+        e.write_text("0 1 0.9\n")
+        net = read_network(e)
+        assert net.out_probabilities(0)[0] == pytest.approx(0.9)
+
+    def test_empty_file_rejected(self, tmp_path):
+        e = tmp_path / "edges.txt"
+        e.write_text("# nothing\n")
+        with pytest.raises(DataFormatError, match="no edges"):
+            read_network(e)
+
+
+class TestRoundTrip:
+    def test_write_then_read_preserves_graph(self, tmp_path):
+        cfg = GeoSocialConfig(n=60, avg_out_degree=3.0, extent=50.0)
+        net = generate_geo_social_network(cfg, seed=1)
+        e = tmp_path / "edges.txt"
+        c = tmp_path / "ci.txt"
+        write_network(net, e, c)
+        back = read_network(e, c)
+        assert back.n == net.n
+        assert back.m == net.m
+        assert np.allclose(back.coords, net.coords)
+        eo, po = net.edge_array()
+        eb, pb = back.edge_array()
+        assert np.array_equal(eo, eb)
+        assert np.allclose(po, pb)
+
+    def test_write_edge_list_without_probs(self, tmp_path):
+        cfg = GeoSocialConfig(n=20, avg_out_degree=2.0, extent=50.0)
+        net = generate_geo_social_network(cfg, seed=2)
+        p = tmp_path / "edges.txt"
+        write_edge_list(net, p, probabilities=False)
+        edges, probs = read_edge_list(p)
+        assert probs is None
+        assert len(edges) == net.m
+
+    def test_write_checkins_covers_all_nodes(self, tmp_path):
+        cfg = GeoSocialConfig(n=20, avg_out_degree=2.0, extent=50.0)
+        net = generate_geo_social_network(cfg, seed=3)
+        p = tmp_path / "ci.txt"
+        write_checkins(net, p)
+        locs = read_checkins(p)
+        assert len(locs) == net.n

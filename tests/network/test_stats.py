@@ -1,0 +1,66 @@
+"""Tests for repro.network.stats."""
+
+import numpy as np
+import pytest
+
+from repro.network.graph import GeoSocialNetwork
+from repro.network.stats import NetworkStats, degree_histogram, summarize
+
+
+def tiny() -> GeoSocialNetwork:
+    coords = np.array([[0.0, 0.0], [3.0, 4.0], [6.0, 8.0]])
+    return GeoSocialNetwork.from_edges(
+        [(0, 1), (1, 0), (1, 2)], coords, [0.5, 0.5, 1.0]
+    )
+
+
+class TestSummarize:
+    def test_counts(self):
+        s = summarize(tiny())
+        assert s.n_nodes == 3
+        assert s.n_edges == 3
+
+    def test_avg_out_degree(self):
+        assert summarize(tiny()).avg_out_degree == pytest.approx(1.0)
+
+    def test_max_degrees(self):
+        s = summarize(tiny())
+        assert s.max_out_degree == 2
+        assert s.max_in_degree == 1
+
+    def test_reciprocity(self):
+        # (0,1) and (1,0) are reciprocal; (1,2) is not: 2/3.
+        assert summarize(tiny()).reciprocity == pytest.approx(2 / 3)
+
+    def test_mean_probability(self):
+        assert summarize(tiny()).mean_edge_probability == pytest.approx(2 / 3)
+
+    def test_extent(self):
+        s = summarize(tiny())
+        assert s.spatial_extent == (6.0, 8.0)
+
+    def test_as_row_keys(self):
+        row = summarize(tiny()).as_row()
+        assert set(row) == {
+            "nodes", "edges", "avg_deg", "max_out", "max_in", "recip", "mean_p"
+        }
+
+    def test_edgeless(self):
+        net = GeoSocialNetwork(2, np.empty((0, 2)), None, np.zeros((2, 2)))
+        s = summarize(net)
+        assert s.n_edges == 0
+        assert s.reciprocity == 0.0
+
+
+class TestDegreeHistogram:
+    def test_out(self):
+        hist = degree_histogram(tiny(), "out")
+        assert hist.tolist() == [1, 1, 1]  # degrees 0, 1, 2
+
+    def test_in(self):
+        hist = degree_histogram(tiny(), "in")
+        assert hist.tolist() == [0, 3]
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            degree_histogram(tiny(), "sideways")

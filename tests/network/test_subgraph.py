@@ -1,0 +1,97 @@
+"""Tests for repro.network.subgraph."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.geo.point import BoundingBox
+from repro.network.graph import GeoSocialNetwork
+from repro.network.subgraph import (
+    induced_subgraph,
+    largest_weak_component,
+    spatial_subgraph,
+    weakly_connected_components,
+)
+
+
+@pytest.fixture
+def two_components() -> GeoSocialNetwork:
+    """Component A: 0-1-2 (triangle-ish); component B: 3-4; isolated: 5."""
+    coords = np.array(
+        [[0, 0], [1, 0], [0, 1], [10, 10], [11, 10], [50, 50]], dtype=float
+    )
+    edges = [(0, 1), (1, 2), (2, 0), (3, 4)]
+    return GeoSocialNetwork.from_edges(edges, coords, [0.5] * 4)
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self, two_components):
+        sub, ids = induced_subgraph(two_components, [0, 1, 3])
+        assert sub.n == 3
+        assert ids.tolist() == [0, 1, 3]
+        # Only (0, 1) survives: (1, 2), (2, 0) and (3, 4) cross the cut.
+        assert sub.m == 1
+        assert sub.out_neighbors(0).tolist() == [1]
+
+    def test_coordinates_follow(self, two_components):
+        sub, ids = induced_subgraph(two_components, [2, 4])
+        assert np.allclose(sub.coords[0], [0, 1])
+        assert np.allclose(sub.coords[1], [11, 10])
+
+    def test_probabilities_follow(self, two_components):
+        sub, _ = induced_subgraph(two_components, [0, 1, 2])
+        assert np.allclose(sub.out_probs, 0.5)
+
+    def test_empty_rejected(self, two_components):
+        with pytest.raises(GraphError):
+            induced_subgraph(two_components, [])
+
+    def test_out_of_range_rejected(self, two_components):
+        with pytest.raises(GraphError):
+            induced_subgraph(two_components, [0, 99])
+
+    def test_full_graph_identity(self, two_components):
+        sub, ids = induced_subgraph(two_components, range(6))
+        assert sub.n == two_components.n
+        assert sub.m == two_components.m
+
+
+class TestComponents:
+    def test_labels(self, two_components):
+        labels = weakly_connected_components(two_components)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+        assert labels[5] not in (labels[0], labels[3])
+
+    def test_largest_component(self, two_components):
+        sub, ids = largest_weak_component(two_components)
+        assert ids.tolist() == [0, 1, 2]
+        assert sub.m == 3
+
+    def test_connected_graph_is_one_component(self, small_net):
+        sub, ids = largest_weak_component(small_net)
+        labels = weakly_connected_components(small_net)
+        assert len(ids) == int(np.bincount(labels).max())
+
+
+class TestSpatialSubgraph:
+    def test_box_filter(self, two_components):
+        sub, ids = spatial_subgraph(
+            two_components, BoundingBox(-1, -1, 2, 2)
+        )
+        assert ids.tolist() == [0, 1, 2]
+        assert sub.m == 3
+
+    def test_empty_region_rejected(self, two_components):
+        with pytest.raises(GraphError):
+            spatial_subgraph(two_components, BoundingBox(100, 100, 101, 101))
+
+    def test_roundtrip_with_wc_renormalisation(self, small_net):
+        from repro.network.probability import assign_weighted_cascade, is_weighted_cascade
+
+        box = small_net.bounding_box()
+        half = BoundingBox(box.xmin, box.ymin, box.center[0], box.ymax)
+        sub, _ = spatial_subgraph(small_net, half)
+        renorm = assign_weighted_cascade(sub)
+        assert is_weighted_cascade(renorm)

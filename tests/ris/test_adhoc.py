@@ -1,0 +1,50 @@
+"""Tests for repro.ris.adhoc (index-free RIS-DA queries)."""
+
+import pytest
+
+from repro.diffusion.spread import monte_carlo_weighted_spread
+from repro.exceptions import QueryError
+from repro.geo.weights import DistanceDecay
+from repro.ris.adhoc import adhoc_ris_query
+
+
+@pytest.fixture(scope="module")
+def net():
+    from repro.network.generators import GeoSocialConfig, generate_geo_social_network
+
+    return generate_geo_social_network(
+        GeoSocialConfig(n=200, avg_out_degree=4.0, extent=100.0, city_std=8.0),
+        seed=91,
+    )
+
+
+class TestAdhoc:
+    def test_returns_k_seeds(self, net):
+        res = adhoc_ris_query(net, (50.0, 50.0), 5, seed=0)
+        assert res.k == 5
+        assert res.method == "RIS-adhoc"
+        assert res.samples_used > 0
+
+    def test_bad_k(self, net):
+        with pytest.raises(QueryError):
+            adhoc_ris_query(net, (0.0, 0.0), 0)
+
+    def test_max_samples_cap(self, net):
+        res = adhoc_ris_query(net, (50.0, 50.0), 5, max_samples=500, seed=1)
+        assert res.samples_used == 500
+
+    def test_deterministic_given_seed(self, net):
+        a = adhoc_ris_query(net, (40.0, 60.0), 4, max_samples=3000, seed=3)
+        b = adhoc_ris_query(net, (40.0, 60.0), 4, max_samples=3000, seed=3)
+        assert a.seeds == b.seeds
+
+    def test_quality_close_to_estimate(self, net):
+        decay = DistanceDecay(alpha=0.02)
+        q = (50.0, 50.0)
+        res = adhoc_ris_query(net, q, 5, decay=decay, seed=4,
+                              max_samples=30_000)
+        w = decay.weights(net.coords, q)
+        mc = monte_carlo_weighted_spread(
+            net, res.seeds, node_weights=w, rounds=1500, seed=5
+        )
+        assert res.estimate == pytest.approx(mc.value, rel=0.25)

@@ -1,0 +1,91 @@
+"""Tests for repro.ris.corpus."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SamplingError
+from repro.ris.corpus import RRCorpus
+from repro.ris.rrset import RRSampler
+
+
+@pytest.fixture
+def corpus(example_net) -> RRCorpus:
+    return RRCorpus(RRSampler(example_net, seed=0))
+
+
+class TestEnsure:
+    def test_grows_to_count(self, corpus):
+        assert corpus.ensure(10) == 10
+        assert len(corpus) == 10
+
+    def test_no_shrink(self, corpus):
+        corpus.ensure(10)
+        assert corpus.ensure(5) == 10
+        assert len(corpus) == 10
+
+    def test_incremental_growth_appends(self, corpus):
+        corpus.ensure(5)
+        first_roots = corpus.roots.tolist()
+        corpus.ensure(12)
+        assert corpus.roots[:5].tolist() == first_roots
+
+    def test_negative_rejected(self, corpus):
+        with pytest.raises(SamplingError):
+            corpus.ensure(-1)
+
+    def test_prefix_stability_equals_fresh_sampler(self, example_net):
+        """Growing in steps produces the same stream as growing at once."""
+        a = RRCorpus(RRSampler(example_net, seed=9))
+        a.ensure(4)
+        a.ensure(20)
+        b = RRCorpus(RRSampler(example_net, seed=9))
+        b.ensure(20)
+        assert a.roots.tolist() == b.roots.tolist()
+        for i in range(20):
+            assert np.array_equal(a.members(i), b.members(i))
+
+
+class TestFlat:
+    def test_flat_matches_members(self, corpus):
+        corpus.ensure(15)
+        flat, offsets = corpus.flat()
+        for i in range(15):
+            assert np.array_equal(
+                flat[offsets[i] : offsets[i + 1]], corpus.members(i)
+            )
+
+    def test_cache_invalidated_on_growth(self, corpus):
+        corpus.ensure(5)
+        flat1, _ = corpus.flat()
+        corpus.ensure(10)
+        flat2, offsets2 = corpus.flat()
+        assert len(flat2) >= len(flat1)
+        assert len(offsets2) == 11
+
+    def test_empty_corpus_flat(self, corpus):
+        flat, offsets = corpus.flat()
+        assert len(flat) == 0
+        assert offsets.tolist() == [0]
+
+
+class TestStats:
+    def test_average_size(self, corpus):
+        corpus.ensure(30)
+        avg = corpus.average_size()
+        flat, _ = corpus.flat()
+        assert avg == pytest.approx(len(flat) / 30)
+
+    def test_average_size_empty(self, corpus):
+        assert corpus.average_size() == 0.0
+
+    def test_total_entries_prefix(self, corpus):
+        corpus.ensure(10)
+        assert corpus.total_entries(3) == sum(
+            len(corpus.members(i)) for i in range(3)
+        )
+        assert corpus.total_entries() == sum(
+            len(corpus.members(i)) for i in range(10)
+        )
+
+    def test_n_nodes(self, corpus, example_net):
+        assert corpus.n_nodes == example_net.n

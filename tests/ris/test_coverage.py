@@ -1,0 +1,113 @@
+"""Tests for repro.ris.coverage (Algorithm 2 and the Eq. 9 estimator)."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.possible_world import exact_weighted_spread
+from repro.exceptions import QueryError, SamplingError
+from repro.geo.weights import DistanceDecay
+from repro.ris.corpus import RRCorpus
+from repro.ris.coverage import estimate_spread, weighted_greedy_cover
+from repro.ris.rrset import RRSampler
+
+
+@pytest.fixture
+def corpus(example_net) -> RRCorpus:
+    c = RRCorpus(RRSampler(example_net, seed=0))
+    c.ensure(4000)
+    return c
+
+
+class TestValidation:
+    def test_zero_samples_rejected(self, example_net):
+        empty = RRCorpus(RRSampler(example_net, seed=0))
+        with pytest.raises(SamplingError):
+            weighted_greedy_cover(empty, np.ones(0), 1)
+
+    def test_prefix_too_long_rejected(self, corpus):
+        with pytest.raises(SamplingError):
+            weighted_greedy_cover(corpus, np.ones(5000), 1, prefix=5000)
+
+    def test_bad_k_rejected(self, corpus):
+        with pytest.raises(QueryError):
+            weighted_greedy_cover(corpus, np.ones(len(corpus)), 0)
+        with pytest.raises(QueryError):
+            weighted_greedy_cover(corpus, np.ones(len(corpus)), 99)
+
+    def test_short_weights_rejected(self, corpus):
+        with pytest.raises(SamplingError):
+            weighted_greedy_cover(corpus, np.ones(3), 1)
+
+
+class TestGreedy:
+    def test_selects_k_distinct(self, corpus):
+        res = weighted_greedy_cover(corpus, np.ones(len(corpus)), 3)
+        assert len(res.seeds) == 3
+        assert len(set(res.seeds)) == 3
+
+    def test_gains_non_increasing(self, corpus):
+        res = weighted_greedy_cover(corpus, np.ones(len(corpus)), 5)
+        gains = res.gains
+        assert all(gains[i] >= gains[i + 1] - 1e-9 for i in range(4))
+
+    def test_estimate_is_sum_of_gains(self, corpus, example_net):
+        res = weighted_greedy_cover(corpus, np.ones(len(corpus)), 3)
+        expected = example_net.n * res.gains.sum() / res.samples_used
+        assert res.estimate == pytest.approx(expected)
+
+    def test_estimate_for_prefix_nested(self, corpus, example_net):
+        res = weighted_greedy_cover(corpus, np.ones(len(corpus)), 4)
+        prev = 0.0
+        for j in range(5):
+            cur = res.estimate_for_prefix(j, example_net.n)
+            assert cur >= prev - 1e-9
+            prev = cur
+        assert res.estimate_for_prefix(4, example_net.n) == pytest.approx(
+            res.estimate
+        )
+
+    def test_prefix_uses_fewer_samples(self, corpus):
+        res = weighted_greedy_cover(corpus, np.ones(len(corpus)), 2, prefix=100)
+        assert res.samples_used == 100
+
+    def test_first_seed_maximises_weighted_coverage(self, corpus):
+        """Exhaustive check of the first greedy pick."""
+        rng = np.random.default_rng(1)
+        weights = rng.random(len(corpus))
+        res = weighted_greedy_cover(corpus, weights, 1)
+        flat, offsets = corpus.flat()
+        n = corpus.n_nodes
+        scores = np.zeros(n)
+        for i in range(len(corpus)):
+            scores[flat[offsets[i] : offsets[i + 1]]] += weights[i]
+        assert scores[res.seeds[0]] == pytest.approx(scores.max())
+
+
+class TestUnbiasedness:
+    """Lemma 3: Eq. 9 is an unbiased estimator of I_q(S)."""
+
+    def test_estimator_matches_exact_spread(self, example_net):
+        decay = DistanceDecay(alpha=0.3)
+        q = (2.0, 0.0)
+        node_w = decay.weights(example_net.coords, q)
+        corpus = RRCorpus(RRSampler(example_net, seed=3))
+        corpus.ensure(60000)
+        sample_w = node_w[corpus.roots]
+        for seeds in ([2], [0, 3], [1, 4]):
+            est = estimate_spread(corpus, seeds, sample_w)
+            exact = exact_weighted_spread(example_net, seeds, node_w)
+            assert est == pytest.approx(exact, rel=0.06), seeds
+
+    def test_uniform_weights_reduce_to_classic_ris(self, example_net):
+        corpus = RRCorpus(RRSampler(example_net, seed=4))
+        corpus.ensure(40000)
+        est = estimate_spread(corpus, [2], np.ones(len(corpus)))
+        from repro.diffusion.possible_world import exact_spread
+
+        assert est == pytest.approx(exact_spread(example_net, [2]), rel=0.05)
+
+    def test_estimate_spread_validation(self, corpus):
+        with pytest.raises(SamplingError):
+            estimate_spread(corpus, [0], np.ones(2), prefix=10)
+        with pytest.raises(SamplingError):
+            estimate_spread(corpus, [0], np.ones(len(corpus)), prefix=0)

@@ -1,0 +1,93 @@
+"""Tests for repro.ris.lower_bound (Algorithm 3 soundness and tightness)."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.possible_world import exact_weighted_spread
+from repro.exceptions import QueryError
+from repro.geo.weights import DistanceDecay
+from repro.ris.lower_bound import lb_est, tightness_ratio, topk_sum
+
+
+class TestTopkSum:
+    def test_basic(self):
+        w = np.array([3.0, 1.0, 2.0, 5.0])
+        assert topk_sum(w, 2) == 8.0
+
+    def test_all(self):
+        w = np.array([3.0, 1.0, 2.0])
+        assert topk_sum(w, 3) == 6.0
+
+    def test_bad_k(self):
+        with pytest.raises(QueryError):
+            topk_sum(np.ones(3), 0)
+        with pytest.raises(QueryError):
+            topk_sum(np.ones(3), 4)
+
+
+class TestLbEstSoundness:
+    """The bound must never exceed the true optimum — checked exactly."""
+
+    def test_is_true_lower_bound_on_example(self, example_net):
+        decay = DistanceDecay(alpha=0.2)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            q = tuple(rng.uniform(-1, 4, 2))
+            w = decay.weights(example_net.coords, q)
+            for k in (1, 2, 3):
+                bound = lb_est(example_net, w, k)
+                # Exact optimum by brute force over all k-subsets.
+                from itertools import combinations
+
+                opt = max(
+                    exact_weighted_spread(example_net, list(s), w)
+                    for s in combinations(range(example_net.n), k)
+                )
+                assert bound <= opt + 1e-9, (q, k)
+
+    def test_at_least_seed_weight(self, example_net):
+        w = np.ones(example_net.n)
+        assert lb_est(example_net, w, 2) >= 2.0 - 1e-12
+
+    def test_monotone_in_k(self, small_net):
+        w = np.ones(small_net.n)
+        bounds = [lb_est(small_net, w, k) for k in (1, 5, 10, 20)]
+        assert all(bounds[i] <= bounds[i + 1] + 1e-9 for i in range(3))
+
+
+class TestLbEstTightness:
+    def test_tighter_than_topk_on_connected_graphs(self, small_net, medium_net):
+        """Figure 5's claim: LB-EST ratio > 1."""
+        decay = DistanceDecay(alpha=0.02)
+        for net in (small_net, medium_net):
+            center = net.bounding_box().center
+            w = decay.weights(net.coords, center)
+            est, naive, ratio = tightness_ratio(net, w, 10)
+            assert est >= naive
+            assert ratio >= 1.0
+
+    def test_ratio_definition(self, small_net):
+        w = np.ones(small_net.n)
+        est, naive, ratio = tightness_ratio(small_net, w, 5)
+        assert ratio == pytest.approx(est / naive)
+
+
+class TestLbEstValidation:
+    def test_bad_shapes(self, example_net):
+        with pytest.raises(QueryError):
+            lb_est(example_net, np.ones(2), 1)
+
+    def test_bad_k(self, example_net):
+        with pytest.raises(QueryError):
+            lb_est(example_net, np.ones(example_net.n), 0)
+
+    def test_bad_w_max(self, example_net):
+        with pytest.raises(QueryError):
+            lb_est(example_net, np.ones(example_net.n), 1, w_max=-1.0)
+
+    def test_w_max_only_affects_ranking(self, example_net):
+        w = np.linspace(0.5, 1.0, example_net.n)
+        a = lb_est(example_net, w, 2, w_max=1.0)
+        b = lb_est(example_net, w, 2, w_max=100.0)
+        # Scaling the ranking score uniformly cannot change the top-k.
+        assert a == pytest.approx(b)

@@ -1,0 +1,163 @@
+"""Tests for repro.ris.rrset (RR-set sampling correctness)."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.possible_world import exact_activation_probabilities
+from repro.exceptions import GraphError
+from repro.network.graph import GeoSocialNetwork
+from repro.network.probability import assign_weighted_cascade
+from repro.ris.rrset import RRSampler, _binomial_subset
+
+
+class TestBinomialSubset:
+    def test_zero_probability(self):
+        rng = np.random.default_rng(0)
+        out = _binomial_subset(rng, 10, 0.0)
+        assert out.tolist() == []
+
+    def test_probability_one(self):
+        rng = np.random.default_rng(0)
+        out = _binomial_subset(rng, 5, 1.0)
+        assert out.tolist() == [0, 1, 2, 3, 4]
+
+    def test_indices_valid_and_distinct(self):
+        rng = np.random.default_rng(1)
+        for _ in range(300):
+            out = _binomial_subset(rng, 7, 0.4)
+            if out is None:
+                continue
+            assert len(set(out.tolist())) == len(out)
+            assert all(0 <= i < 7 for i in out)
+
+    def test_marginal_rate_matches_p(self):
+        """Each position is selected with probability ~p."""
+        rng = np.random.default_rng(2)
+        deg, p, trials = 6, 0.25, 30000
+        hits = np.zeros(deg)
+        fallbacks = 0
+        for _ in range(trials):
+            out = _binomial_subset(rng, deg, p)
+            if out is None:
+                fallbacks += 1
+                continue
+            hits[out] += 1
+        rates = hits / (trials - fallbacks)
+        assert np.allclose(rates, p, atol=0.02)
+
+
+class TestRRSampler:
+    def test_sample_contains_root(self, example_net):
+        sampler = RRSampler(example_net, seed=0)
+        for _ in range(50):
+            root, members = sampler.sample()
+            assert root in members
+
+    def test_members_sorted_unique(self, example_net):
+        sampler = RRSampler(example_net, seed=1)
+        for _ in range(50):
+            _, members = sampler.sample()
+            assert members.tolist() == sorted(set(members.tolist()))
+
+    def test_fixed_root(self, example_net):
+        sampler = RRSampler(example_net, seed=2)
+        members = sampler.sample_from(4)
+        assert 4 in members
+
+    def test_bad_root_rejected(self, example_net):
+        sampler = RRSampler(example_net, seed=0)
+        with pytest.raises(GraphError):
+            sampler.sample_from(99)
+
+    def test_sample_many(self, example_net):
+        sampler = RRSampler(example_net, seed=3)
+        roots, members = sampler.sample_many(10)
+        assert len(roots) == 10
+        assert len(members) == 10
+
+    def test_negative_count_rejected(self, example_net):
+        with pytest.raises(GraphError):
+            RRSampler(example_net, seed=0).sample_many(-1)
+
+    def test_deterministic_given_seed(self, example_net):
+        a_roots, a_members = RRSampler(example_net, seed=5).sample_many(20)
+        b_roots, b_members = RRSampler(example_net, seed=5).sample_many(20)
+        assert np.array_equal(a_roots, b_roots)
+        for ma, mb in zip(a_members, b_members):
+            assert np.array_equal(ma, mb)
+
+
+class TestSamplingDistribution:
+    """The defining property: P(u in RR(v)) == P(u activates v) == I({u}, v)."""
+
+    def test_membership_rate_matches_exact_activation(self, example_net):
+        net = example_net
+        sampler = RRSampler(net, seed=7)
+        rounds = 30000
+        root = 4
+        counts = np.zeros(net.n)
+        for _ in range(rounds):
+            members = sampler.sample_from(root)
+            counts[members] += 1
+        rates = counts / rounds
+        for u in range(net.n):
+            exact = exact_activation_probabilities(net, [u])[root]
+            assert rates[u] == pytest.approx(exact, abs=0.015), u
+
+    def test_wc_fast_path_matches_generic(self):
+        """Same membership rates with and without the binomial fast path.
+
+        A 100-leaf star into a hub plus a chain off the hub: the hub's
+        in-degree (100) exceeds the binomial threshold, so the fast
+        sampler exercises the binomial path while the perturbed-graph
+        sampler flips per-edge coins.
+        """
+        leaves = 100
+        n = leaves + 2
+        hub, tail = leaves, leaves + 1
+        coords = np.zeros((n, 2))
+        edges = [(i, hub) for i in range(leaves)] + [(hub, tail)]
+        base = GeoSocialNetwork.from_edges(edges, coords)
+        wc = assign_weighted_cascade(base)
+        # Force the generic path by perturbing one probability epsilon.
+        edges_arr, probs = wc.edge_array()
+        probs_generic = probs.copy()
+        probs_generic[0] = max(probs_generic[0] * (1 - 1e-9), 0.0)
+        generic = GeoSocialNetwork(wc.n, edges_arr, probs_generic, wc.coords.copy())
+
+        rounds = 20000
+        s_fast = RRSampler(wc, seed=1)
+        s_slow = RRSampler(generic, seed=2)
+        assert s_fast._uniform_p is not None
+        assert s_slow._uniform_p is None
+        fast_sizes = []
+        slow_sizes = []
+        fast_counts = np.zeros(n)
+        slow_counts = np.zeros(n)
+        for _ in range(rounds):
+            mf = s_fast.sample_from(hub)
+            ms = s_slow.sample_from(hub)
+            fast_sizes.append(len(mf))
+            slow_sizes.append(len(ms))
+            fast_counts[mf] += 1
+            slow_counts[ms] += 1
+        # Expected RR-set size of the hub: 1 + E[Binomial(100, 1/100)] = 2.
+        assert np.mean(fast_sizes) == pytest.approx(2.0, abs=0.05)
+        assert np.mean(fast_sizes) == pytest.approx(
+            np.mean(slow_sizes), rel=0.03
+        )
+        # Each leaf is in RR(hub) with probability 1/100.
+        assert np.allclose(
+            fast_counts[:leaves] / rounds, 0.01, atol=0.005
+        )
+        assert np.allclose(
+            fast_counts[:leaves] / rounds,
+            slow_counts[:leaves] / rounds,
+            atol=0.01,
+        )
+
+    def test_random_root_is_uniform(self, example_net):
+        sampler = RRSampler(example_net, seed=13)
+        roots = np.array([sampler.sample()[0] for _ in range(10000)])
+        freq = np.bincount(roots, minlength=example_net.n) / len(roots)
+        assert np.allclose(freq, 1.0 / example_net.n, atol=0.02)

@@ -1,0 +1,131 @@
+"""Tests for repro.ris.sample_size (Lemmas 5-8, Eq. 12)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import SamplingError
+from repro.ris.sample_size import (
+    GREEDY_FACTOR,
+    epsilon_one,
+    epsilon_two,
+    lemma8_lower_bound,
+    log_binomial,
+    required_sample_size,
+)
+
+
+class TestLogBinomial:
+    @pytest.mark.parametrize(
+        "n,k", [(10, 3), (100, 50), (2000, 30), (5, 0), (5, 5)]
+    )
+    def test_matches_math_comb(self, n, k):
+        assert log_binomial(n, k) == pytest.approx(
+            math.log(math.comb(n, k)) if math.comb(n, k) > 0 else 0.0,
+            abs=1e-9,
+        )
+
+    def test_invalid_rejected(self):
+        with pytest.raises(SamplingError):
+            log_binomial(3, 5)
+        with pytest.raises(SamplingError):
+            log_binomial(-1, 0)
+
+
+class TestEpsilonSplit:
+    def test_eq12_reconciles_l1_and_l2(self):
+        """With eps1 from Eq. 12, the Lemma 5 and Lemma 6 sizes coincide."""
+        n, k = 2000, 30
+        eps0, delta0 = 0.5, 1.0 / n
+        eps1 = epsilon_one(eps0, delta0, n, k)
+        eps2 = eps0 - eps1 * GREEDY_FACTOR
+        # l1 ~ log(2/delta0) / eps1^2 ; l2 ~ (1-1/e) log(2 C / delta0) / eps2^2
+        log_term = math.log(2.0 / delta0)
+        log_choose = log_binomial(n, k) + log_term
+        l1 = log_term / (eps1 * eps1)
+        l2 = GREEDY_FACTOR * log_choose / (eps2 * eps2)
+        assert l1 == pytest.approx(l2, rel=1e-9)
+
+    def test_eps1_positive_and_below_eps0(self):
+        eps1 = epsilon_one(0.5, 0.001, 1000, 20)
+        assert 0 < eps1 < 0.5
+
+    def test_eps2_positive(self):
+        eps2 = epsilon_two(0.5, 0.001, 1000, 20)
+        assert eps2 > 0
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            epsilon_one(0.0, 0.5, 100, 5)
+        with pytest.raises(SamplingError):
+            epsilon_one(0.5, 1.5, 100, 5)
+        with pytest.raises(SamplingError):
+            epsilon_one(0.5, 0.5, 100, 500)
+
+
+class TestRequiredSampleSize:
+    def test_decreases_with_lower_bound(self):
+        base = dict(n=2000, k=30, w_max=1.0, epsilon=0.5, delta=0.001)
+        l_small = required_sample_size(lower_bound=10.0, **base)
+        l_large = required_sample_size(lower_bound=100.0, **base)
+        assert l_large < l_small
+        # Inverse proportionality.
+        assert l_small == pytest.approx(10 * l_large, rel=0.01)
+
+    def test_decreases_with_epsilon(self):
+        base = dict(n=2000, k=30, w_max=1.0, delta=0.001, lower_bound=50.0)
+        assert required_sample_size(epsilon=0.5, **base) < required_sample_size(
+            epsilon=0.2, **base
+        )
+
+    def test_increases_with_n(self):
+        base = dict(k=10, w_max=1.0, epsilon=0.5, delta=0.001, lower_bound=50.0)
+        assert required_sample_size(n=4000, **base) > required_sample_size(
+            n=1000, **base
+        )
+
+    def test_scales_with_w_max(self):
+        base = dict(n=1000, k=10, epsilon=0.5, delta=0.001, lower_bound=50.0)
+        l1 = required_sample_size(w_max=1.0, **base)
+        l2 = required_sample_size(w_max=2.0, **base)
+        assert l2 == pytest.approx(2 * l1, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            required_sample_size(1000, 10, 1.0, 0.5, 0.001, 0.0)
+        with pytest.raises(SamplingError):
+            required_sample_size(1000, 10, 0.0, 0.5, 0.001, 10.0)
+
+    def test_returns_integer(self):
+        l = required_sample_size(500, 5, 1.0, 0.4, 0.01, 20.0)
+        assert isinstance(l, int)
+        assert l > 0
+
+
+class TestLemma8:
+    def test_zero_distance_keeps_factor_only(self):
+        lb = lemma8_lower_bound(100.0, 0.0, 0.01, 0.1, 0.001, 2000, 30)
+        factor = (GREEDY_FACTOR - 0.1) / (
+            GREEDY_FACTOR - 0.1 + epsilon_two(0.1, 0.001, 2000, 30)
+        )
+        assert lb == pytest.approx(100.0 * factor)
+
+    def test_decays_with_distance(self):
+        near = lemma8_lower_bound(100.0, 1.0, 0.01, 0.1, 0.001, 2000, 30)
+        far = lemma8_lower_bound(100.0, 100.0, 0.01, 0.1, 0.001, 2000, 30)
+        assert far < near
+        assert far / near == pytest.approx(math.exp(-0.01 * 99.0))
+
+    def test_bound_below_estimate(self):
+        lb = lemma8_lower_bound(100.0, 5.0, 0.01, 0.1, 0.001, 2000, 30)
+        assert lb < 100.0
+
+    def test_vacuous_epsilon_rejected(self):
+        with pytest.raises(SamplingError):
+            lemma8_lower_bound(100.0, 1.0, 0.01, 0.7, 0.001, 2000, 30)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(SamplingError):
+            lemma8_lower_bound(-1.0, 1.0, 0.01, 0.1, 0.001, 2000, 30)
+        with pytest.raises(SamplingError):
+            lemma8_lower_bound(1.0, -1.0, 0.01, 0.1, 0.001, 2000, 30)

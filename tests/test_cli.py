@@ -1,0 +1,108 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerateAndStats:
+    def test_generate_writes_files(self, tmp_path, capsys):
+        edges = tmp_path / "g.edges"
+        checkins = tmp_path / "g.ci"
+        rc = main([
+            "generate", "--dataset", "brightkite", "--scale", "0.1",
+            "--out-edges", str(edges), "--out-checkins", str(checkins),
+        ])
+        assert rc == 0
+        assert edges.exists() and checkins.exists()
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+    def test_stats_on_generated_files(self, tmp_path, capsys):
+        edges = tmp_path / "g.edges"
+        checkins = tmp_path / "g.ci"
+        main([
+            "generate", "--dataset", "brightkite", "--scale", "0.1",
+            "--out-edges", str(edges), "--out-checkins", str(checkins),
+        ])
+        capsys.readouterr()
+        rc = main(["stats", "--edges", str(edges), "--checkins", str(checkins)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "nodes" in out and "edges" in out
+
+    def test_stats_on_builtin_dataset(self, capsys):
+        rc = main(["stats", "--dataset", "brightkite", "--scale", "0.1"])
+        assert rc == 0
+        assert "nodes" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_mia_query(self, capsys):
+        rc = main([
+            "query", "--dataset", "brightkite", "--scale", "0.1",
+            "--x", "50", "--y", "50", "-k", "5", "--method", "mia",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MIA-DA" in out
+        assert "seeds" in out
+
+    def test_heuristic_query(self, capsys):
+        rc = main([
+            "query", "--dataset", "brightkite", "--scale", "0.1",
+            "--x", "50", "--y", "50", "-k", "3",
+            "--method", "weighted-degree",
+        ])
+        assert rc == 0
+        assert "TopWeightedDegree" in capsys.readouterr().out
+
+    def test_degree_discount_query(self, capsys):
+        rc = main([
+            "query", "--dataset", "brightkite", "--scale", "0.1",
+            "--x", "50", "--y", "50", "-k", "3",
+            "--method", "degree-discount",
+        ])
+        assert rc == 0
+        assert "DegreeDiscount" in capsys.readouterr().out
+
+    def test_network_required(self, capsys):
+        rc = main(["query", "--x", "0", "--y", "0", "-k", "2"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_both_sources_rejected(self, tmp_path, capsys):
+        rc = main([
+            "query", "--dataset", "brightkite", "--edges", "x.edges",
+            "--x", "0", "--y", "0",
+        ])
+        assert rc == 2
+
+
+class TestBuildAndLoadRis:
+    def test_build_then_query_roundtrip(self, tmp_path, capsys):
+        index_path = tmp_path / "idx.npz"
+        rc = main([
+            "build-ris", "--dataset", "brightkite", "--scale", "0.1",
+            "--out", str(index_path), "--k-max", "5", "--pivots", "6",
+            "--epsilon-pivot", "0.4", "--max-samples", "5000",
+        ])
+        assert rc == 0
+        assert index_path.exists()
+        capsys.readouterr()
+        rc = main([
+            "query", "--dataset", "brightkite", "--scale", "0.1",
+            "--x", "50", "--y", "50", "-k", "4", "--method", "ris",
+            "--index", str(index_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "RIS-DA" in out
+
+    def test_adhoc_ris_query_without_index(self, capsys):
+        rc = main([
+            "query", "--dataset", "brightkite", "--scale", "0.1",
+            "--x", "50", "--y", "50", "-k", "3", "--method", "ris",
+        ])
+        assert rc == 0
+        assert "RIS-adhoc" in capsys.readouterr().out

@@ -1,0 +1,172 @@
+"""Cross-module integration tests.
+
+These exercise full user-facing flows: build a dataset, build both
+indexes, answer queries, and cross-check all three methods (MIA-DA,
+RIS-DA, naive MC greedy) against each other and against Monte-Carlo
+ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DistanceDecay,
+    MiaDaConfig,
+    MiaDaIndex,
+    PmiaDa,
+    RisDaConfig,
+    RisDaIndex,
+    load_dataset,
+    monte_carlo_weighted_spread,
+    naive_greedy,
+)
+from repro.bench import evaluate_methods, random_queries
+from repro.mia.pmia import MiaModel
+from repro.network.generators import GeoSocialConfig, generate_geo_social_network
+
+
+@pytest.fixture(scope="module")
+def net():
+    return generate_geo_social_network(
+        GeoSocialConfig(n=300, avg_out_degree=5.0, extent=100.0, city_std=8.0),
+        seed=61,
+    )
+
+
+@pytest.fixture(scope="module")
+def decay():
+    return DistanceDecay(alpha=0.02)
+
+
+@pytest.fixture(scope="module")
+def model(net):
+    return MiaModel(net, theta=0.05)
+
+
+@pytest.fixture(scope="module")
+def mia_index(net, decay, model):
+    return MiaDaIndex(
+        net, decay, MiaDaConfig(theta=0.05, n_anchors=30, tau=100), model=model
+    )
+
+
+@pytest.fixture(scope="module")
+def ris_index(net, decay):
+    cfg = RisDaConfig(
+        k_max=10, n_pivots=12, epsilon_pivot=0.3, max_index_samples=40_000,
+        seed=3,
+    )
+    return RisDaIndex(net, decay, cfg)
+
+
+class TestMethodAgreement:
+    """All methods should find seed sets of comparable quality."""
+
+    def test_spreads_within_factor(self, net, decay, mia_index, ris_index):
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            q = tuple(rng.uniform(20, 80, 2))
+            k = 5
+            w = decay.weights(net.coords, q)
+            mia_seeds = mia_index.query(q, k).seeds
+            ris_seeds = ris_index.query(q, k).seeds
+            mia_spread = monte_carlo_weighted_spread(
+                net, mia_seeds, node_weights=w, rounds=500, seed=1
+            ).value
+            ris_spread = monte_carlo_weighted_spread(
+                net, ris_seeds, node_weights=w, rounds=500, seed=1
+            ).value
+            # Both are near-greedy-optimal; neither should collapse.
+            assert mia_spread > 0.6 * ris_spread
+            assert ris_spread > 0.6 * mia_spread
+
+    def test_index_methods_match_mc_greedy_quality(self, net, decay, ris_index):
+        """RIS-DA should be at least as good as the MC reference (both are
+        1 - 1/e - eps methods; MC rounds here are modest)."""
+        q, k = (50.0, 50.0), 3
+        w = decay.weights(net.coords, q)
+        ris_seeds = ris_index.query(q, k).seeds
+        mc = naive_greedy(net, q, k, decay=decay, rounds=60, seed=2)
+        ris_spread = monte_carlo_weighted_spread(
+            net, ris_seeds, node_weights=w, rounds=800, seed=3
+        ).value
+        mc_spread = monte_carlo_weighted_spread(
+            net, mc.seeds, node_weights=w, rounds=800, seed=3
+        ).value
+        assert ris_spread >= 0.8 * mc_spread
+
+    def test_mia_da_equals_pmia_everywhere(self, net, decay, model, mia_index):
+        pm = PmiaDa(net, model=model)
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            q = tuple(rng.uniform(0, 100, 2))
+            w = decay.weights(net.coords, q)
+            assert mia_index.query(q, 6).seeds == pm.select(w, 6)[0]
+
+
+class TestSeedSetsVaryWithLocation:
+    """The core DAIM premise: different promoted locations, different seeds."""
+
+    def test_distinct_locations_distinct_seeds(self, mia_index, net):
+        corners = [(5.0, 5.0), (95.0, 95.0)]
+        seed_sets = [set(mia_index.query(q, 8).seeds) for q in corners]
+        assert seed_sets[0] != seed_sets[1]
+
+    def test_uniform_weights_location_independent(self, net, model):
+        """With alpha = 0 the query location must not matter (classical IM)."""
+        decay0 = DistanceDecay(alpha=0.0)
+        idx = MiaDaIndex(
+            net, decay0, MiaDaConfig(theta=0.05, n_anchors=5, tau=16),
+            model=model,
+        )
+        a = idx.query((0.0, 0.0), 5).seeds
+        b = idx.query((100.0, 100.0), 5).seeds
+        assert a == b
+
+
+class TestBenchHarnessEndToEnd:
+    def test_evaluate_methods_runs_real_indexes(
+        self, net, decay, mia_index, ris_index
+    ):
+        queries = random_queries(net, 2, seed=9)
+        rows = evaluate_methods(
+            net,
+            {
+                "MIA-DA": lambda q, k: mia_index.query(q, k),
+                "RIS-DA": lambda q, k: ris_index.query(q, k),
+            },
+            queries,
+            k=5,
+            decay=decay,
+            mc_rounds=100,
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row.avg_spread > 0
+            assert row.avg_time_ms > 0
+
+
+class TestDatasetPipeline:
+    def test_load_build_query(self):
+        net = load_dataset("brightkite", scale=0.3, cache=False)
+        decay = DistanceDecay(alpha=0.01)
+        idx = MiaDaIndex(
+            net, decay, MiaDaConfig(theta=0.05, n_anchors=20, tau=50)
+        )
+        center = net.bounding_box().center
+        res = idx.query(center, 10)
+        assert res.k == 10
+        assert res.estimate > 0
+
+    def test_io_roundtrip_preserves_query_results(self, net, decay, tmp_path):
+        from repro import read_network, write_network
+
+        e, c = tmp_path / "edges.txt", tmp_path / "checkins.txt"
+        write_network(net, e, c)
+        net2 = read_network(e, c)
+        m1 = MiaDaIndex(net, decay, MiaDaConfig(n_anchors=10, tau=25, seed=4))
+        m2 = MiaDaIndex(net2, decay, MiaDaConfig(n_anchors=10, tau=25, seed=4))
+        q = (40.0, 40.0)
+        assert m1.query(q, 5).seeds == m2.query(q, 5).seeds

@@ -1,0 +1,273 @@
+"""Property-based tests (hypothesis) on the library's core invariants.
+
+Each class targets one mathematical property the paper's machinery rests
+on; failures here would silently corrupt both indexes, so these run on
+randomly generated structures rather than hand-picked cases.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion.ic import _ragged_arange
+from repro.diffusion.possible_world import (
+    exact_activation_probabilities,
+    exact_weighted_spread,
+)
+from repro.geo.convex import ConvexPolygon, HalfPlane
+from repro.geo.kdtree import KDTree
+from repro.geo.point import BoundingBox
+from repro.geo.weights import DistanceDecay
+from repro.mia.arborescence import build_miia
+from repro.mia.influence import activation_probabilities, linear_coefficients
+from repro.network.graph import GeoSocialNetwork
+from repro.ris.lower_bound import lb_est
+from repro.ris.sample_size import epsilon_one, log_binomial
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+finite_coord = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+point = st.tuples(finite_coord, finite_coord)
+
+
+@st.composite
+def small_digraph(draw):
+    """A random small digraph with probabilities, as a GeoSocialNetwork."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    rng_seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(rng_seed)
+    coords = rng.uniform(-10, 10, size=(n, 2))
+    max_edges = min(n * (n - 1), 12)
+    m = draw(st.integers(min_value=1, max_value=max_edges))
+    pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    idx = rng.choice(len(pairs), size=m, replace=False)
+    edges = [pairs[i] for i in idx]
+    probs = rng.uniform(0.05, 0.95, size=m)
+    return GeoSocialNetwork.from_edges(edges, coords, probs)
+
+
+# ---------------------------------------------------------------------------
+# Decay-weight properties
+# ---------------------------------------------------------------------------
+
+
+class TestDecayProperties:
+    @given(v=point, p=point, q=point, alpha=st.floats(0.0, 0.5))
+    @settings(max_examples=200)
+    def test_shift_bounds_always_bracket(self, v, p, q, alpha):
+        """e^{-a d(p,q)} w(v,p) <= w(v,q) <= e^{+a d(p,q)} w(v,p)."""
+        d = DistanceDecay(alpha=alpha)
+        w_p = d.weight(v, p)
+        w_q = d.weight(v, q)
+        d_pq = math.hypot(p[0] - q[0], p[1] - q[1])
+        lo = d.lower_shift(np.array([w_p]), d_pq)[0]
+        hi = d.upper_shift(np.array([w_p]), d_pq)[0]
+        # Tolerances are relative: exponents up to ~1400 amplify one-ulp
+        # rounding in the distance computation multiplicatively.
+        assert w_q >= lo * (1 - 1e-7) - 1e-12
+        assert w_q <= hi * (1 + 1e-7) + 1e-12
+
+    @given(v=point, q=point, alpha=st.floats(0.0, 0.5))
+    def test_weight_in_unit_interval(self, v, q, alpha):
+        # 0.0 is reachable by float underflow at extreme alpha * distance.
+        w = DistanceDecay(alpha=alpha).weight(v, q)
+        assert 0.0 <= w <= 1.0 + 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Geometry properties
+# ---------------------------------------------------------------------------
+
+
+class TestGeometryProperties:
+    @given(st.lists(point, min_size=1, max_size=60), point)
+    @settings(max_examples=100)
+    def test_kdtree_nearest_equals_brute_force(self, pts, q):
+        arr = np.asarray(pts, dtype=float)
+        tree = KDTree(arr)
+        _, td = tree.nearest(q)
+        bd = float(np.hypot(arr[:, 0] - q[0], arr[:, 1] - q[1]).min())
+        assert td == pytest.approx(bd, abs=1e-9)
+
+    @given(
+        st.floats(-100, 100), st.floats(-100, 100),
+        st.floats(0.1, 50), st.floats(0.1, 50), point,
+    )
+    @settings(max_examples=100)
+    def test_box_min_max_distance_order(self, x, y, w, h, q):
+        box = BoundingBox(x, y, x + w, y + h)
+        assert box.min_distance(q) <= box.max_distance(q) + 1e-12
+
+    @given(point, point)
+    @settings(max_examples=100)
+    def test_clip_never_grows_area(self, keep, other):
+        if keep == other:
+            return
+        poly = ConvexPolygon.from_box(BoundingBox(-50, -50, 50, 50))
+        clipped = poly.clip(HalfPlane.bisector(keep, other))
+        if clipped is not None:
+            assert clipped.area() <= poly.area() + 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Diffusion properties (exact, on tiny random graphs)
+# ---------------------------------------------------------------------------
+
+
+class TestDiffusionProperties:
+    @given(small_digraph(), st.data())
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow],
+              deadline=None)
+    def test_spread_monotone(self, net, data):
+        """I_q(S) <= I_q(T) for S subset T (Lemma 1, monotonicity)."""
+        nodes = list(range(net.n))
+        s_size = data.draw(st.integers(0, net.n - 1))
+        S = nodes[:s_size]
+        extra = data.draw(st.sampled_from(nodes))
+        w = np.abs(np.random.default_rng(0).random(net.n)) + 0.1
+        small = exact_weighted_spread(net, S, w)
+        large = exact_weighted_spread(net, S + [extra], w)
+        assert large >= small - 1e-9
+
+    @given(small_digraph(), st.data())
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow],
+              deadline=None)
+    def test_spread_submodular(self, net, data):
+        """Lemma 1, submodularity, on exact possible-world spreads."""
+        nodes = list(range(net.n))
+        s_size = data.draw(st.integers(0, max(net.n - 2, 0)))
+        t_extra = data.draw(st.integers(0, net.n - 1 - s_size))
+        S = nodes[:s_size]
+        T = nodes[: s_size + t_extra]
+        v = nodes[-1]
+        if v in T:
+            return
+        w = np.abs(np.random.default_rng(1).random(net.n)) + 0.1
+        f = lambda s: exact_weighted_spread(net, s, w)  # noqa: E731
+        assert f(S + [v]) - f(S) >= f(T + [v]) - f(T) - 1e-9
+
+    @given(small_digraph())
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow],
+              deadline=None)
+    def test_activation_probabilities_bounded(self, net):
+        ap = exact_activation_probabilities(net, [0])
+        assert np.all(ap >= -1e-12) and np.all(ap <= 1 + 1e-12)
+        assert ap[0] == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# MIA properties
+# ---------------------------------------------------------------------------
+
+
+class TestMiaProperties:
+    @given(small_digraph(), st.data())
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow],
+              deadline=None)
+    def test_alpha_prediction_identity(self, net, data):
+        """ap_new(root) == ap(root) + alpha(u)(1 - ap(u)) for any tree."""
+        root = data.draw(st.integers(0, net.n - 1))
+        tree = build_miia(net, root, theta=0.01)
+        if len(tree) < 2:
+            return
+        seed_node = data.draw(st.sampled_from(tree.nodes.tolist()))
+        base = {int(seed_node)} if data.draw(st.booleans()) else set()
+        ap = activation_probabilities(tree, base)
+        alpha = linear_coefficients(tree, base, ap)
+        for i in range(len(tree)):
+            u = int(tree.nodes[i])
+            if u in base:
+                continue
+            predicted = ap[0] + alpha[i] * (1 - ap[i])
+            actual = activation_probabilities(tree, base | {u})[0]
+            assert predicted == pytest.approx(actual, abs=1e-9)
+
+    @given(small_digraph(), st.data())
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow],
+              deadline=None)
+    def test_mia_never_exceeds_exact_singleton(self, net, data):
+        """MIA restricts influence to one path per pair, so the singleton
+        activation probability through MIIA is at most the true one."""
+        root = data.draw(st.integers(0, net.n - 1))
+        tree = build_miia(net, root, theta=0.01)
+        for u in tree.nodes.tolist():
+            ap = activation_probabilities(tree, {int(u)})[0]
+            exact = exact_activation_probabilities(net, [int(u)])[root]
+            assert ap <= exact + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# RIS properties
+# ---------------------------------------------------------------------------
+
+
+class TestRisProperties:
+    @given(
+        n=st.integers(10, 5000),
+        k=st.integers(1, 50),
+        eps=st.floats(0.05, 0.6),
+        delta_exp=st.integers(1, 6),
+    )
+    @settings(max_examples=100)
+    def test_epsilon_split_consistent(self, n, k, eps, delta_exp):
+        if k > n:
+            return
+        delta = 10.0 ** (-delta_exp)
+        eps1 = epsilon_one(eps, delta, n, k)
+        assert 0 < eps1 < eps
+        eps2 = eps - eps1 * (1 - 1 / math.e)
+        assert eps2 > 0
+
+    @given(n=st.integers(1, 3000), k=st.integers(0, 3000))
+    @settings(max_examples=100)
+    def test_log_binomial_symmetry(self, n, k):
+        if k > n:
+            return
+        assert log_binomial(n, k) == pytest.approx(
+            log_binomial(n, n - k), abs=1e-6
+        )
+
+    @given(small_digraph(), st.data())
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow],
+              deadline=None)
+    def test_lb_est_sound(self, net, data):
+        """Algorithm 3's output never exceeds the true optimum."""
+        from itertools import combinations
+
+        k = data.draw(st.integers(1, min(net.n, 3)))
+        rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+        w = rng.uniform(0.1, 1.0, net.n)
+        bound = lb_est(net, w, k, w_max=1.0)
+        opt = max(
+            exact_weighted_spread(net, list(s), w)
+            for s in combinations(range(net.n), k)
+        )
+        assert bound <= opt + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Vectorisation helpers
+# ---------------------------------------------------------------------------
+
+
+class TestHelperProperties:
+    @given(st.lists(st.integers(0, 10), min_size=0, max_size=30))
+    def test_ragged_arange_matches_loop(self, counts):
+        arr = np.asarray(counts, dtype=np.int64)
+        want = (
+            np.concatenate([np.arange(c) for c in counts])
+            if counts and sum(counts)
+            else np.empty(0, dtype=np.int64)
+        )
+        got = _ragged_arange(arr)
+        assert got.tolist() == want.tolist()

@@ -1,0 +1,46 @@
+"""Tests for repro.rng."""
+
+import numpy as np
+import pytest
+
+from repro.rng import as_generator, spawn
+
+
+class TestAsGenerator:
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).random(5)
+        b = as_generator(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_none_creates_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_are_independent_of_each_other(self):
+        parent = as_generator(3)
+        kids = spawn(parent, 3)
+        outputs = [k.random(4).tolist() for k in kids]
+        assert outputs[0] != outputs[1]
+        assert outputs[1] != outputs[2]
+
+    def test_spawn_is_deterministic_given_parent_seed(self):
+        a = [g.random(3).tolist() for g in spawn(as_generator(5), 2)]
+        b = [g.random(3).tolist() for g in spawn(as_generator(5), 2)]
+        assert a == b
+
+    def test_zero_children(self):
+        assert spawn(as_generator(0), 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn(as_generator(0), -1)
