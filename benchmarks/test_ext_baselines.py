@@ -10,7 +10,6 @@ top — at millisecond-scale latencies for the heuristics.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import DEFAULT_K, MC_ROUNDS, N_QUERIES, emit
 from repro.bench.reporting import format_table

@@ -9,7 +9,6 @@ diffusion, sensible spreads under both.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import (
     DEFAULT_K,

@@ -29,7 +29,6 @@ from repro.bench.runner import evaluate_spread
 from repro.bench.workloads import random_queries
 from repro.core.mia_da import MiaDaConfig, MiaDaIndex
 from repro.core.ris_da import RisDaConfig, RisDaIndex
-from repro.geo.weights import DistanceDecay
 
 ALPHAS = (0.001, 0.0025, 0.005, 0.01)
 

@@ -10,7 +10,7 @@ The harness prints the same rows/series the paper plots, e.g.::
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence
+from typing import Mapping, Sequence
 
 
 def format_table(

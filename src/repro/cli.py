@@ -84,6 +84,7 @@ def cmd_build_ris(args: argparse.Namespace) -> int:
         epsilon=args.epsilon,
         max_index_samples=args.max_samples,
         seed=args.seed,
+        n_workers=args.workers,
     )
     index = RisDaIndex(network, decay, cfg)
     save_ris_index(index, args.out)
@@ -151,6 +152,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epsilon", type=float, default=0.5)
     p.add_argument("--max-samples", type=int, default=300_000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for RR-set sampling (1 = serial; builds "
+             "are reproducible per (seed, workers) pair)",
+    )
     p.set_defaults(func=cmd_build_ris)
 
     p = sub.add_parser("query", help="answer a DAIM query")

@@ -19,7 +19,6 @@ import heapq
 import time
 from typing import Sequence
 
-import numpy as np
 
 from repro.core.query import SeedResult
 from repro.diffusion.spread import monte_carlo_weighted_spread

@@ -37,7 +37,7 @@ from repro.geo.weights import DistanceDecay
 from repro.mia.influence import activation_probabilities, linear_coefficients
 from repro.mia.pmia import MiaModel
 from repro.network.graph import GeoSocialNetwork
-from repro.rng import RandomLike, as_generator
+from repro.rng import as_generator
 
 
 @dataclass(frozen=True)

@@ -20,7 +20,7 @@ weight vector, which stays polynomial.
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Sequence, Tuple
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -28,7 +28,6 @@ from repro.core.query import SeedResult
 from repro.exceptions import QueryError, SamplingError
 from repro.geo.point import PointLike, as_point
 from repro.geo.weights import DistanceDecay
-from repro.network.graph import GeoSocialNetwork
 from repro.ris.coverage import weighted_greedy_cover
 from repro.ris.sample_size import required_sample_size
 

@@ -34,8 +34,29 @@ PathLike = Union[str, Path]
 _FORMAT_VERSION = 1
 
 
+def _with_npz_suffix(path: PathLike) -> Path:
+    """``path`` with the ``.npz`` suffix ``np.savez`` would give it.
+
+    ``np.savez_compressed`` appends ``.npz`` to any filename not already
+    ending in it, so ``save_ris_index(idx, "index")`` writes
+    ``index.npz``.  Both save and load normalise through this helper so a
+    suffixless path round-trips.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
 def save_ris_index(index: RisDaIndex, path: PathLike) -> None:
-    """Serialise a built RIS-DA index to ``path`` (``.npz``)."""
+    """Serialise a built RIS-DA index to ``path`` (``.npz``).
+
+    A missing ``.npz`` suffix is appended, matching what
+    :func:`numpy.savez_compressed` writes; :func:`load_ris_index` applies
+    the same normalisation, so save/load agree on the file name either
+    way.
+    """
+    path = _with_npz_suffix(path)
     flat, offsets = index.corpus.flat()
     meta = {
         "format_version": _FORMAT_VERSION,
@@ -63,6 +84,7 @@ def save_ris_index(index: RisDaIndex, path: PathLike) -> None:
             "lb_k_grid": index.config.lb_k_grid,
             "diffusion": index.config.diffusion,
             "seed": index.config.seed,
+            "n_workers": index.config.n_workers,
         },
     }
     np.savez_compressed(
@@ -85,6 +107,7 @@ def load_ris_index(path: PathLike, network: GeoSocialNetwork) -> RisDaIndex:
     the original did; it can NOT grow its corpus deterministically (the
     sampler state is fresh), which only matters if the caller mutates it.
     """
+    path = _with_npz_suffix(path)
     with np.load(path) as data:
         meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
         if meta.get("format_version") != _FORMAT_VERSION:
@@ -121,6 +144,7 @@ def load_ris_index(path: PathLike, network: GeoSocialNetwork) -> RisDaIndex:
         lb_k_grid=cfg_raw["lb_k_grid"],
         diffusion=cfg_raw.get("diffusion", "ic"),
         seed=cfg_raw["seed"],
+        n_workers=cfg_raw.get("n_workers", 1),
     )
 
     # Assemble the object without re-running the build.

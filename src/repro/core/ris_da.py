@@ -31,8 +31,8 @@ indexed report ``guarantee_met=False`` in their diagnostics).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,6 +51,7 @@ from repro.network.graph import GeoSocialNetwork
 from repro.ris.corpus import RRCorpus
 from repro.ris.coverage import weighted_greedy_cover
 from repro.ris.lower_bound import lb_est, lb_est_lt
+from repro.ris.parallel import ParallelRRSampler
 from repro.ris.rrset import RRSampler
 from repro.ris.sample_size import lemma8_lower_bound, required_sample_size
 from repro.rng import as_generator
@@ -70,6 +71,12 @@ class RisDaConfig:
     point below ``k`` remains valid for ``k``); 0 means every ``k``.
     ``max_index_samples`` caps the pool size (memory valve; see module
     docs).
+
+    ``n_workers > 1`` samples RR sets over a
+    :class:`~repro.ris.parallel.ParallelRRSampler` worker pool during both
+    offline phases (pivot growth and the Algorithm 5 worst-case top-up).
+    The build stays fully reproducible per ``(seed, n_workers)`` pair;
+    different worker counts yield different, equally valid sample streams.
     """
 
     k_max: int = 50
@@ -83,6 +90,7 @@ class RisDaConfig:
     lb_k_grid: int = 8
     diffusion: str = "ic"
     seed: int = 0
+    n_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.diffusion not in ("ic", "lt"):
@@ -100,6 +108,10 @@ class RisDaConfig:
             )
         if self.max_index_samples <= 0:
             raise QueryError("max_index_samples must be positive")
+        if self.n_workers < 1:
+            raise QueryError(
+                f"n_workers must be at least 1, got {self.n_workers}"
+            )
 
     def resolved_deltas(self, n: int) -> Tuple[float, float]:
         """``(delta_pivot, delta_online)`` with the paper's defaults."""
@@ -163,7 +175,13 @@ class RisDaIndex:
         self.pivots = pivots
         self._pivot_tree = KDTree(pivots)
 
-        self.sampler = RRSampler(net, seed=rng, diffusion=cfg.diffusion)
+        if cfg.n_workers > 1:
+            self.sampler: RRSampler | ParallelRRSampler = ParallelRRSampler(
+                net, seed=rng, diffusion=cfg.diffusion,
+                n_workers=cfg.n_workers,
+            )
+        else:
+            self.sampler = RRSampler(net, seed=rng, diffusion=cfg.diffusion)
         self.corpus = RRCorpus(self.sampler)
 
         # ---- Algorithm 4: pivot information ----
@@ -221,6 +239,10 @@ class RisDaIndex:
         self.index_samples_required = l_max
         l_final = self._capped(max(l_max, len(self.corpus)))
         self.corpus.ensure(l_final)
+        if isinstance(self.sampler, ParallelRRSampler):
+            # Sampling is done; free the workers.  The pool restarts
+            # lazily if the corpus ever grows again.
+            self.sampler.close()
         # Pay the inverted-index build offline; queries then only binary-
         # search prefix cutoffs instead of re-sorting the corpus.
         self.corpus.inverted()
@@ -264,13 +286,17 @@ class RisDaIndex:
 
     def lower_bound_for(self, q: PointLike, k: int) -> Tuple[float, QueryDiagnostics]:
         """Lemma 8 lower bound of ``OPT_q^k`` plus diagnostics skeleton."""
+        delta_pivot, _ = self.config.resolved_deltas(self.network.n)
+        return self._lower_bound_at(as_point(q), k, delta_pivot)
+
+    def _lower_bound_at(
+        self, loc: Tuple[float, float], k: int, delta_pivot: float
+    ) -> Tuple[float, QueryDiagnostics]:
         if not 0 < k <= self.k_max:
             raise QueryError(f"k must be in [1, {self.k_max}], got {k}")
-        loc = as_point(q)
         pi, dist = self._pivot_tree.nearest(loc)
         cfg = self.config
         n = self.network.n
-        delta_pivot, _ = cfg.resolved_deltas(n)
         lb = lemma8_lower_bound(
             float(self.pivot_estimates[pi, k - 1]), dist,
             self.decay.alpha, cfg.epsilon_pivot, delta_pivot, n, k,
@@ -305,12 +331,21 @@ class RisDaIndex:
             if k is None:
                 raise QueryError("k is required when passing a bare location")
             location = as_point(q)
+        deltas = self.config.resolved_deltas(self.network.n)
+        return self._query_at(location, k, return_diagnostics, deltas)
 
+    def _query_at(
+        self,
+        location: Tuple[float, float],
+        k: int,
+        return_diagnostics: bool,
+        deltas: Tuple[float, float],
+    ) -> SeedResult | Tuple[SeedResult, QueryDiagnostics]:
         start = time.perf_counter()
-        lb, diag = self.lower_bound_for(location, k)
         cfg = self.config
         n = self.network.n
-        delta_pivot, delta_online = cfg.resolved_deltas(n)
+        delta_pivot, delta_online = deltas
+        lb, diag = self._lower_bound_at(location, k, delta_pivot)
         if lb <= 0:
             raise SamplingError(
                 f"lower bound collapsed to {lb} at {location}; the pivot "
@@ -351,7 +386,20 @@ class RisDaIndex:
         return result
 
     def query_many(
-        self, locations: Sequence[PointLike], k: int
-    ) -> list[SeedResult]:
-        """Answer a batch of queries with the same budget."""
-        return [self.query(q, k) for q in locations]  # type: ignore[misc]
+        self,
+        locations: Sequence[PointLike],
+        k: int,
+        return_diagnostics: bool = False,
+    ) -> list[SeedResult] | list[Tuple[SeedResult, QueryDiagnostics]]:
+        """Answer a batch of queries with the same budget.
+
+        With ``return_diagnostics`` each element is the same
+        ``(SeedResult, QueryDiagnostics)`` pair :meth:`query` returns.
+        The per-query delta resolution is hoisted out of the loop — the
+        deltas depend only on the network size, not the location.
+        """
+        deltas = self.config.resolved_deltas(self.network.n)
+        return [
+            self._query_at(as_point(q), k, return_diagnostics, deltas)
+            for q in locations
+        ]  # type: ignore[return-value]

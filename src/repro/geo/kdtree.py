@@ -12,7 +12,7 @@ the offline-index / online-query split of the paper.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -18,13 +18,12 @@ Everything is seeded and deterministic given the config.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.exceptions import GraphError
-from repro.geo.point import BoundingBox
 from repro.network.graph import GeoSocialNetwork
 from repro.network.probability import assign_weighted_cascade
 from repro.rng import RandomLike, as_generator

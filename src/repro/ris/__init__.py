@@ -3,6 +3,8 @@
 * :mod:`repro.ris.rrset` — random reverse-reachable set sampling, with a
   binomial fast path for uniform per-node in-edge probabilities (weighted
   cascade);
+* :mod:`repro.ris.parallel` — the same sampling fanned out over a
+  multiprocessing worker pool with deterministic per-chunk RNG streams;
 * :mod:`repro.ris.corpus` — a growable RR-set corpus with flat storage and
   an inverted (node -> samples) index;
 * :mod:`repro.ris.coverage` — the weighted greedy max-coverage of
@@ -18,6 +20,7 @@ from repro.ris.certify import Certificate, certify_seed_set
 from repro.ris.corpus import RRCorpus
 from repro.ris.coverage import CoverageResult, weighted_greedy_cover
 from repro.ris.lower_bound import lb_est, lb_est_lt, topk_sum
+from repro.ris.parallel import ParallelRRSampler
 from repro.ris.rrset import RRSampler
 from repro.ris.sample_size import (
     epsilon_one,
@@ -29,6 +32,7 @@ __all__ = [
     "Certificate",
     "CoverageResult",
     "certify_seed_set",
+    "ParallelRRSampler",
     "RRCorpus",
     "RRSampler",
     "adhoc_ris_query",

@@ -9,7 +9,7 @@ concatenated member array plus offsets (CSR-style); the inverted index
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 
@@ -78,18 +78,54 @@ class RRCorpus:
         return self._members[i]
 
     def ensure(self, count: int) -> int:
-        """Grow the corpus to at least ``count`` samples; returns new size."""
+        """Grow the corpus to at least ``count`` samples; returns new size.
+
+        Samplers exposing ``sample_many_flat`` (both :class:`RRSampler`
+        and :class:`~repro.ris.parallel.ParallelRRSampler`) grow via one
+        flat batch append, so a parallel batch is transferred and stored
+        without per-set copies.
+        """
         if count < 0:
             raise SamplingError(f"sample count must be non-negative, got {count}")
         missing = count - len(self._roots)
         if missing > 0:
-            roots, members = self._sampler.sample_many(missing)
-            self._roots.extend(int(r) for r in roots)
-            self._members.extend(members)
-            self._flat_cache = None
-            self._roots_cache = None
-            self._inverted_cache = None
+            flat_fn = getattr(self._sampler, "sample_many_flat", None)
+            if flat_fn is not None:
+                self.append_flat(*flat_fn(missing))
+            else:
+                roots, members = self._sampler.sample_many(missing)
+                self._roots.extend(int(r) for r in roots)
+                self._members.extend(members)
+                self._invalidate()
         return len(self._roots)
+
+    def append_flat(
+        self, roots: np.ndarray, flat: np.ndarray, offsets: np.ndarray
+    ) -> int:
+        """Append a batch of samples in flat form; returns new size.
+
+        ``flat`` / ``offsets`` follow the :meth:`flat` layout over the
+        batch.  Member arrays are stored as views into the batch, so the
+        append is O(batch) regardless of per-set sizes.
+        """
+        roots = np.asarray(roots, dtype=np.int64)
+        flat = np.asarray(flat, dtype=np.int64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if len(offsets) != len(roots) + 1 or (
+            len(offsets) and offsets[-1] != len(flat)
+        ):
+            raise SamplingError("inconsistent flat batch arrays")
+        self._roots.extend(int(r) for r in roots)
+        self._members.extend(
+            flat[offsets[i] : offsets[i + 1]] for i in range(len(roots))
+        )
+        self._invalidate()
+        return len(self._roots)
+
+    def _invalidate(self) -> None:
+        self._flat_cache = None
+        self._roots_cache = None
+        self._inverted_cache = None
 
     def flat(self) -> tuple[np.ndarray, np.ndarray]:
         """``(flat_members, offsets)`` over the whole corpus.

@@ -29,7 +29,11 @@ class CoverageResult:
 
     ``seeds`` in selection order; ``gains[i]`` the covered-weight increment
     of ``seeds[i]``; ``estimate`` the unbiased spread estimate of Eq. 9 for
-    the full seed set; ``samples_used`` the prefix length;
+    the full seed set; ``samples_used`` the prefix length.  When the sample
+    prefix is exhausted before ``k`` seeds — every positive-weight sample
+    already covered — selection stops early: ``seeds`` is then shorter than
+    ``k`` and the trailing ``gains`` stay 0 (a larger seed set could not
+    cover more of this prefix).
     ``optimal_coverage_upper`` a deterministic upper bound on the covered
     weight of the *best possible* k-set over the same sample prefix (the
     standard submodular bound ``min_i covered(S_i) + top-k residual
@@ -43,9 +47,14 @@ class CoverageResult:
     optimal_coverage_upper: float = float("inf")
 
     def estimate_for_prefix(self, j: int, n_nodes: int) -> float:
-        """Spread estimate for the first ``j`` seeds (greedy is nested)."""
-        if not 0 <= j <= len(self.seeds):
-            raise QueryError(f"prefix {j} out of range [0, {len(self.seeds)}]")
+        """Spread estimate for the first ``j`` seeds (greedy is nested).
+
+        ``j`` may exceed ``len(seeds)`` up to the requested ``k``: past an
+        early stop the extra gains are exactly 0, so the curve is flat
+        (and non-decreasing in ``j`` overall).
+        """
+        if not 0 <= j <= len(self.gains):
+            raise QueryError(f"prefix {j} out of range [0, {len(self.gains)}]")
         covered = float(self.gains[:j].sum())
         return n_nodes * covered / self.samples_used
 
@@ -118,6 +127,12 @@ def weighted_greedy_cover(
         opt_upper = min(opt_upper, covered_weight + topk)
         u = int(np.argmax(score))
         gain = float(score[u])
+        if gain <= 0.0:
+            # Prefix exhausted: every positive-weight sample is covered.
+            # Residual scores are 0 up to float drift (decrements can
+            # leave them at ~-1e-17), so selecting further would record
+            # negative gains and make the estimate non-monotone in k.
+            break
         seeds.append(u)
         gains[it] = gain
         covered_weight += gain

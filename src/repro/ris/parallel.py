@@ -1,0 +1,262 @@
+"""Parallel RR-set sampling over a multiprocessing worker pool.
+
+RR-set generation dominates RIS-DA's offline cost (Algorithms 4–5 both
+grow one shared sample pool) and is parallel by construction: every RR
+set is an independent draw.  :class:`ParallelRRSampler` fans a batch out
+over worker processes while keeping the output **bit-identical** for a
+fixed ``(seed, n_workers)`` pair:
+
+* a batch of ``count`` samples is split into a deterministic *chunk plan*
+  (a function of ``count`` and ``n_workers`` only);
+* the root :class:`numpy.random.SeedSequence` spawns one child sequence
+  per chunk, in plan order — each chunk's RNG stream is therefore fixed
+  regardless of *where* or *when* the chunk executes;
+* chunk results are concatenated in plan order, so scheduler jitter can
+  never reorder the corpus;
+* each chunk travels back as flat ``(roots, flat_members, offsets)``
+  arrays — one pickle per chunk instead of one per RR set.
+
+Because the chunk plan (not the execution mode) defines the output, the
+serial fallback — engaged when ``n_workers <= 1``, when ``force_serial``
+is set, when the batch is too small to amortise pool dispatch, or when
+the pool cannot start (restricted environments) — produces exactly the
+same corpus the pool would have.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError, SamplingError
+from repro.network.graph import GeoSocialNetwork
+from repro.ris.rrset import RRSampler
+from repro.rng import RandomLike, as_seed_sequence
+
+FlatSamples = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+#: Chunks per worker in one batch: > 1 so a slow chunk (hub-heavy RR sets)
+#: doesn't leave the other workers idle at the tail of the batch.
+_CHUNKS_PER_WORKER = 4
+
+#: Below this batch size pool dispatch costs more than it saves; the
+#: chunk plan is unchanged, only the execution stays in-process.
+_MIN_PARALLEL_COUNT = 512
+
+# Per-worker-process state, set once by the pool initializer so each task
+# message carries only (seed_sequence, count).
+_worker_network: GeoSocialNetwork | None = None
+_worker_diffusion: str = "ic"
+
+
+def _init_worker(network: GeoSocialNetwork, diffusion: str) -> None:
+    global _worker_network, _worker_diffusion
+    _worker_network = network
+    _worker_diffusion = diffusion
+
+
+def _sample_chunk(
+    network: GeoSocialNetwork,
+    diffusion: str,
+    seed_seq: np.random.SeedSequence,
+    count: int,
+) -> FlatSamples:
+    """Draw ``count`` RR sets from one chunk's dedicated RNG stream."""
+    sampler = RRSampler(
+        network, seed=np.random.default_rng(seed_seq), diffusion=diffusion
+    )
+    roots, members = sampler.sample_many(count)
+    sizes = np.asarray([len(m) for m in members], dtype=np.int64)
+    offsets = np.zeros(count + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    flat = (
+        np.concatenate(members) if members else np.empty(0, dtype=np.int64)
+    )
+    return roots, flat, offsets
+
+
+def _pool_task(args: tuple[np.random.SeedSequence, int]) -> FlatSamples:
+    seed_seq, count = args
+    assert _worker_network is not None, "worker pool not initialised"
+    return _sample_chunk(_worker_network, _worker_diffusion, seed_seq, count)
+
+
+def _concat_chunks(parts: List[FlatSamples]) -> FlatSamples:
+    roots = np.concatenate([p[0] for p in parts])
+    flat = np.concatenate([p[1] for p in parts])
+    sizes = np.concatenate([np.diff(p[2]) for p in parts])
+    offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    return roots, flat, offsets
+
+
+class ParallelRRSampler:
+    """Samples RR sets in parallel with deterministic per-chunk streams.
+
+    Drop-in for :class:`~repro.ris.rrset.RRSampler` wherever only batch
+    sampling is needed (:meth:`sample_many` / :meth:`sample_many_flat`);
+    :class:`~repro.ris.corpus.RRCorpus` detects the flat path and appends
+    whole batches without per-set copies.
+
+    Parameters
+    ----------
+    network:
+        The network to sample from.
+    seed:
+        Int seed, generator, or ``None`` — coerced into the root
+        :class:`numpy.random.SeedSequence` that all chunk streams descend
+        from (see :func:`repro.rng.as_seed_sequence`).
+    diffusion:
+        ``"ic"`` or ``"lt"``, as for :class:`RRSampler`.
+    n_workers:
+        Worker-process count.  ``1`` never starts a pool.
+    force_serial:
+        Execute the chunk plan in-process even when ``n_workers > 1``
+        (useful in sandboxes that forbid subprocesses); the output is
+        identical to the pooled execution by construction.
+
+    Determinism contract: for a fixed ``(seed, n_workers)`` and the same
+    sequence of batch sizes, the sampled corpus is bit-identical across
+    runs and across execution modes (pool, fallback, ``force_serial``).
+    Different ``n_workers`` values produce different — equally valid —
+    corpora, because the chunk plan is part of the stream layout.
+    """
+
+    def __init__(
+        self,
+        network: GeoSocialNetwork,
+        seed: RandomLike = None,
+        diffusion: str = "ic",
+        n_workers: int = 1,
+        force_serial: bool = False,
+    ):
+        if n_workers < 1:
+            raise SamplingError(
+                f"n_workers must be at least 1, got {n_workers}"
+            )
+        # Validate (diffusion name, LT in-weight feasibility) eagerly with
+        # a throwaway serial sampler, so errors raise here rather than
+        # inside a worker process.
+        RRSampler(network, seed=0, diffusion=diffusion)
+        self.network = network
+        self.diffusion = diffusion
+        self.n_workers = int(n_workers)
+        self.force_serial = bool(force_serial)
+        self._seed_seq = as_seed_sequence(seed)
+        self._pool = None
+        self._pool_broken = False
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def sample_many_flat(self, count: int) -> FlatSamples:
+        """``count`` RR sets as flat ``(roots, flat_members, offsets)``.
+
+        ``flat_members[offsets[i]:offsets[i+1]]`` is sample ``i``'s sorted
+        node set — the same layout :meth:`RRCorpus.flat` uses.
+        """
+        if count < 0:
+            raise GraphError(f"count must be non-negative, got {count}")
+        if count == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), np.zeros(1, dtype=np.int64)
+        sizes = self._chunk_sizes(count)
+        children = self._seed_seq.spawn(len(sizes))
+        tasks = list(zip(children, sizes))
+        parts = self._run_tasks(tasks, count)
+        return _concat_chunks(parts)
+
+    def sample_many(self, count: int) -> tuple[np.ndarray, List[np.ndarray]]:
+        """``count`` RR sets as ``(roots, list-of-member-arrays)``.
+
+        API-compatible with :meth:`RRSampler.sample_many`; prefer
+        :meth:`sample_many_flat` on hot paths.
+        """
+        roots, flat, offsets = self.sample_many_flat(count)
+        members = [
+            flat[offsets[i] : offsets[i + 1]] for i in range(len(roots))
+        ]
+        return roots, members
+
+    def _chunk_sizes(self, count: int) -> List[int]:
+        n_chunks = max(1, min(count, self.n_workers * _CHUNKS_PER_WORKER))
+        base, extra = divmod(count, n_chunks)
+        return [base + (1 if i < extra else 0) for i in range(n_chunks)]
+
+    def _run_tasks(
+        self, tasks: List[tuple[np.random.SeedSequence, int]], count: int
+    ) -> List[FlatSamples]:
+        if count >= _MIN_PARALLEL_COUNT:
+            pool = self._ensure_pool()
+            if pool is not None:
+                try:
+                    return pool.map(_pool_task, tasks)
+                except Exception:
+                    # A dead/poisoned pool (e.g. a worker was killed) must
+                    # not lose the batch: mark it broken and replay the
+                    # identical chunk plan in-process.
+                    self._teardown_pool(broken=True)
+        return [
+            _sample_chunk(self.network, self.diffusion, ss, c)
+            for ss, c in tasks
+        ]
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self.force_serial or self.n_workers <= 1 or self._pool_broken:
+            return None
+        if self._pool is None:
+            try:
+                methods = multiprocessing.get_all_start_methods()
+                # fork shares the network copy-on-write; elsewhere the
+                # initializer ships it once per worker.
+                ctx = multiprocessing.get_context(
+                    "fork" if "fork" in methods else None
+                )
+                self._pool = ctx.Pool(
+                    self.n_workers,
+                    initializer=_init_worker,
+                    initargs=(self.network, self.diffusion),
+                )
+            except (OSError, ValueError, RuntimeError, PermissionError):
+                self._pool_broken = True
+                return None
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker pool (restarted lazily if sampling resumes)."""
+        self._teardown_pool(broken=False)
+
+    def _teardown_pool(self, broken: bool) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.terminate()
+                pool.join()
+            except Exception:
+                pass
+        if broken:
+            self._pool_broken = True
+
+    @property
+    def pool_active(self) -> bool:
+        """Whether a worker pool is currently running."""
+        return self._pool is not None
+
+    def __enter__(self) -> "ParallelRRSampler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self._teardown_pool(broken=False)
+        except Exception:
+            pass

@@ -8,7 +8,7 @@ centralises the coercion so every component behaves identically.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 
@@ -25,6 +25,20 @@ def as_generator(seed: RandomLike = None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def as_seed_sequence(seed: RandomLike) -> np.random.SeedSequence:
+    """Coerce ``seed`` into a root :class:`numpy.random.SeedSequence`.
+
+    An int maps to the canonical sequence for that seed and ``None`` draws
+    OS entropy.  A generator contributes one 64-bit draw — deterministic
+    given the generator's state — so parallel components seeded from a
+    shared generator inherit its reproducibility without entangling their
+    streams with the parent's future output.
+    """
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    return np.random.SeedSequence(seed)
 
 
 def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:

@@ -1,6 +1,5 @@
 """Tests for repro.bench.runner."""
 
-import pytest
 
 from repro.bench.runner import evaluate_methods, evaluate_spread
 from repro.core.query import SeedResult

@@ -1,6 +1,5 @@
 """Tests for repro.core.greedy (Algorithm 1, the MC reference method)."""
 
-import numpy as np
 import pytest
 from itertools import combinations
 

@@ -76,3 +76,94 @@ class TestRoundTrip:
         res, diag = loaded.query((30.0, 30.0), 3, return_diagnostics=True)
         assert diag.lower_bound > 0
         assert res.k == 3
+
+
+class TestSuffixNormalisation:
+    """np.savez appends .npz; save/load must agree on the final name."""
+
+    def test_suffixless_round_trip(self, net, index, tmp_path):
+        path = tmp_path / "index"  # no .npz
+        save_ris_index(index, path)
+        assert (tmp_path / "index.npz").exists()
+        loaded = load_ris_index(path, net)
+        a = index.query((40.0, 60.0), 4)
+        b = loaded.query((40.0, 60.0), 4)
+        assert a.seeds == b.seeds
+
+    def test_mixed_suffix_round_trip(self, net, index, tmp_path):
+        save_ris_index(index, tmp_path / "mixed")
+        loaded = load_ris_index(tmp_path / "mixed.npz", net)
+        assert len(loaded.corpus) == len(index.corpus)
+        save_ris_index(index, tmp_path / "other.npz")
+        loaded = load_ris_index(tmp_path / "other", net)
+        assert len(loaded.corpus) == len(index.corpus)
+
+    def test_non_npz_suffix_round_trip(self, net, index, tmp_path):
+        """A dotted name like index.v2 gets .npz appended, not replaced."""
+        save_ris_index(index, tmp_path / "index.v2")
+        assert (tmp_path / "index.v2.npz").exists()
+        loaded = load_ris_index(tmp_path / "index.v2", net)
+        assert len(loaded.corpus) == len(index.corpus)
+
+
+def _corpus_bytes(index):
+    flat, offsets = index.corpus.flat()
+    return (
+        index.corpus.roots.tobytes(),
+        flat.tobytes(),
+        offsets.tobytes(),
+    )
+
+
+class TestLtAndTruncatedRoundTrip:
+    def test_lt_index_round_trip(self, net, tmp_path):
+        cfg = RisDaConfig(
+            k_max=4, n_pivots=6, epsilon_pivot=0.4,
+            max_index_samples=6_000, diffusion="lt", seed=13,
+        )
+        index = RisDaIndex(net, DistanceDecay(alpha=0.03), cfg)
+        save_ris_index(index, tmp_path / "lt_index.npz")
+        loaded = load_ris_index(tmp_path / "lt_index.npz", net)
+        assert loaded.config.diffusion == "lt"
+        assert loaded.sampler.diffusion == "lt"
+        assert loaded.truncated == index.truncated
+        assert loaded.index_samples_required == index.index_samples_required
+        assert _corpus_bytes(loaded) == _corpus_bytes(index)
+        for q in [(20.0, 20.0), (70.0, 55.0)]:
+            a = index.query(q, 3)
+            b = loaded.query(q, 3)
+            assert a.seeds == b.seeds
+            assert a.estimate == b.estimate
+            assert a.samples_used == b.samples_used
+
+    def test_truncated_index_round_trip(self, net, tmp_path):
+        cfg = RisDaConfig(
+            k_max=5, n_pivots=6, epsilon_pivot=0.4,
+            max_index_samples=300, seed=17,
+        )
+        index = RisDaIndex(net, DistanceDecay(alpha=0.03), cfg)
+        assert index.truncated, "fixture must engage max_index_samples"
+        assert len(index.corpus) == 300
+        save_ris_index(index, tmp_path / "truncated.npz")
+        loaded = load_ris_index(tmp_path / "truncated.npz", net)
+        assert loaded.truncated is True
+        assert loaded.index_samples_required == index.index_samples_required
+        assert loaded.index_samples_required > loaded.config.max_index_samples
+        assert _corpus_bytes(loaded) == _corpus_bytes(index)
+        for q in [(15.0, 85.0), (60.0, 30.0)]:
+            a, diag_a = index.query(q, 4, return_diagnostics=True)
+            b, diag_b = loaded.query(q, 4, return_diagnostics=True)
+            assert a.seeds == b.seeds
+            assert a.estimate == b.estimate
+            assert diag_a == diag_b
+
+    def test_n_workers_round_trips(self, net, tmp_path):
+        cfg = RisDaConfig(
+            k_max=3, n_pivots=4, epsilon_pivot=0.45,
+            max_index_samples=2_000, seed=23, n_workers=2,
+        )
+        index = RisDaIndex(net, DistanceDecay(alpha=0.03), cfg)
+        save_ris_index(index, tmp_path / "workers.npz")
+        loaded = load_ris_index(tmp_path / "workers.npz", net)
+        assert loaded.config == index.config
+        assert loaded.config.n_workers == 2

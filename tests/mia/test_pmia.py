@@ -6,7 +6,6 @@ import pytest
 from repro.exceptions import GraphError, QueryError
 from repro.mia.influence import activation_probabilities
 from repro.mia.pmia import MiaGreedyState, MiaModel, PmiaDa
-from repro.network.graph import GeoSocialNetwork
 
 
 @pytest.fixture

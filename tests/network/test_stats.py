@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.network.graph import GeoSocialNetwork
-from repro.network.stats import NetworkStats, degree_histogram, summarize
+from repro.network.stats import degree_histogram, summarize
 
 
 def tiny() -> GeoSocialNetwork:

@@ -83,6 +83,62 @@ class TestGreedy:
         assert scores[res.seeds[0]] == pytest.approx(scores.max())
 
 
+class TestExhaustedPrefix:
+    """Regression: full coverage before k seeds must not go negative.
+
+    Residual scores after covering everything are 0 only up to float
+    drift (repeated decrements can leave ~-1e-17), so the greedy used to
+    select nodes with negative gain and make ``estimate_for_prefix``
+    non-monotone in k.  Now it stops once ``max(score) <= 0``.
+    """
+
+    @pytest.fixture
+    def covered_corpus(self, example_net):
+        """Every sample contains node 0, so one seed covers the corpus."""
+        sampler = RRSampler(example_net, seed=0)
+        roots = np.array([0, 1, 2, 3, 4, 0], dtype=np.int64)
+        members = [[0], [0, 1], [0, 2], [0, 3], [0, 4], [0, 1, 2]]
+        flat = np.concatenate([np.asarray(m, dtype=np.int64) for m in members])
+        offsets = np.zeros(len(members) + 1, dtype=np.int64)
+        np.cumsum([len(m) for m in members], out=offsets[1:])
+        return RRCorpus.from_arrays(sampler, roots, flat, offsets)
+
+    def test_stops_early_with_no_negative_gains(self, covered_corpus):
+        # Drift-prone irrational-ish weights exercise the float residue.
+        weights = np.array([0.1, 0.2, 0.3, 0.7, 1.1, 0.13])
+        res = weighted_greedy_cover(covered_corpus, weights, k=3)
+        assert res.seeds == [0]
+        assert np.all(res.gains >= 0.0)
+        assert res.gains[0] == pytest.approx(weights.sum())
+        assert np.all(res.gains[1:] == 0.0)
+
+    def test_estimate_for_prefix_non_decreasing(self, covered_corpus):
+        weights = np.array([0.1, 0.2, 0.3, 0.7, 1.1, 0.13])
+        res = weighted_greedy_cover(covered_corpus, weights, k=3)
+        n = covered_corpus.n_nodes
+        estimates = [res.estimate_for_prefix(j, n) for j in range(4)]
+        assert all(
+            estimates[j] <= estimates[j + 1] + 1e-12 for j in range(3)
+        )
+        # Past the early stop the curve is exactly flat at the estimate.
+        assert estimates[1] == estimates[2] == estimates[3]
+        assert estimates[3] == pytest.approx(res.estimate)
+
+    def test_prefix_beyond_gains_rejected(self, covered_corpus):
+        res = weighted_greedy_cover(covered_corpus, np.ones(6), k=2)
+        with pytest.raises(QueryError):
+            res.estimate_for_prefix(3, covered_corpus.n_nodes)
+
+    def test_zero_weight_tail_stops_selection(self, covered_corpus):
+        """Samples with zero weight contribute no score at all."""
+        weights = np.array([1.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+        res = weighted_greedy_cover(covered_corpus, weights, k=4)
+        assert res.seeds == [0]
+        assert res.estimate == pytest.approx(
+            covered_corpus.n_nodes * 1.0 / 6
+        )
+
+
 class TestUnbiasedness:
     """Lemma 3: Eq. 9 is an unbiased estimator of I_q(S)."""
 

@@ -12,7 +12,6 @@ import pytest
 from repro.core.ris_da import RisDaConfig, RisDaIndex
 from repro.diffusion.lt import (
     exact_lt_activation_probabilities,
-    exact_lt_spread,
     lt_spread,
     simulate_lt,
 )

@@ -1,0 +1,231 @@
+"""Tests for repro.ris.parallel (worker-pool RR-set sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError, SamplingError
+from repro.ris.corpus import RRCorpus
+from repro.ris.parallel import ParallelRRSampler
+from repro.ris.rrset import RRSampler
+
+
+class TestValidation:
+    def test_bad_worker_count_rejected(self, example_net):
+        with pytest.raises(SamplingError):
+            ParallelRRSampler(example_net, seed=0, n_workers=0)
+
+    def test_bad_diffusion_rejected(self, example_net):
+        with pytest.raises(GraphError):
+            ParallelRRSampler(example_net, seed=0, diffusion="sir")
+
+    def test_negative_count_rejected(self, example_net):
+        sampler = ParallelRRSampler(example_net, seed=0, n_workers=1)
+        with pytest.raises(GraphError):
+            sampler.sample_many_flat(-1)
+
+    def test_zero_count(self, example_net):
+        sampler = ParallelRRSampler(example_net, seed=0, n_workers=2)
+        roots, flat, offsets = sampler.sample_many_flat(0)
+        assert len(roots) == 0
+        assert len(flat) == 0
+        assert offsets.tolist() == [0]
+        assert not sampler.pool_active
+
+
+class TestFlatLayout:
+    def test_layout_consistent(self, small_net):
+        with ParallelRRSampler(small_net, seed=1, n_workers=2) as sampler:
+            roots, flat, offsets = sampler.sample_many_flat(800)
+        assert len(roots) == 800
+        assert len(offsets) == 801
+        assert offsets[0] == 0
+        assert offsets[-1] == len(flat)
+        assert np.all(np.diff(offsets) >= 1)  # every set contains its root
+        for i in range(0, 800, 97):
+            members = flat[offsets[i] : offsets[i + 1]]
+            assert roots[i] in members
+            assert members.tolist() == sorted(set(members.tolist()))
+
+    def test_sample_many_matches_flat(self, example_net):
+        a = ParallelRRSampler(example_net, seed=7, n_workers=2)
+        b = ParallelRRSampler(example_net, seed=7, n_workers=2)
+        try:
+            roots_f, flat, offsets = a.sample_many_flat(300)
+            roots_m, members = b.sample_many(300)
+        finally:
+            a.close()
+            b.close()
+        assert np.array_equal(roots_f, roots_m)
+        for i, m in enumerate(members):
+            assert np.array_equal(m, flat[offsets[i] : offsets[i + 1]])
+
+
+class TestDeterminism:
+    """The contract: (seed, n_workers) fixes the corpus bit-for-bit."""
+
+    def test_bit_identical_across_runs(self, small_net):
+        a = ParallelRRSampler(small_net, seed=5, n_workers=4)
+        b = ParallelRRSampler(small_net, seed=5, n_workers=4)
+        try:
+            ra, fa, oa = a.sample_many_flat(1200)
+            rb, fb, ob = b.sample_many_flat(1200)
+        finally:
+            a.close()
+            b.close()
+        assert np.array_equal(ra, rb)
+        assert np.array_equal(fa, fb)
+        assert np.array_equal(oa, ob)
+
+    def test_execution_mode_does_not_change_output(self, small_net):
+        """Pool, fallback, and force_serial share one chunk plan."""
+        pooled = ParallelRRSampler(small_net, seed=5, n_workers=4)
+        serial = ParallelRRSampler(
+            small_net, seed=5, n_workers=4, force_serial=True
+        )
+        try:
+            rp, fp, op = pooled.sample_many_flat(1200)
+            rs, fs, os_ = serial.sample_many_flat(1200)
+        finally:
+            pooled.close()
+            serial.close()
+        assert not serial.pool_active
+        assert np.array_equal(rp, rs)
+        assert np.array_equal(fp, fs)
+        assert np.array_equal(op, os_)
+
+    def test_sequential_batches_deterministic(self, example_net):
+        """Batch boundaries are part of the stream: same call sequence,
+        same corpus."""
+        a = ParallelRRSampler(example_net, seed=9, n_workers=2)
+        b = ParallelRRSampler(example_net, seed=9, n_workers=2)
+        try:
+            ra = np.concatenate(
+                [a.sample_many_flat(n)[0] for n in (50, 200, 30)]
+            )
+            rb = np.concatenate(
+                [b.sample_many_flat(n)[0] for n in (50, 200, 30)]
+            )
+        finally:
+            a.close()
+            b.close()
+        assert np.array_equal(ra, rb)
+
+    def test_worker_count_changes_stream(self, example_net):
+        """Different n_workers = different (valid) chunk plans."""
+        a = ParallelRRSampler(example_net, seed=5, n_workers=1)
+        b = ParallelRRSampler(example_net, seed=5, n_workers=3)
+        try:
+            ra = a.sample_many_flat(600)[0]
+            rb = b.sample_many_flat(600)[0]
+        finally:
+            a.close()
+            b.close()
+        assert not np.array_equal(ra, rb)
+
+
+class TestSerialFallback:
+    def test_one_worker_never_pools(self, example_net):
+        sampler = ParallelRRSampler(example_net, seed=0, n_workers=1)
+        sampler.sample_many_flat(600)
+        assert not sampler.pool_active
+
+    def test_small_batches_stay_in_process(self, example_net):
+        sampler = ParallelRRSampler(example_net, seed=0, n_workers=4)
+        sampler.sample_many_flat(100)  # below the dispatch threshold
+        assert not sampler.pool_active
+        sampler.close()
+
+    def test_broken_pool_falls_back(self, small_net, monkeypatch):
+        sampler = ParallelRRSampler(small_net, seed=5, n_workers=4)
+        # Simulate a pool that cannot start: _ensure_pool reports None.
+        monkeypatch.setattr(sampler, "_ensure_pool", lambda: None)
+        reference = ParallelRRSampler(
+            small_net, seed=5, n_workers=4, force_serial=True
+        )
+        try:
+            ra, fa, _ = sampler.sample_many_flat(1200)
+            rb, fb, _ = reference.sample_many_flat(1200)
+        finally:
+            sampler.close()
+            reference.close()
+        assert np.array_equal(ra, rb)
+        assert np.array_equal(fa, fb)
+
+    def test_close_is_idempotent(self, example_net):
+        sampler = ParallelRRSampler(example_net, seed=0, n_workers=2)
+        sampler.sample_many_flat(600)
+        sampler.close()
+        sampler.close()
+        # Sampling after close restarts lazily and stays deterministic.
+        roots, _, _ = sampler.sample_many_flat(600)
+        assert len(roots) == 600
+        sampler.close()
+
+
+class TestDistribution:
+    def test_mean_rr_size_matches_serial_sampler(self, small_net):
+        """Chunked streams sample the same distribution as RRSampler."""
+        serial_roots, serial_members = RRSampler(
+            small_net, seed=21
+        ).sample_many(3000)
+        with ParallelRRSampler(small_net, seed=22, n_workers=2) as par:
+            _, flat, offsets = par.sample_many_flat(3000)
+        serial_mean = np.mean([len(m) for m in serial_members])
+        parallel_mean = np.mean(np.diff(offsets))
+        assert parallel_mean == pytest.approx(serial_mean, rel=0.15)
+
+    def test_roots_uniform(self, example_net):
+        with ParallelRRSampler(example_net, seed=3, n_workers=2) as par:
+            roots, _, _ = par.sample_many_flat(10000)
+        freq = np.bincount(roots, minlength=example_net.n) / len(roots)
+        assert np.allclose(freq, 1.0 / example_net.n, atol=0.02)
+
+    def test_lt_diffusion(self, example_net):
+        with ParallelRRSampler(
+            example_net, seed=4, diffusion="lt", n_workers=2
+        ) as par:
+            roots, flat, offsets = par.sample_many_flat(800)
+        assert len(roots) == 800
+        for i in range(0, 800, 113):
+            assert roots[i] in flat[offsets[i] : offsets[i + 1]]
+
+
+class TestCorpusIntegration:
+    def test_ensure_uses_flat_append(self, small_net):
+        corpus = RRCorpus(ParallelRRSampler(small_net, seed=8, n_workers=2))
+        assert corpus.ensure(900) == 900
+        flat, offsets = corpus.flat()
+        assert offsets[-1] == len(flat)
+        for i in range(0, 900, 151):
+            members = corpus.members(i)
+            assert corpus.roots[i] in members
+            assert np.array_equal(members, flat[offsets[i] : offsets[i + 1]])
+
+    def test_incremental_growth_deterministic(self, small_net):
+        a = RRCorpus(ParallelRRSampler(small_net, seed=8, n_workers=2))
+        a.ensure(200)
+        a.ensure(900)
+        b = RRCorpus(ParallelRRSampler(small_net, seed=8, n_workers=2))
+        b.ensure(200)
+        b.ensure(900)
+        assert a.roots.tolist() == b.roots.tolist()
+        for i in range(0, 900, 149):
+            assert np.array_equal(a.members(i), b.members(i))
+
+    def test_append_flat_validation(self, example_net):
+        corpus = RRCorpus(RRSampler(example_net, seed=0))
+        with pytest.raises(SamplingError):
+            corpus.append_flat(
+                np.zeros(2, dtype=np.int64),
+                np.zeros(3, dtype=np.int64),
+                np.array([0, 1], dtype=np.int64),
+            )
+
+    def test_serial_sampler_flat_path_matches_legacy(self, example_net):
+        """RRSampler corpora are unchanged by the flat append path."""
+        roots, members = RRSampler(example_net, seed=17).sample_many(50)
+        corpus = RRCorpus(RRSampler(example_net, seed=17))
+        corpus.ensure(50)
+        assert corpus.roots.tolist() == roots.tolist()
+        for i in range(50):
+            assert np.array_equal(corpus.members(i), members[i])

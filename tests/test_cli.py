@@ -1,6 +1,5 @@
 """Tests for the command-line interface (repro.cli)."""
 
-import pytest
 
 from repro.cli import main
 
