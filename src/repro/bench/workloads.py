@@ -3,9 +3,10 @@
 The paper's query workload: "query locations are randomly selected from
 the entire space" (Section 5.1), plus Figure 7's partitioning of queries
 into quintiles by the average user-to-query distance.  In addition,
-:func:`sampling_throughput` measures the offline side — serial vs
-parallel RR-set generation — so the benchmark trajectory records the
-worker-pool speedup.
+:func:`sampling_throughput` and :func:`mia_build_throughput` measure the
+offline side — serial vs parallel RR-set generation and MIIA
+construction — so the benchmark trajectory records the worker-pool
+speedups of both indexes.
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ import numpy as np
 from repro.exceptions import QueryError
 from repro.geo.point import Point
 from repro.geo.sampling import sample_uniform_points
+from repro.mia.parallel import ParallelMiaBuilder
 from repro.network.graph import GeoSocialNetwork
 from repro.ris.parallel import ParallelRRSampler
 from repro.rng import RandomLike, as_generator
@@ -130,6 +132,68 @@ def sampling_throughput(
                 entries=int(len(flat)),
                 seconds=elapsed,
                 samples_per_second=n_samples / elapsed if elapsed > 0 else 0.0,
+                speedup=baseline / elapsed if elapsed > 0 else 0.0,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class MiaBuildThroughput:
+    """One row of the MIIA construction-throughput workload."""
+
+    workers: int
+    trees: int
+    entries: int
+    seconds: float
+    trees_per_second: float
+    speedup: float
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "workers": self.workers,
+            "trees": self.trees,
+            "entries": self.entries,
+            "sec": round(self.seconds, 3),
+            "trees/s": int(self.trees_per_second),
+            "speedup": round(self.speedup, 2),
+        }
+
+
+def mia_build_throughput(
+    network: GeoSocialNetwork,
+    workers: Sequence[int] = (1, 2, 4),
+    theta: float = 0.05,
+) -> List[MiaBuildThroughput]:
+    """Serial-vs-parallel MIIA construction throughput.
+
+    Builds all ``n`` arborescences once per worker count in ``workers``
+    and reports wall-clock, throughput, and the speedup over the first
+    entry (conventionally ``workers[0] == 1``, the serial baseline).
+    Unlike RR sampling, the output is bit-identical across worker counts,
+    so rows differ only in wall-clock.
+    """
+    if not workers:
+        raise QueryError("workers must name at least one worker count")
+    rows: List[MiaBuildThroughput] = []
+    baseline: float | None = None
+    for w in workers:
+        builder = ParallelMiaBuilder(network, theta, n_workers=w)
+        try:
+            start = time.perf_counter()
+            members, _, _, _, _ = builder.build_flat()
+            elapsed = time.perf_counter() - start
+        finally:
+            builder.close()
+        if baseline is None:
+            baseline = elapsed
+        rows.append(
+            MiaBuildThroughput(
+                workers=int(w),
+                trees=int(network.n),
+                entries=int(len(members)),
+                seconds=elapsed,
+                trees_per_second=network.n / elapsed if elapsed > 0 else 0.0,
                 speedup=baseline / elapsed if elapsed > 0 else 0.0,
             )
         )

@@ -8,9 +8,11 @@ stats
     Print summary statistics of a dataset or file pair.
 build-ris
     Build a RIS-DA index over a dataset and save it to ``.npz``.
+build-mia
+    Build a MIA-DA index over a dataset and save it to ``.npz``.
 query
-    Answer a DAIM query with MIA-DA, RIS-DA (indexed or ad-hoc), or a
-    heuristic.
+    Answer a DAIM query with MIA-DA (indexed or built on the fly), RIS-DA
+    (indexed or ad-hoc), or a heuristic.
 """
 
 from __future__ import annotations
@@ -21,7 +23,12 @@ from typing import Optional, Sequence
 
 from repro.core.heuristics import degree_discount, top_weighted_degree
 from repro.core.mia_da import MiaDaConfig, MiaDaIndex
-from repro.core.persistence import load_ris_index, save_ris_index
+from repro.core.persistence import (
+    load_mia_index,
+    load_ris_index,
+    save_mia_index,
+    save_ris_index,
+)
 from repro.core.ris_da import RisDaConfig, RisDaIndex
 from repro.exceptions import ReproError
 from repro.geo.weights import DistanceDecay
@@ -97,6 +104,30 @@ def cmd_build_ris(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_build_mia(args: argparse.Namespace) -> int:
+    network = _resolve_network(args)
+    decay = DistanceDecay(c=args.c, alpha=args.alpha)
+    cfg = MiaDaConfig(
+        theta=args.theta,
+        n_anchors=args.anchors,
+        tau=args.tau,
+        n_heavy=args.n_heavy,
+        anchor_strategy=args.anchor_strategy,
+        seed=args.seed,
+        n_workers=args.workers,
+    )
+    index = MiaDaIndex(network, decay, cfg)
+    save_mia_index(index, args.out)
+    print(
+        f"built MIA-DA index in {index.build_seconds:.1f}s: "
+        f"{len(index.model.trees)} arborescences, "
+        f"{len(index.anchor_bounds.anchors)} anchors, "
+        f"{len(index.region_bounds.nodes)} heavy nodes, "
+        f"saved to {args.out}"
+    )
+    return 0
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     network = _resolve_network(args)
     decay = DistanceDecay(c=args.c, alpha=args.alpha)
@@ -106,6 +137,9 @@ def cmd_query(args: argparse.Namespace) -> int:
         result = index.query(q, args.k)
     elif args.method == "ris":
         result = adhoc_ris_query(network, q, args.k, decay, seed=args.seed)
+    elif args.method == "mia" and args.index:
+        mia = load_mia_index(args.index, network)
+        result = mia.query(q, args.k)
     elif args.method == "mia":
         mia = MiaDaIndex(network, decay, MiaDaConfig(seed=args.seed))
         result = mia.query(q, args.k)
@@ -159,6 +193,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_build_ris)
 
+    p = sub.add_parser("build-mia", help="build and save a MIA-DA index")
+    _add_network_args(p)
+    _add_decay_args(p)
+    p.add_argument("--out", required=True, help="output .npz path")
+    p.add_argument("--theta", type=float, default=0.05,
+                   help="MIP pruning threshold (paper default 0.05)")
+    p.add_argument("--anchors", type=int, default=300,
+                   help="anchor-point count |L| (paper default 300)")
+    p.add_argument("--tau", type=int, default=200,
+                   help="region-grid cell budget (paper default 200)")
+    p.add_argument("--n-heavy", type=int, default=None,
+                   help="heavy-node count for region bounds "
+                        "(default: max(32, n/20))")
+    p.add_argument("--anchor-strategy", choices=("uniform", "density"),
+                   default="uniform")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the arborescence build (1 = serial; "
+             "the index is bit-identical for any worker count)",
+    )
+    p.set_defaults(func=cmd_build_mia)
+
     p = sub.add_parser("query", help="answer a DAIM query")
     _add_network_args(p)
     _add_decay_args(p)
@@ -170,7 +227,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("mia", "ris", "weighted-degree", "degree-discount"),
         default="mia",
     )
-    p.add_argument("--index", help="saved RIS-DA index (.npz) for --method ris")
+    p.add_argument(
+        "--index",
+        help="saved index (.npz) for --method ris (build-ris) or "
+             "--method mia (build-mia)",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_query)
     return parser

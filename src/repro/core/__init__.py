@@ -24,7 +24,12 @@ from repro.core.heuristics import (
 from repro.core.keyword import keyword_cover_query
 from repro.core.mia_da import MiaDaConfig, MiaDaIndex
 from repro.core.multi_location import multi_location_weights
-from repro.core.persistence import load_ris_index, save_ris_index
+from repro.core.persistence import (
+    load_mia_index,
+    load_ris_index,
+    save_mia_index,
+    save_ris_index,
+)
 from repro.core.query import DaimQuery, SeedResult
 from repro.core.ris_da import RisDaConfig, RisDaIndex
 
@@ -39,9 +44,11 @@ __all__ = [
     "SeedResult",
     "degree_discount",
     "keyword_cover_query",
+    "load_mia_index",
     "load_ris_index",
     "multi_location_weights",
     "naive_greedy",
+    "save_mia_index",
     "save_ris_index",
     "top_degree",
     "top_weight",

@@ -27,7 +27,6 @@ refines and do not degrade with anchor distance.
 
 from __future__ import annotations
 
-import math
 from typing import Sequence, Tuple
 
 import numpy as np
@@ -82,10 +81,17 @@ class AnchorBounds:
         lower = base * self.decay.shift_factor(d)
         # NOTE: upper_shift's per-weight cap at c does NOT apply here —
         # base is a sum of weights, so the only valid caps are the raised
-        # anchor influence and c times the weight-free mass.
-        upper = np.minimum(
-            base * math.exp(self.decay.alpha * d), self.mass * self.decay.c
-        )
+        # anchor influence and c times the weight-free mass.  Like
+        # upper_shift, the raise runs in log space: alpha * d alone can
+        # overflow exp for far queries or large alpha, but log(base) +
+        # alpha * d is well-behaved and residual overflow saturates to inf
+        # before the mass cap clips it.  Anchor influences that underflowed
+        # to (near) zero carry no usable log information, so the bound
+        # degrades to the c * mass cap there instead.
+        with np.errstate(over="ignore", divide="ignore"):
+            raised = np.exp(np.log(base) + self.decay.alpha * d)
+        raised = np.where(base > 1e-300, raised, np.inf)
+        upper = np.minimum(raised, self.mass * self.decay.c)
         return lower, upper
 
 

@@ -115,10 +115,15 @@ def degree_discount(
     chosen: list[int] = []
     active = np.zeros(network.n, dtype=bool)
     working = score.copy()
+    estimate = 0.0
     for _ in range(k):
         u = int(np.argmax(working))
         chosen.append(u)
         active[u] = True
+        # The heuristic's own objective is the sum of *discounted* scores
+        # at selection time — the base score would double-count mass that
+        # earlier seeds already claimed.
+        estimate += float(working[u])
         working[u] = -np.inf
         # Discount: u's neighbours lose the share of their score that u
         # will already have claimed (their own weight times Pr(u, v)).
@@ -130,7 +135,7 @@ def degree_discount(
                 working[v] -= float(p) * float(w[v])
     return SeedResult(
         seeds=chosen,
-        estimate=float(score[chosen].sum()),
+        estimate=estimate,
         method="DegreeDiscount",
         elapsed=time.perf_counter() - start,
     )

@@ -35,6 +35,7 @@ from repro.geo.point import PointLike
 from repro.geo.sampling import sample_density_pivots, sample_uniform_points
 from repro.geo.weights import DistanceDecay
 from repro.mia.influence import activation_probabilities, linear_coefficients
+from repro.mia.parallel import ParallelMiaBuilder
 from repro.mia.pmia import MiaModel
 from repro.network.graph import GeoSocialNetwork
 from repro.rng import as_generator
@@ -47,7 +48,9 @@ class MiaDaConfig:
     ``n_anchors`` is the paper's ``|L|`` (default 300), ``tau`` the region
     count for heavy-node bounds (default 200), ``theta`` the MIP pruning
     threshold (default 0.05).  ``n_heavy`` bounds how many nodes get a
-    region index; ``None`` picks ``max(32, n // 20)``.
+    region index; ``None`` picks ``max(32, n // 20)``.  ``n_workers`` fans
+    the arborescence build over that many worker processes (``1`` builds
+    serially in-process; the index is bit-identical either way).
     """
 
     theta: float = 0.05
@@ -56,10 +59,20 @@ class MiaDaConfig:
     n_heavy: Optional[int] = None
     anchor_strategy: str = "uniform"
     seed: int = 0
+    n_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.n_anchors <= 0:
             raise QueryError(f"n_anchors must be positive, got {self.n_anchors}")
+        if self.tau <= 0:
+            raise QueryError(f"tau must be positive, got {self.tau}")
+        if self.n_heavy is not None and self.n_heavy <= 0:
+            raise QueryError(
+                f"n_heavy must be positive (or None for automatic sizing), "
+                f"got {self.n_heavy}"
+            )
+        if self.n_workers < 1:
+            raise QueryError(f"n_workers must be at least 1, got {self.n_workers}")
         if self.anchor_strategy not in ("uniform", "density"):
             raise QueryError(
                 f"anchor_strategy must be 'uniform' or 'density', "
@@ -155,9 +168,15 @@ class MiaDaIndex:
         self.decay = decay if decay is not None else DistanceDecay()
         self.config = config if config is not None else MiaDaConfig()
         build_start = time.perf_counter()
-        self.model = (
-            model if model is not None else MiaModel(network, self.config.theta)
-        )
+        if model is not None:
+            self.model = model
+        elif self.config.n_workers > 1:
+            with ParallelMiaBuilder(
+                network, self.config.theta, n_workers=self.config.n_workers
+            ) as builder:
+                self.model = builder.build_model()
+        else:
+            self.model = MiaModel(network, self.config.theta)
         rng = as_generator(self.config.seed)
         if self.config.anchor_strategy == "uniform":
             anchors = sample_uniform_points(

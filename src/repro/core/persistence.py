@@ -1,16 +1,19 @@
-"""Persistence for the RIS-DA index.
+"""Persistence for the RIS-DA and MIA-DA offline indexes.
 
-Index construction is the expensive phase (minutes of sampling at paper
-scale), so a production deployment builds once and serves many processes.
+Index construction is the expensive phase — minutes of RR-set sampling
+for RIS-DA, one theta-pruned Dijkstra *per node* for MIA-DA — so a
+production deployment builds once and serves many processes.
 :func:`save_ris_index` / :func:`load_ris_index` round-trip everything the
-online phase needs — pivots, pivot estimates, the sample corpus, and the
-configuration — into one ``.npz`` file.  The network itself is *not*
-stored (persist it with :func:`repro.network.io.write_network`); loading
-validates that the supplied network matches the saved index.
+RIS online phase needs (pivots, pivot estimates, the sample corpus, the
+configuration); :func:`save_mia_index` / :func:`load_mia_index` do the
+same for MIA-DA (all arborescences as flat CSR arrays, anchor locations
+with their influence matrix and mass vector, and the per-heavy-node
+region masses).  Each format is one versioned ``.npz`` file.
 
-MIA-DA is intentionally not persisted: rebuilding its structures from the
-network takes seconds at any scale this library targets, so a file format
-would only add a compatibility surface.
+The network itself is *not* stored (persist it with
+:func:`repro.network.io.write_network`); loading validates that the
+supplied network matches the saved index by node/edge counts, and each
+loader rejects the other's files by the ``kind`` tag in the metadata.
 """
 
 from __future__ import annotations
@@ -21,10 +24,14 @@ from typing import Union
 
 import numpy as np
 
+from repro.core.bounds import AnchorBounds, RegionBounds
+from repro.core.mia_da import MiaDaConfig, MiaDaIndex
 from repro.core.ris_da import RisDaConfig, RisDaIndex
 from repro.exceptions import DataFormatError
+from repro.geo.grid import UniformGrid
 from repro.geo.kdtree import KDTree
 from repro.geo.weights import DistanceDecay
+from repro.mia.pmia import MiaModel
 from repro.network.graph import GeoSocialNetwork
 from repro.ris.corpus import RRCorpus
 from repro.ris.rrset import RRSampler
@@ -32,6 +39,7 @@ from repro.ris.rrset import RRSampler
 PathLike = Union[str, Path]
 
 _FORMAT_VERSION = 1
+_MIA_FORMAT_VERSION = 1
 
 
 def _with_npz_suffix(path: PathLike) -> Path:
@@ -60,6 +68,7 @@ def save_ris_index(index: RisDaIndex, path: PathLike) -> None:
     flat, offsets = index.corpus.flat()
     meta = {
         "format_version": _FORMAT_VERSION,
+        "kind": "ris",
         "n_nodes": index.network.n,
         "n_edges": index.network.m,
         "k_max": index.k_max,
@@ -110,6 +119,12 @@ def load_ris_index(path: PathLike, network: GeoSocialNetwork) -> RisDaIndex:
     path = _with_npz_suffix(path)
     with np.load(path) as data:
         meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
+        # Pre-"kind" files are all RIS indexes, hence the default.
+        if meta.get("kind", "ris") != "ris":
+            raise DataFormatError(
+                f"{path} holds a {meta['kind']!r} index, not a RIS-DA one "
+                f"(use the matching loader)"
+            )
         if meta.get("format_version") != _FORMAT_VERSION:
             raise DataFormatError(
                 f"unsupported index format {meta.get('format_version')!r}"
@@ -165,5 +180,156 @@ def load_ris_index(path: PathLike, network: GeoSocialNetwork) -> RisDaIndex:
     index.voronoi = None  # only needed during construction
     index.pivot_seconds = 0.0
     index.voronoi_seconds = 0.0
+    index.build_seconds = 0.0
+    return index
+
+
+def save_mia_index(index: MiaDaIndex, path: PathLike) -> None:
+    """Serialise a built MIA-DA index to ``path`` (``.npz``).
+
+    Stores the :class:`~repro.mia.pmia.MiaModel` arborescences as flat
+    CSR arrays, the anchor locations with their influence matrix and mass
+    vector, and the per-heavy-node region ``(cells, masses)`` lists.  A
+    missing ``.npz`` suffix is appended, matching the RIS path's
+    normalisation.
+    """
+    path = _with_npz_suffix(path)
+    members, parents, edge_probs, path_probs, offsets = index.model.flat_trees()
+    region = index.region_bounds
+    region_sizes = np.asarray([len(c) for c in region._cells], dtype=np.int64)
+    region_offsets = np.zeros(len(region.nodes) + 1, dtype=np.int64)
+    np.cumsum(region_sizes, out=region_offsets[1:])
+    meta = {
+        "format_version": _MIA_FORMAT_VERSION,
+        "kind": "mia",
+        "n_nodes": index.network.n,
+        "n_edges": index.network.m,
+        "decay": {
+            "c": index.decay.c,
+            "alpha": index.decay.alpha,
+            "metric": index.decay.metric
+            if isinstance(index.decay.metric, str)
+            else "euclidean",
+        },
+        "config": {
+            "theta": index.config.theta,
+            "n_anchors": index.config.n_anchors,
+            "tau": index.config.tau,
+            "n_heavy": index.config.n_heavy,
+            "anchor_strategy": index.config.anchor_strategy,
+            "seed": index.config.seed,
+            "n_workers": index.config.n_workers,
+        },
+    }
+    empty_i = np.empty(0, dtype=np.int64)
+    empty_f = np.empty(0, dtype=float)
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        tree_members=members,
+        tree_parents=parents,
+        tree_edge_probs=edge_probs,
+        tree_path_probs=path_probs,
+        tree_offsets=offsets,
+        anchors=index.anchor_bounds.anchors,
+        anchor_influence=index.anchor_bounds.influence,
+        anchor_mass=index.anchor_bounds.mass,
+        region_nodes=region.nodes,
+        region_cells=np.concatenate(region._cells) if region._cells else empty_i,
+        region_masses=np.concatenate(region._masses) if region._masses else empty_f,
+        region_offsets=region_offsets,
+    )
+
+
+def load_mia_index(path: PathLike, network: GeoSocialNetwork) -> MiaDaIndex:
+    """Restore a MIA-DA index saved by :func:`save_mia_index`.
+
+    ``network`` must be the same graph the index was built over (checked
+    by node/edge counts).  The returned index answers queries exactly as
+    the original did: arborescences, anchor bounds, and region bounds are
+    reassembled from the stored arrays without re-running any Dijkstra.
+    """
+    path = _with_npz_suffix(path)
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
+        if meta.get("kind", "ris") != "mia":
+            raise DataFormatError(
+                f"{path} holds a {meta.get('kind', 'ris')!r} index, not a "
+                f"MIA-DA one (use the matching loader)"
+            )
+        if meta.get("format_version") != _MIA_FORMAT_VERSION:
+            raise DataFormatError(
+                f"unsupported MIA index format {meta.get('format_version')!r}"
+            )
+        if meta["n_nodes"] != network.n or meta["n_edges"] != network.m:
+            raise DataFormatError(
+                f"index was built over a graph with {meta['n_nodes']} nodes "
+                f"/ {meta['n_edges']} edges; got {network.n} / {network.m}"
+            )
+        flat = (
+            data["tree_members"],
+            data["tree_parents"],
+            data["tree_edge_probs"],
+            data["tree_path_probs"],
+            data["tree_offsets"],
+        )
+        anchors = data["anchors"]
+        anchor_influence = data["anchor_influence"]
+        anchor_mass = data["anchor_mass"]
+        region_nodes = data["region_nodes"]
+        region_cells = data["region_cells"]
+        region_masses = data["region_masses"]
+        region_offsets = data["region_offsets"]
+
+    decay = DistanceDecay(
+        c=float(meta["decay"]["c"]),
+        alpha=float(meta["decay"]["alpha"]),
+        metric=meta["decay"]["metric"],
+    )
+    cfg_raw = meta["config"]
+    config = MiaDaConfig(
+        theta=cfg_raw["theta"],
+        n_anchors=cfg_raw["n_anchors"],
+        tau=cfg_raw["tau"],
+        n_heavy=cfg_raw["n_heavy"],
+        anchor_strategy=cfg_raw["anchor_strategy"],
+        seed=cfg_raw["seed"],
+        n_workers=cfg_raw.get("n_workers", 1),
+    )
+    model = MiaModel.from_flat_trees(network, config.theta, flat)
+
+    # Assemble the bound structures without recomputing any influences.
+    anchor_bounds = AnchorBounds.__new__(AnchorBounds)
+    anchor_bounds.decay = decay
+    anchor_bounds.anchors = anchors
+    anchor_bounds._tree = KDTree(anchors)
+    anchor_bounds.influence = anchor_influence
+    anchor_bounds.mass = anchor_mass
+
+    region_bounds = RegionBounds.__new__(RegionBounds)
+    region_bounds.decay = decay
+    # The grid is a pure function of (bounding box, tau) — identical to
+    # the build-time grid because the network is shape-validated above.
+    region_bounds.grid = UniformGrid.with_cell_budget(
+        network.bounding_box(), config.tau
+    )
+    region_bounds.nodes = region_nodes
+    region_bounds._node_pos = {int(u): i for i, u in enumerate(region_nodes)}
+    region_bounds._cells = [
+        region_cells[region_offsets[i] : region_offsets[i + 1]]
+        for i in range(len(region_nodes))
+    ]
+    region_bounds._masses = [
+        region_masses[region_offsets[i] : region_offsets[i + 1]]
+        for i in range(len(region_nodes))
+    ]
+
+    index = MiaDaIndex.__new__(MiaDaIndex)
+    index.network = network
+    index.decay = decay
+    index.config = config
+    index.model = model
+    index.anchor_bounds = anchor_bounds
+    index.region_bounds = region_bounds
     index.build_seconds = 0.0
     return index

@@ -63,20 +63,27 @@ class Arborescence:
             raise GraphError(f"kind must be 'miia' or 'mioa', got {self.kind!r}")
         if len(self.nodes) == 0 or self.nodes[0] != self.root:
             raise GraphError("arborescence must start at its root")
-        # Local id lookup and children lists are derived once here.
+        # Local id lookup and children lists are derived once here.  This
+        # runs once per tree — n times per model build or index load — so
+        # the children grouping is vectorized (bucket by parent via a
+        # stable argsort) rather than looped.
         object.__setattr__(
             self, "local", {int(g): i for i, g in enumerate(self.nodes)}
         )
-        kids: List[List[int]] = [[] for _ in range(len(self.nodes))]
-        for i in range(1, len(self.nodes)):
-            p = int(self.parent[i])
-            if not 0 <= p < i:
-                raise GraphError(
-                    "parent indices must precede children (topological order)"
-                )
-            kids[p].append(i)
+        n = len(self.nodes)
+        parent = np.asarray(self.parent, dtype=np.int64)
+        child_ids = np.arange(1, n, dtype=np.int64)
+        p = parent[1:]
+        if np.any((p < 0) | (p >= child_ids)):
+            raise GraphError(
+                "parent indices must precede children (topological order)"
+            )
+        order = np.argsort(p, kind="stable")  # stable keeps children ascending
+        counts = np.bincount(p, minlength=n) if n > 1 else np.zeros(n, np.int64)
         object.__setattr__(
-            self, "children", [np.asarray(k, dtype=np.int64) for k in kids]
+            self,
+            "children",
+            np.split(child_ids[order], np.cumsum(counts)[:-1]),
         )
 
     def __len__(self) -> int:

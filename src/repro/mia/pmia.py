@@ -27,6 +27,14 @@ from repro.mia.arborescence import Arborescence, build_miia
 from repro.mia.influence import activation_probabilities, linear_coefficients
 from repro.network.graph import GeoSocialNetwork
 
+#: Flat CSR layout of all arborescences, in root order: ``(members,
+#: parents, edge_probs, path_probs, offsets)`` where tree ``v``'s arrays
+#: live at ``[offsets[v]:offsets[v+1]]`` and ``parents`` holds *local*
+#: indices within each tree (-1 at the root).  This is the transfer format
+#: of :class:`~repro.mia.parallel.ParallelMiaBuilder` and the on-disk
+#: format of :func:`~repro.core.persistence.save_mia_index`.
+FlatTrees = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
 
 class MiaModel:
     """Pre-built MIA structures for a network at a given ``theta``.
@@ -38,16 +46,31 @@ class MiaModel:
     theta:
         MIP pruning threshold (paper default 0.05): pairs whose best path
         has probability below ``theta`` do not influence each other.
+    trees:
+        Pre-built ``MIIA(v)`` arborescences, one per node in node order.
+        ``None`` (the default) builds them serially here; a parallel build
+        passes the trees it assembled from worker chunks.
     """
 
-    def __init__(self, network: GeoSocialNetwork, theta: float = 0.05):
+    def __init__(
+        self,
+        network: GeoSocialNetwork,
+        theta: float = 0.05,
+        trees: List[Arborescence] | None = None,
+    ):
         if not 0.0 < theta <= 1.0:
             raise GraphError(f"theta must be in (0, 1], got {theta}")
         self.network = network
         self.theta = float(theta)
-        self.trees: List[Arborescence] = [
-            build_miia(network, v, theta) for v in range(network.n)
-        ]
+        if trees is None:
+            trees = [build_miia(network, v, theta) for v in range(network.n)]
+        elif len(trees) != network.n or any(
+            t.root != v for v, t in enumerate(trees)
+        ):
+            raise GraphError(
+                "trees must hold exactly one MIIA per node, in node order"
+            )
+        self.trees: List[Arborescence] = trees
         # Flat membership index: entry j says node flat_member[j] belongs to
         # MIIA(flat_root[j]) with path probability flat_prob[j].  Grouped by
         # member via a CSR-like offsets array for fast "which roots does u
@@ -69,6 +92,59 @@ class MiaModel:
         self._member_offsets = np.zeros(network.n + 1, dtype=np.int64)
         np.add.at(self._member_offsets, self._flat_member + 1, 1)
         np.cumsum(self._member_offsets, out=self._member_offsets)
+
+    @classmethod
+    def from_flat_trees(
+        cls,
+        network: GeoSocialNetwork,
+        theta: float,
+        flat: FlatTrees,
+    ) -> "MiaModel":
+        """Rebuild a model from the :data:`FlatTrees` CSR layout.
+
+        The inverse of :meth:`flat_trees`; used by the parallel builder and
+        the persistence layer.  Rebuilding is exact: the arborescences come
+        back with identical arrays, so the resulting model is
+        indistinguishable from a serial in-process build.
+        """
+        members, parents, edge_probs, path_probs, offsets = flat
+        if len(offsets) != network.n + 1:
+            raise GraphError(
+                f"flat trees describe {len(offsets) - 1} roots for a "
+                f"{network.n}-node network"
+            )
+        trees: List[Arborescence] = []
+        for v in range(network.n):
+            lo, hi = int(offsets[v]), int(offsets[v + 1])
+            trees.append(
+                Arborescence(
+                    root=v,
+                    nodes=members[lo:hi],
+                    parent=parents[lo:hi],
+                    edge_prob=edge_probs[lo:hi],
+                    path_prob=path_probs[lo:hi],
+                    kind="miia",
+                )
+            )
+        return cls(network, theta, trees=trees)
+
+    def flat_trees(self) -> FlatTrees:
+        """All arborescences as one :data:`FlatTrees` CSR block.
+
+        Tree ``v`` occupies ``[offsets[v]:offsets[v+1]]`` of each array;
+        concatenation order is node order, so two models over the same
+        network agree byte-for-byte iff their trees do.
+        """
+        sizes = np.asarray([len(t) for t in self.trees], dtype=np.int64)
+        offsets = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        return (
+            np.concatenate([t.nodes for t in self.trees]),
+            np.concatenate([t.parent for t in self.trees]),
+            np.concatenate([t.edge_prob for t in self.trees]),
+            np.concatenate([t.path_prob for t in self.trees]),
+            offsets,
+        )
 
     @property
     def n(self) -> int:

@@ -62,6 +62,52 @@ class TestAnchorBounds:
         assert idx == 5
         assert dist == pytest.approx(0.0, abs=1e-12)
 
+    def test_far_query_does_not_overflow(self, setup):
+        """Regression: alpha * d > ~709 used to raise OverflowError in
+        math.exp; the bound must degrade to the c * mass cap instead."""
+        net, model, decay, anchors = setup
+        ab = AnchorBounds(model, decay, anchors)
+        # alpha=0.03, d ~ 4.2e7 => alpha * d ~ 1.3e6, far past exp range.
+        q = (3e7, 3e7)
+        lower, upper = ab.bounds(q)
+        assert np.all(np.isfinite(lower))
+        assert np.all(np.isfinite(upper))
+        assert np.all(lower <= upper + 1e-12)
+        assert np.all(upper <= ab.mass * decay.c + 1e-12)
+        w = decay.weights(net.coords, q)
+        truth = model.singleton_influences(w)
+        assert np.all(truth <= upper + 1e-9)
+        assert np.all(truth >= lower - 1e-9)
+
+    def test_large_alpha_far_query(self, setup):
+        """Fig. 8's alpha sweep at alpha = 1.0 with a distant query."""
+        net, model, _, anchors = setup
+        decay = DistanceDecay(alpha=1.0)
+        ab = AnchorBounds(model, decay, anchors)
+        for q in [(1e4, 1e4), (1e6, -1e6), (-1e6, 0.0)]:
+            lower, upper = ab.bounds(q)
+            assert np.all(np.isfinite(upper)), q
+            assert np.all(lower <= upper + 1e-12)
+            truth = model.singleton_influences(decay.weights(net.coords, q))
+            assert np.all(truth <= upper + 1e-9)
+            assert np.all(truth >= lower - 1e-9)
+
+    def test_moderate_distances_unchanged(self, setup):
+        """The log-space path must agree with the direct formula where the
+        direct formula is representable."""
+        net, model, decay, anchors = setup
+        ab = AnchorBounds(model, decay, anchors)
+        import math
+
+        q = (140.0, -30.0)
+        a, d = ab.nearest_anchor(q)
+        base = ab.influence[a]
+        direct = np.minimum(
+            base * math.exp(decay.alpha * d), ab.mass * decay.c
+        )
+        _, upper = ab.bounds(q)
+        assert np.allclose(upper, direct, rtol=1e-12)
+
     def test_tighter_with_more_anchors(self, setup):
         """Average upper-lower gap shrinks as anchors densify."""
         net, model, decay, _ = setup

@@ -90,6 +90,38 @@ class TestDegreeDiscount:
         res = degree_discount(net, (0.0, 0.0), 2, DistanceDecay(alpha=0.0))
         assert set(res.seeds) == {0, 5}
 
+    def test_estimate_uses_discounted_scores(self):
+        """Regression: the estimate summed *undiscounted* base scores,
+        overstating the heuristic's own objective whenever a pick had
+        been discounted by an earlier seed."""
+        import numpy as np
+        from repro.network.graph import GeoSocialNetwork
+
+        # 0 -> 1 -> 2: picking 0 discounts 1, so the k=2 estimate must be
+        # strictly below the undiscounted score sum.
+        coords = np.zeros((3, 2))
+        net = GeoSocialNetwork.from_edges(
+            [(0, 1), (1, 2)], coords, [0.5, 0.5]
+        )
+        decay = DistanceDecay(alpha=0.0)
+        res = degree_discount(net, (0.0, 0.0), 2, decay)
+        # Base scores: node 0 = 1 + 0.5, node 1 = 1 + 0.5, node 2 = 1.
+        # Picks: 0 first, then 1 at its discounted value 1.5 - 0.5 = 1.0.
+        assert res.seeds[0] == 0
+        assert res.estimate == pytest.approx(1.5 + 1.0)
+
+    def test_per_pick_gain_non_increasing(self, medium_net):
+        """Discounts only ever lower scores, so the marginal estimate of
+        each successive pick must be non-increasing."""
+        decay = DistanceDecay(alpha=0.02)
+        q = (50.0, 50.0)
+        estimates = [
+            degree_discount(medium_net, q, k, decay).estimate
+            for k in range(1, 9)
+        ]
+        gains = np.diff([0.0] + estimates)
+        assert all(g1 >= g2 - 1e-9 for g1, g2 in zip(gains, gains[1:]))
+
     def test_quality_beats_top_weight_on_average(self, medium_net):
         """Degree discount should out-spread the pure proximity pick."""
         from repro.diffusion.spread import monte_carlo_weighted_spread

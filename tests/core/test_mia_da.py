@@ -47,6 +47,27 @@ class TestConfig:
         with pytest.raises(QueryError):
             MiaDaConfig(anchor_strategy="magic")
 
+    def test_bad_tau(self):
+        with pytest.raises(QueryError, match="tau"):
+            MiaDaConfig(tau=0)
+        with pytest.raises(QueryError, match="tau"):
+            MiaDaConfig(tau=-5)
+
+    def test_bad_n_heavy(self):
+        """Regression: n_heavy=0 used to surface as a cryptic argpartition
+        'kth out of bounds' error inside MiaDaIndex.__init__."""
+        with pytest.raises(QueryError, match="n_heavy"):
+            MiaDaConfig(n_heavy=0)
+        with pytest.raises(QueryError, match="n_heavy"):
+            MiaDaConfig(n_heavy=-3)
+
+    def test_none_n_heavy_allowed(self):
+        assert MiaDaConfig(n_heavy=None).n_heavy is None
+
+    def test_bad_n_workers(self):
+        with pytest.raises(QueryError, match="n_workers"):
+            MiaDaConfig(n_workers=0)
+
 
 class TestQueryBasics:
     def test_returns_k_seeds(self, index):
@@ -137,3 +158,41 @@ class TestBoundsIntegration:
         close_est = index.query(centroid, 5).estimate
         far_est = index.query(far, 5).estimate
         assert close_est > far_est
+
+    def test_node_bounds_valid_far_outside_box(self, net, model, index):
+        """lower <= exact <= upper must hold (and stay finite) for query
+        points far outside the bounding box — the overflow regression of
+        AnchorBounds.bounds seen through the index."""
+        for q in [(1e4, 1e4), (-1e5, 3e5), (1e8, -1e8)]:
+            w = index.decay.weights(net.coords, q)
+            truth = model.singleton_influences(w)
+            lower, upper = index.node_bounds(q)
+            assert np.all(np.isfinite(lower)), q
+            assert np.all(np.isfinite(upper)), q
+            assert np.all(truth <= upper + 1e-9), q
+            assert np.all(truth >= lower - 1e-9), q
+
+    def test_far_query_still_answers(self, index):
+        res = index.query((1e7, 1e7), 3)
+        assert res.k == 3
+        assert np.isfinite(res.estimate)
+
+
+class TestParallelBuild:
+    def test_parallel_index_matches_serial(self, net):
+        """MiaDaConfig(n_workers=4) must produce a bit-identical flat
+        index and identical query answers to the serial build."""
+        decay = DistanceDecay(alpha=0.03)
+        cfg = dict(theta=0.03, n_anchors=16, tau=64, seed=2)
+        serial = MiaDaIndex(net, decay, MiaDaConfig(**cfg, n_workers=1))
+        parallel = MiaDaIndex(net, decay, MiaDaConfig(**cfg, n_workers=4))
+        for a, b in zip(serial.model.flat_trees(), parallel.model.flat_trees()):
+            assert a.tobytes() == b.tobytes()
+        assert np.array_equal(
+            serial.anchor_bounds.influence, parallel.anchor_bounds.influence
+        )
+        for q in [(20.0, 20.0), (80.0, 60.0)]:
+            ra = serial.query(q, 5)
+            rb = parallel.query(q, 5)
+            assert ra.seeds == rb.seeds
+            assert ra.estimate == rb.estimate

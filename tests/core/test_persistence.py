@@ -1,9 +1,15 @@
-"""Tests for repro.core.persistence (RIS-DA index save/load)."""
+"""Tests for repro.core.persistence (RIS-DA and MIA-DA index save/load)."""
 
 import numpy as np
 import pytest
 
-from repro.core.persistence import load_ris_index, save_ris_index
+from repro.core.mia_da import MiaDaConfig, MiaDaIndex
+from repro.core.persistence import (
+    load_mia_index,
+    load_ris_index,
+    save_mia_index,
+    save_ris_index,
+)
 from repro.core.ris_da import RisDaConfig, RisDaIndex
 from repro.exceptions import DataFormatError
 from repro.geo.weights import DistanceDecay
@@ -167,3 +173,107 @@ class TestLtAndTruncatedRoundTrip:
         loaded = load_ris_index(tmp_path / "workers.npz", net)
         assert loaded.config == index.config
         assert loaded.config.n_workers == 2
+
+
+@pytest.fixture(scope="module")
+def mia_index(net):
+    cfg = MiaDaConfig(
+        theta=0.03, n_anchors=16, tau=64, n_heavy=20, seed=5, n_workers=2,
+    )
+    return MiaDaIndex(net, DistanceDecay(alpha=0.03), cfg)
+
+
+class TestMiaRoundTrip:
+    def test_identical_query_results(self, net, mia_index, tmp_path):
+        path = tmp_path / "mia.npz"
+        save_mia_index(mia_index, path)
+        loaded = load_mia_index(path, net)
+        for q in [(10.0, 10.0), (50.0, 80.0), (90.0, 20.0), (500.0, 500.0)]:
+            a = mia_index.query(q, 4)
+            b = loaded.query(q, 4)
+            assert a.seeds == b.seeds
+            assert a.estimate == b.estimate
+            assert a.evaluations == b.evaluations
+
+    def test_flat_arrays_byte_identical(self, net, mia_index, tmp_path):
+        path = tmp_path / "mia.npz"
+        save_mia_index(mia_index, path)
+        loaded = load_mia_index(path, net)
+        for a, b in zip(mia_index.model.flat_trees(), loaded.model.flat_trees()):
+            assert a.tobytes() == b.tobytes()
+
+    def test_bound_structures_preserved(self, net, mia_index, tmp_path):
+        path = tmp_path / "mia.npz"
+        save_mia_index(mia_index, path)
+        loaded = load_mia_index(path, net)
+        assert np.array_equal(
+            loaded.anchor_bounds.anchors, mia_index.anchor_bounds.anchors
+        )
+        assert np.array_equal(
+            loaded.anchor_bounds.influence, mia_index.anchor_bounds.influence
+        )
+        assert np.array_equal(
+            loaded.anchor_bounds.mass, mia_index.anchor_bounds.mass
+        )
+        assert np.array_equal(
+            loaded.region_bounds.nodes, mia_index.region_bounds.nodes
+        )
+        for q in [(25.0, 25.0), (-40.0, 160.0)]:
+            lo_a, hi_a = mia_index.node_bounds(q)
+            lo_b, hi_b = loaded.node_bounds(q)
+            assert np.array_equal(lo_a, lo_b)
+            assert np.array_equal(hi_a, hi_b)
+
+    def test_config_and_decay_preserved(self, net, mia_index, tmp_path):
+        path = tmp_path / "mia.npz"
+        save_mia_index(mia_index, path)
+        loaded = load_mia_index(path, net)
+        assert loaded.config == mia_index.config
+        assert loaded.decay.alpha == mia_index.decay.alpha
+        assert loaded.decay.c == mia_index.decay.c
+
+    def test_default_n_heavy_round_trips(self, net, tmp_path):
+        index = MiaDaIndex(
+            net,
+            DistanceDecay(alpha=0.03),
+            MiaDaConfig(theta=0.03, n_anchors=8, tau=32),  # n_heavy=None
+        )
+        save_mia_index(index, tmp_path / "auto_heavy.npz")
+        loaded = load_mia_index(tmp_path / "auto_heavy.npz", net)
+        assert loaded.config.n_heavy is None
+        assert np.array_equal(
+            loaded.region_bounds.nodes, index.region_bounds.nodes
+        )
+
+    def test_suffixless_round_trip(self, net, mia_index, tmp_path):
+        save_mia_index(mia_index, tmp_path / "mia")  # no .npz
+        assert (tmp_path / "mia.npz").exists()
+        loaded = load_mia_index(tmp_path / "mia", net)
+        assert loaded.query((40.0, 60.0), 4).seeds == mia_index.query(
+            (40.0, 60.0), 4
+        ).seeds
+
+    def test_wrong_network_rejected(self, mia_index, tmp_path):
+        path = tmp_path / "mia.npz"
+        save_mia_index(mia_index, path)
+        other = generate_geo_social_network(
+            GeoSocialConfig(n=80, avg_out_degree=3.0, extent=50.0), seed=1
+        )
+        with pytest.raises(DataFormatError, match="built over a graph"):
+            load_mia_index(path, other)
+
+
+class TestKindCrossCheck:
+    """Each loader must reject the other format with a clear message."""
+
+    def test_ris_loader_rejects_mia_file(self, net, mia_index, tmp_path):
+        path = tmp_path / "mia.npz"
+        save_mia_index(mia_index, path)
+        with pytest.raises(DataFormatError, match="not a RIS-DA"):
+            load_ris_index(path, net)
+
+    def test_mia_loader_rejects_ris_file(self, net, index, tmp_path):
+        path = tmp_path / "ris.npz"
+        save_ris_index(index, path)
+        with pytest.raises(DataFormatError, match="not a MIA-DA"):
+            load_mia_index(path, net)

@@ -1,0 +1,132 @@
+"""Tests for repro.mia.parallel (worker-pool MIIA construction)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.mia.parallel import ParallelMiaBuilder
+from repro.mia.pmia import MiaModel
+
+
+def _flat_equal(a, b):
+    return all(np.array_equal(xa, xb) for xa, xb in zip(a, b))
+
+
+class TestValidation:
+    def test_bad_worker_count_rejected(self, example_net):
+        with pytest.raises(GraphError):
+            ParallelMiaBuilder(example_net, n_workers=0)
+
+    def test_bad_theta_rejected(self, example_net):
+        with pytest.raises(GraphError):
+            ParallelMiaBuilder(example_net, theta=0.0)
+        with pytest.raises(GraphError):
+            ParallelMiaBuilder(example_net, theta=1.5)
+
+
+class TestChunkPlan:
+    def test_plan_covers_node_range(self, small_net):
+        builder = ParallelMiaBuilder(small_net, n_workers=3)
+        plan = builder._chunk_plan(small_net.n)
+        assert plan[0][0] == 0
+        assert sum(c for _, c in plan) == small_net.n
+        for (s1, c1), (s2, _) in zip(plan, plan[1:]):
+            assert s1 + c1 == s2
+
+    def test_plan_depends_only_on_inputs(self, small_net):
+        a = ParallelMiaBuilder(small_net, n_workers=2)._chunk_plan(100)
+        b = ParallelMiaBuilder(small_net, n_workers=2)._chunk_plan(100)
+        assert a == b
+
+
+class TestParity:
+    """The contract: the flat index is byte-identical to the serial build
+    for every worker count and execution mode."""
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_matches_serial_model(self, small_net, n_workers):
+        serial = MiaModel(small_net, 0.03).flat_trees()
+        with ParallelMiaBuilder(
+            small_net, 0.03, n_workers=n_workers
+        ) as builder:
+            parallel = builder.build_flat()
+        assert _flat_equal(serial, parallel)
+
+    def test_force_serial_matches_pool(self, small_net):
+        pooled = ParallelMiaBuilder(small_net, 0.03, n_workers=4)
+        serial = ParallelMiaBuilder(
+            small_net, 0.03, n_workers=4, force_serial=True
+        )
+        try:
+            a = pooled.build_flat()
+            b = serial.build_flat()
+        finally:
+            pooled.close()
+            serial.close()
+        assert not serial.pool_active
+        assert _flat_equal(a, b)
+
+    def test_build_model_equals_direct_model(self, small_net):
+        with ParallelMiaBuilder(small_net, 0.03, n_workers=2) as builder:
+            model = builder.build_model()
+        reference = MiaModel(small_net, 0.03)
+        assert len(model.trees) == len(reference.trees)
+        for t, r in zip(model.trees, reference.trees):
+            assert t.root == r.root
+            assert np.array_equal(t.nodes, r.nodes)
+            assert np.array_equal(t.parent, r.parent)
+            assert np.array_equal(t.edge_prob, r.edge_prob)
+            assert np.array_equal(t.path_prob, r.path_prob)
+        w = np.linspace(0.1, 1.0, small_net.n)
+        assert np.allclose(
+            model.singleton_influences(w), reference.singleton_influences(w)
+        )
+
+    def test_broken_pool_falls_back(self, small_net, monkeypatch):
+        builder = ParallelMiaBuilder(small_net, 0.03, n_workers=4)
+        monkeypatch.setattr(builder, "_ensure_pool", lambda: None)
+        reference = MiaModel(small_net, 0.03).flat_trees()
+        try:
+            assert _flat_equal(builder.build_flat(), reference)
+        finally:
+            builder.close()
+
+
+class TestSerialFallback:
+    def test_one_worker_never_pools(self, small_net):
+        builder = ParallelMiaBuilder(small_net, 0.03, n_workers=1)
+        builder.build_flat()
+        assert not builder.pool_active
+
+    def test_small_graphs_stay_in_process(self, example_net):
+        builder = ParallelMiaBuilder(example_net, 0.03, n_workers=4)
+        builder.build_flat()  # 5 nodes, below the dispatch threshold
+        assert not builder.pool_active
+        builder.close()
+
+    def test_close_is_idempotent(self, small_net):
+        builder = ParallelMiaBuilder(small_net, 0.03, n_workers=2)
+        builder.build_flat()
+        builder.close()
+        builder.close()
+        # Building after close restarts lazily and stays identical.
+        again = builder.build_flat()
+        assert _flat_equal(again, MiaModel(small_net, 0.03).flat_trees())
+        builder.close()
+
+
+class TestFlatRoundTrip:
+    def test_from_flat_trees_round_trips(self, small_net):
+        model = MiaModel(small_net, 0.03)
+        rebuilt = MiaModel.from_flat_trees(small_net, 0.03, model.flat_trees())
+        assert _flat_equal(model.flat_trees(), rebuilt.flat_trees())
+        for u in range(0, small_net.n, 17):
+            ra, pa = model.reach_of(u)
+            rb, pb = rebuilt.reach_of(u)
+            assert np.array_equal(ra, rb)
+            assert np.array_equal(pa, pb)
+
+    def test_wrong_root_count_rejected(self, small_net, example_net):
+        flat = MiaModel(example_net, 0.03).flat_trees()
+        with pytest.raises(GraphError):
+            MiaModel.from_flat_trees(small_net, 0.03, flat)

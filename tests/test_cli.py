@@ -105,3 +105,64 @@ class TestBuildAndLoadRis:
         ])
         assert rc == 0
         assert "RIS-adhoc" in capsys.readouterr().out
+
+
+class TestBuildAndLoadMia:
+    def test_build_then_query_roundtrip(self, tmp_path, capsys):
+        index_path = tmp_path / "mia.npz"
+        rc = main([
+            "build-mia", "--dataset", "brightkite", "--scale", "0.1",
+            "--out", str(index_path), "--theta", "0.05",
+            "--anchors", "12", "--tau", "32", "--workers", "2",
+        ])
+        assert rc == 0
+        assert index_path.exists()
+        out = capsys.readouterr().out
+        assert "built MIA-DA index" in out
+        rc = main([
+            "query", "--dataset", "brightkite", "--scale", "0.1",
+            "--x", "50", "--y", "50", "-k", "4", "--method", "mia",
+            "--index", str(index_path),
+        ])
+        assert rc == 0
+        assert "MIA-DA" in capsys.readouterr().out
+
+    def test_indexed_query_matches_fresh_build(self, tmp_path, capsys):
+        index_path = tmp_path / "mia.npz"
+        main([
+            "build-mia", "--dataset", "brightkite", "--scale", "0.1",
+            "--out", str(index_path), "--anchors", "12", "--tau", "32",
+        ])
+        capsys.readouterr()
+        main([
+            "query", "--dataset", "brightkite", "--scale", "0.1",
+            "--x", "40", "--y", "60", "-k", "3", "--method", "mia",
+            "--index", str(index_path),
+        ])
+        indexed = capsys.readouterr().out
+        main([
+            "query", "--dataset", "brightkite", "--scale", "0.1",
+            "--x", "40", "--y", "60", "-k", "3", "--method", "mia",
+        ])
+        fresh = capsys.readouterr().out
+        seeds = [
+            line for line in indexed.splitlines() if line.startswith("seeds")
+        ]
+        assert seeds == [
+            line for line in fresh.splitlines() if line.startswith("seeds")
+        ]
+
+    def test_mia_index_on_wrong_graph_errors(self, tmp_path, capsys):
+        index_path = tmp_path / "mia.npz"
+        main([
+            "build-mia", "--dataset", "brightkite", "--scale", "0.1",
+            "--out", str(index_path), "--anchors", "8", "--tau", "16",
+        ])
+        capsys.readouterr()
+        rc = main([
+            "query", "--dataset", "brightkite", "--scale", "0.2",
+            "--x", "0", "--y", "0", "-k", "2", "--method", "mia",
+            "--index", str(index_path),
+        ])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
