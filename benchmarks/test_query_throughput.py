@@ -1,0 +1,68 @@
+"""Online query-serving throughput: warm cache vs cold cache.
+
+The serving engine's result cache keys on (index fingerprint, quantized
+query cell, k), so replaying a workload — or serving a workload with hot
+spots — should be answered from memory.  This benchmark builds a small
+RIS-DA index, persists it, serves a 64-query batch through
+:class:`repro.serve.QueryEngine` twice, and reports cold vs warm rows
+plus the engine's metrics report (latency histogram, cache hit/miss).
+
+The acceptance bar: warm-cache throughput at least 3x cold-cache.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.bench.workloads import random_queries, serve_throughput
+from repro.core.persistence import save_ris_index
+from repro.core.ris_da import RisDaConfig, RisDaIndex
+from repro.geo.weights import DistanceDecay
+from repro.network.datasets import load_dataset
+from repro.serve.engine import QueryEngine, ServeConfig
+
+from .conftest import DEFAULT_ALPHA, emit
+
+N_QUERIES = 64
+K = 10
+
+
+def test_query_throughput(tmp_path):
+    network = load_dataset("brightkite", scale=0.5)
+    decay = DistanceDecay(c=1.0, alpha=DEFAULT_ALPHA)
+    cfg = RisDaConfig(
+        k_max=K, n_pivots=8, epsilon_pivot=0.4, max_index_samples=30_000,
+        seed=3,
+    )
+    index_path = tmp_path / "serve-bench-ris.npz"
+    save_ris_index(RisDaIndex(network, decay, cfg), index_path)
+
+    engine = QueryEngine.from_path(
+        index_path, network,
+        config=ServeConfig(n_threads=2, result_cache_size=512),
+    )
+    queries = random_queries(network, N_QUERIES, seed=17)
+    rows = serve_throughput(engine, queries, k=K, rounds=3)
+
+    row_dicts = [r.as_row() for r in rows]
+    text = format_table(
+        list(row_dicts[0]),
+        [list(d.values()) for d in row_dicts],
+        title="query serving throughput (64-query batch, RIS-DA index)",
+    )
+    report = engine.metrics.report()
+    emit("query_throughput", text + "\n\n" + report)
+
+    cold, warm = rows[0], rows[-1]
+    assert cold.cache_hits == 0
+    # The workload has 64 distinct locations but may share grid cells;
+    # every warm-round query must hit the cache.
+    assert warm.cache_hits == N_QUERIES
+    assert warm.cache_misses == 0
+    assert warm.queries_per_second >= 3 * cold.queries_per_second, (
+        f"warm cache should be >= 3x cold: cold {cold.queries_per_second:.0f} "
+        f"q/s vs warm {warm.queries_per_second:.0f} q/s"
+    )
+    # The report must make cache behaviour and latency visible.
+    assert "result_cache.hits" in report
+    assert "result_cache.misses" in report
+    assert "latency_ms" in report

@@ -31,7 +31,14 @@ from repro.core.heuristics import (
 from repro.core.keyword import keyword_cover_query
 from repro.core.mia_da import MiaDaConfig, MiaDaIndex
 from repro.core.multi_location import multi_location_query, multi_location_weights
-from repro.core.persistence import load_ris_index, save_ris_index
+from repro.core.persistence import (
+    load_index,
+    load_mia_index,
+    load_ris_index,
+    peek_index_kind,
+    save_mia_index,
+    save_ris_index,
+)
 from repro.core.query import DaimQuery, SeedResult
 from repro.core.ris_da import RisDaConfig, RisDaIndex
 from repro.ris.adhoc import adhoc_ris_query
@@ -49,6 +56,7 @@ from repro.exceptions import (
     QueryError,
     ReproError,
     SamplingError,
+    ServeError,
 )
 from repro.geo.weights import DistanceDecay
 from repro.mia.pmia import MiaModel, PmiaDa
@@ -56,6 +64,9 @@ from repro.network.datasets import DATASET_RECIPES, load_dataset
 from repro.network.generators import GeoSocialConfig, generate_geo_social_network
 from repro.network.graph import GeoSocialNetwork
 from repro.network.io import read_network, write_network
+from repro.serve.cache import IndexCache, ResultCache
+from repro.serve.engine import QueryEngine, ServeConfig, ServedResult
+from repro.serve.metrics import MetricsRegistry
 
 __version__ = "1.0.0"
 
@@ -68,17 +79,24 @@ __all__ = [
     "GeoSocialNetwork",
     "GeometryError",
     "GraphError",
+    "IndexCache",
     "IndexNotReadyError",
+    "MetricsRegistry",
     "MiaDaConfig",
     "MiaDaIndex",
     "MiaModel",
     "PmiaDa",
+    "QueryEngine",
     "QueryError",
     "ReproError",
+    "ResultCache",
     "RisDaConfig",
     "RisDaIndex",
     "SamplingError",
     "SeedResult",
+    "ServeConfig",
+    "ServeError",
+    "ServedResult",
     "SpreadEstimate",
     "Certificate",
     "__version__",
@@ -88,7 +106,11 @@ __all__ = [
     "generate_geo_social_network",
     "keyword_cover_query",
     "load_dataset",
+    "load_index",
+    "load_mia_index",
     "load_ris_index",
+    "peek_index_kind",
+    "save_mia_index",
     "save_ris_index",
     "top_degree",
     "top_weight",

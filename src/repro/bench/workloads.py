@@ -5,8 +5,8 @@ the entire space" (Section 5.1), plus Figure 7's partitioning of queries
 into quintiles by the average user-to-query distance.  In addition,
 :func:`sampling_throughput` and :func:`mia_build_throughput` measure the
 offline side — serial vs parallel RR-set generation and MIIA
-construction — so the benchmark trajectory records the worker-pool
-speedups of both indexes.
+construction — and :func:`serve_throughput` measures the online side:
+cold-cache vs warm-cache queries/sec through the serving engine.
 """
 
 from __future__ import annotations
@@ -158,6 +158,73 @@ class MiaBuildThroughput:
             "trees/s": int(self.trees_per_second),
             "speedup": round(self.speedup, 2),
         }
+
+
+@dataclass(frozen=True)
+class ServeThroughput:
+    """One phase (cold or warm) of the query-serving workload."""
+
+    phase: str
+    queries: int
+    seconds: float
+    queries_per_second: float
+    cache_hits: int
+    cache_misses: int
+    fallbacks: int
+    speedup: float
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "phase": self.phase,
+            "queries": self.queries,
+            "sec": round(self.seconds, 4),
+            "q/s": int(self.queries_per_second),
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "fallbacks": self.fallbacks,
+            "speedup": round(self.speedup, 2),
+        }
+
+
+def serve_throughput(engine, queries, k: int, rounds: int = 2):
+    """Cold-cache vs warm-cache serving throughput.
+
+    Serves the same batch ``rounds`` times through ``engine`` (a
+    :class:`repro.serve.QueryEngine`).  Round 0 runs against an empty
+    result cache ("cold"); later rounds replay the identical workload
+    and should be answered mostly from the cache ("warm").  Each row
+    reports the per-round hit/miss deltas and the speedup over the cold
+    round.
+    """
+    if rounds < 2:
+        raise QueryError(f"need at least 2 rounds (cold + warm), got {rounds}")
+    if not queries:
+        raise QueryError("queries must not be empty")
+    rows: List[ServeThroughput] = []
+    hits = engine.metrics.counter("result_cache.hits")
+    misses = engine.metrics.counter("result_cache.misses")
+    fallbacks = engine.metrics.counter("fallbacks")
+    cold_seconds: float | None = None
+    for r in range(rounds):
+        h0, m0, f0 = hits.value, misses.value, fallbacks.value
+        start = time.perf_counter()
+        engine.serve_batch(queries, k=k)
+        elapsed = time.perf_counter() - start
+        if cold_seconds is None:
+            cold_seconds = elapsed
+        rows.append(
+            ServeThroughput(
+                phase="cold" if r == 0 else f"warm{r}",
+                queries=len(queries),
+                seconds=elapsed,
+                queries_per_second=len(queries) / elapsed if elapsed > 0 else 0.0,
+                cache_hits=hits.value - h0,
+                cache_misses=misses.value - m0,
+                fallbacks=fallbacks.value - f0,
+                speedup=cold_seconds / elapsed if elapsed > 0 else 0.0,
+            )
+        )
+    return rows
 
 
 def mia_build_throughput(

@@ -13,12 +13,17 @@ build-mia
 query
     Answer a DAIM query with MIA-DA (indexed or built on the fly), RIS-DA
     (indexed or ad-hoc), or a heuristic.
+serve-batch
+    Answer a JSONL batch of queries against a prebuilt index through the
+    serving engine (result cache, thread pool, timeouts, metrics).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import Optional, Sequence
 
 from repro.core.heuristics import degree_discount, top_weighted_degree
@@ -29,13 +34,15 @@ from repro.core.persistence import (
     save_mia_index,
     save_ris_index,
 )
+from repro.core.query import DaimQuery
 from repro.core.ris_da import RisDaConfig, RisDaIndex
-from repro.exceptions import ReproError
+from repro.exceptions import DataFormatError, ReproError
 from repro.geo.weights import DistanceDecay
 from repro.network.datasets import DATASET_RECIPES, load_dataset
 from repro.network.io import read_network, write_network
 from repro.network.stats import summarize
 from repro.ris.adhoc import adhoc_ris_query
+from repro.serve.engine import QueryEngine, ServeConfig
 
 
 def _add_network_args(p: argparse.ArgumentParser) -> None:
@@ -158,6 +165,83 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_query_batch(path: str, default_k: int) -> list[DaimQuery]:
+    """Parse a JSONL query file: one ``{"x":, "y":, "k":?}`` per line."""
+    queries: list[DaimQuery] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+                x, y = float(obj["x"]), float(obj["y"])
+                k = int(obj.get("k", default_k))
+            except (ValueError, KeyError, TypeError) as exc:
+                raise DataFormatError(
+                    f"{path}:{lineno}: bad query line ({exc}); expected "
+                    '{"x": <float>, "y": <float>, "k": <int, optional>}'
+                )
+            queries.append(DaimQuery((x, y), k))
+    if not queries:
+        raise DataFormatError(f"{path} holds no queries")
+    return queries
+
+
+def cmd_serve_batch(args: argparse.Namespace) -> int:
+    network = _resolve_network(args)
+    queries = _read_query_batch(args.queries, args.k)
+    config = ServeConfig(
+        n_threads=args.threads,
+        timeout=args.timeout,
+        result_cache_size=args.cache_size,
+        cache_cells=args.cache_cells,
+    )
+    engine = QueryEngine.from_path(
+        args.index, network, kind=args.method, config=config
+    )
+    start = time.perf_counter()
+    served = engine.serve_batch(queries)
+    wall = time.perf_counter() - start
+
+    lines = []
+    for q, sr in zip(queries, served):
+        row = {
+            "x": q.location[0],
+            "y": q.location[1],
+            "k": q.k,
+            "elapsed_ms": round(sr.elapsed * 1000, 3),
+            "cached": sr.cached,
+            "fallback": sr.fallback_reason,
+            "error": sr.error,
+        }
+        if sr.result is not None:
+            row["seeds"] = [int(s) for s in sr.result.seeds]
+            row["estimate"] = sr.result.estimate
+            row["method"] = sr.result.method
+        lines.append(json.dumps(row))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+    else:
+        for line in lines:
+            print(line)
+
+    n_err = sum(1 for sr in served if not sr.ok)
+    n_fb = sum(1 for sr in served if sr.fallback)
+    print(
+        f"served {len(served)} queries in {wall:.3f}s "
+        f"({len(served) / wall:.0f} q/s), {n_fb} fallbacks, {n_err} errors"
+        + (f", results -> {args.out}" if args.out else "")
+    )
+    report = engine.metrics.report()
+    print(report)
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+    return 0 if n_err == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -234,6 +318,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "serve-batch",
+        help="serve a JSONL query batch against a prebuilt index",
+    )
+    _add_network_args(p)
+    p.add_argument("--index", required=True,
+                   help="saved index (.npz) from build-ris or build-mia")
+    p.add_argument("--queries", required=True,
+                   help='JSONL input, one {"x":, "y":, "k":?} per line')
+    p.add_argument("--out",
+                   help="JSONL output path (default: print results)")
+    p.add_argument("-k", "--k", type=int, default=30,
+                   help="budget for query lines without their own k")
+    p.add_argument("--method", choices=("ris", "mia"), default=None,
+                   help="require this index kind (default: serve whatever "
+                        "the file holds)")
+    p.add_argument("--threads", type=int, default=4,
+                   help="serving thread-pool size")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-query deadline in seconds; on expiry the "
+                        "degree-discount fallback answers instead")
+    p.add_argument("--cache-size", type=int, default=1024,
+                   help="result-cache capacity (0 disables caching)")
+    p.add_argument("--cache-cells", type=int, default=4096,
+                   help="quantization-grid cell budget for cache keys")
+    p.add_argument("--metrics-out",
+                   help="also write the metrics report to this file")
+    p.set_defaults(func=cmd_serve_batch)
     return parser
 
 

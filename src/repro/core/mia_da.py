@@ -42,6 +42,22 @@ from repro.rng import as_generator
 
 
 @dataclass(frozen=True)
+class MiaQueryDiagnostics:
+    """Side-channel information about one MIA-DA query.
+
+    ``setup_seconds`` is the per-query bound setup (node weights plus the
+    anchor/region bound evaluation) that :attr:`SeedResult.elapsed`
+    deliberately excludes — ``elapsed`` is documented as *selection only*.
+    ``heap_pops`` counts priority-queue pops; together with
+    ``evaluations`` it measures how well the bounds prune.
+    """
+
+    evaluations: int
+    heap_pops: int
+    setup_seconds: float
+
+
+@dataclass(frozen=True)
 class MiaDaConfig:
     """Build-time parameters of the MIA-DA index.
 
@@ -218,11 +234,18 @@ class MiaDaIndex:
         return lower, upper
 
     def query(
-        self, q: PointLike | DaimQuery, k: int | None = None
-    ) -> SeedResult:
+        self,
+        q: PointLike | DaimQuery,
+        k: int | None = None,
+        return_diagnostics: bool = False,
+    ) -> SeedResult | Tuple[SeedResult, MiaQueryDiagnostics]:
         """Answer a DAIM query with the priority-based search.
 
         Accepts either ``query(DaimQuery(loc, k))`` or ``query(loc, k)``.
+        With ``return_diagnostics`` the result comes with a
+        :class:`MiaQueryDiagnostics` (pruning stats, bound-setup time).
+        ``SeedResult.elapsed`` covers seed *selection* only; the bound
+        setup is measured separately as ``diagnostics.setup_seconds``.
         """
         if isinstance(q, DaimQuery):
             location, k = q.location, q.k
@@ -233,9 +256,12 @@ class MiaDaIndex:
         if not 0 < k <= self.network.n:
             raise QueryError(f"k must be in [1, {self.network.n}], got {k}")
 
-        start = time.perf_counter()
+        setup_start = time.perf_counter()
         weights = self.decay.weights(self.network.coords, location)
         lower, upper = self.node_bounds(location)
+        setup_seconds = time.perf_counter() - setup_start
+
+        start = time.perf_counter()
         state = _LazyMiaState(self.model, weights)
 
         # Priority heap: (-bound, node, version); version == number of
@@ -247,11 +273,13 @@ class MiaDaIndex:
         heapq.heapify(heap)
         seeds: list[int] = []
         evaluations = 0
+        heap_pops = 0
         selected: Set[int] = set()
         estimate = 0.0
 
         while len(seeds) < k and heap:
             neg_bound, u, version = heapq.heappop(heap)
+            heap_pops += 1
             if u in selected:
                 continue
             if version == len(seeds):
@@ -288,21 +316,46 @@ class MiaDaIndex:
                 f"could not select {k} seeds (graph has {self.network.n} nodes)"
             )
         elapsed = time.perf_counter() - start
-        return SeedResult(
+        result = SeedResult(
             seeds=seeds,
             estimate=estimate,
             method="MIA-DA",
             elapsed=elapsed,
             evaluations=evaluations,
         )
+        if return_diagnostics:
+            return result, MiaQueryDiagnostics(
+                evaluations=evaluations,
+                heap_pops=heap_pops,
+                setup_seconds=setup_seconds,
+            )
+        return result
 
     def query_many(
-        self, locations: Sequence[PointLike], k: int
-    ) -> list[SeedResult]:
+        self,
+        locations: Sequence[PointLike],
+        k: int,
+        return_diagnostics: bool = False,
+    ) -> list[SeedResult] | list[Tuple[SeedResult, MiaQueryDiagnostics]]:
         """Answer a batch of queries with the same budget.
 
         Query state is per-location (the bounds and the greedy state both
         depend on ``q``), so this is a convenience loop; it exists so
-        batch callers do not have to reimplement error handling.
+        batch callers do not have to reimplement error handling.  For
+        cached, concurrent, metered batches, wrap the index in a
+        :class:`repro.serve.QueryEngine` (see :meth:`serve`) instead.
         """
-        return [self.query(q, k) for q in locations]
+        return [
+            self.query(q, k, return_diagnostics=return_diagnostics)
+            for q in locations
+        ]  # type: ignore[return-value]
+
+    def serve(self, config=None, metrics=None):
+        """A :class:`repro.serve.QueryEngine` over this index.
+
+        Convenience for ``QueryEngine(index, ...)``; the serving layer is
+        imported lazily to keep ``repro.core`` free of the dependency.
+        """
+        from repro.serve.engine import QueryEngine
+
+        return QueryEngine(self, config=config, metrics=metrics)

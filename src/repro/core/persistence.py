@@ -56,6 +56,39 @@ def _with_npz_suffix(path: PathLike) -> Path:
     return path
 
 
+def peek_index_kind(path: PathLike) -> str:
+    """The ``kind`` tag (``"ris"`` or ``"mia"``) of a saved index file.
+
+    Reads only the JSON metadata member, so callers (the serving layer's
+    index cache, CLI dispatch) can pick the matching loader without paying
+    for the array payload.  Files predating the ``kind`` tag are all RIS
+    indexes.
+    """
+    path = _with_npz_suffix(path)
+    with np.load(path) as data:
+        if "meta" not in data:
+            raise DataFormatError(f"{path} is not a repro index file")
+        meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
+    return meta.get("kind", "ris")
+
+
+def load_index(
+    path: PathLike, network: GeoSocialNetwork
+) -> tuple[str, Union[RisDaIndex, MiaDaIndex]]:
+    """Load a saved index of either kind; returns ``(kind, index)``.
+
+    Dispatches on the file's ``kind`` tag to :func:`load_ris_index` or
+    :func:`load_mia_index`, so callers that accept both (the query engine,
+    ``serve-batch``) need no a-priori knowledge of what was saved.
+    """
+    kind = peek_index_kind(path)
+    if kind == "ris":
+        return kind, load_ris_index(path, network)
+    if kind == "mia":
+        return kind, load_mia_index(path, network)
+    raise DataFormatError(f"{path} holds an unknown index kind {kind!r}")
+
+
 def save_ris_index(index: RisDaIndex, path: PathLike) -> None:
     """Serialise a built RIS-DA index to ``path`` (``.npz``).
 

@@ -44,8 +44,10 @@ class SeedResult:
     method:
         Human-readable method name ("MIA-DA", "RIS-DA", "PMIA", ...).
     elapsed:
-        Online query latency in seconds (selection only; excludes index
-        construction).
+        Online query latency in seconds — seed *selection* only.  Index
+        construction and per-query bound setup are excluded; MIA-DA
+        reports its setup time separately as
+        ``MiaQueryDiagnostics.setup_seconds``.
     samples_used:
         RIS prefix length used (RIS methods only).
     evaluations:

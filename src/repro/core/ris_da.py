@@ -396,10 +396,22 @@ class RisDaIndex:
         With ``return_diagnostics`` each element is the same
         ``(SeedResult, QueryDiagnostics)`` pair :meth:`query` returns.
         The per-query delta resolution is hoisted out of the loop — the
-        deltas depend only on the network size, not the location.
+        deltas depend only on the network size, not the location.  For
+        cached, concurrent, metered batches, wrap the index in a
+        :class:`repro.serve.QueryEngine` (see :meth:`serve`) instead.
         """
         deltas = self.config.resolved_deltas(self.network.n)
         return [
             self._query_at(as_point(q), k, return_diagnostics, deltas)
             for q in locations
         ]  # type: ignore[return-value]
+
+    def serve(self, config=None, metrics=None):
+        """A :class:`repro.serve.QueryEngine` over this index.
+
+        Convenience for ``QueryEngine(index, ...)``; the serving layer is
+        imported lazily to keep ``repro.core`` free of the dependency.
+        """
+        from repro.serve.engine import QueryEngine
+
+        return QueryEngine(self, config=config, metrics=metrics)

@@ -45,3 +45,8 @@ class SamplingError(ReproError):
 
 class DataFormatError(ReproError):
     """Raised when an input file cannot be parsed."""
+
+
+class ServeError(ReproError):
+    """Raised by the online serving layer (bad engine config, kind
+    mismatches between an engine and the index file it is pointed at)."""

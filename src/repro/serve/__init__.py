@@ -1,0 +1,22 @@
+"""Online query serving: engine, caches, metrics.
+
+The offline phases build indexes; this package answers *many* online
+queries against them — the "heavy traffic" side of the system.  See
+:mod:`repro.serve.engine` for the serving semantics (caching, timeouts,
+fallback) and :mod:`repro.serve.metrics` for the observability layer.
+"""
+
+from repro.serve.cache import IndexCache, ResultCache
+from repro.serve.engine import QueryEngine, ServeConfig, ServedResult
+from repro.serve.metrics import Counter, Histogram, MetricsRegistry
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "IndexCache",
+    "MetricsRegistry",
+    "QueryEngine",
+    "ResultCache",
+    "ServeConfig",
+    "ServedResult",
+]

@@ -1,0 +1,305 @@
+"""The online query-serving engine.
+
+:class:`QueryEngine` wraps one loaded index (RIS-DA or MIA-DA — both
+expose the same ``query(location, k) -> SeedResult`` online interface)
+and turns it into a serving component:
+
+* **result caching** — answers are cached by
+  ``(index fingerprint, quantized query cell, k)`` (see
+  :mod:`repro.serve.cache`), so hot query neighbourhoods are answered
+  from memory;
+* **concurrent batches** — :meth:`QueryEngine.serve_batch` fans a batch
+  over a thread pool.  Both indexes are read-only after construction
+  (corpus, inverted index, arborescences, k-d trees), so concurrent
+  queries are safe; NumPy releases the GIL in the hot kernels;
+* **per-query timeout with graceful fallback** — a query that misses its
+  deadline is answered by the distance-aware degree-discount heuristic
+  instead (milliseconds, no index needed), and the result is marked
+  ``fallback_reason="timeout"`` so callers can tell;
+* **metrics** — every serve updates a
+  :class:`~repro.serve.metrics.MetricsRegistry` (query counters, cache
+  hit/miss, a latency histogram, samples-used / evaluations
+  distributions).
+
+Timeout semantics: the deadline is enforced at *collection* — the worker
+thread itself is not interrupted (Python threads cannot be killed), so an
+abandoned computation may still complete in the background; its result is
+discarded and its pool slot frees up when it finishes.  The fallback is
+computed synchronously by the collecting thread.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.heuristics import degree_discount
+from repro.core.mia_da import MiaDaIndex
+from repro.core.query import DaimQuery, SeedResult
+from repro.core.ris_da import RisDaIndex
+from repro.exceptions import ReproError, ServeError
+from repro.geo.grid import UniformGrid
+from repro.geo.point import PointLike, as_point
+from repro.network.graph import GeoSocialNetwork
+from repro.serve.cache import IndexCache, ResultCache
+from repro.serve.metrics import MetricsRegistry
+
+AnyIndex = Union[RisDaIndex, MiaDaIndex]
+QueryLike = Union[DaimQuery, PointLike]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs of a :class:`QueryEngine`.
+
+    ``n_threads`` sizes the batch thread pool; ``timeout`` (seconds,
+    ``None`` = unlimited) is the per-query deadline after which the
+    engine answers with the ``fallback`` method instead
+    (``"degree-discount"``, or ``"none"`` to surface a timeout error
+    result).  ``result_cache_size`` bounds the result LRU (0 disables
+    result caching); ``cache_cells`` is the budget for the quantization
+    grid — more cells mean finer-grained (more exact, less shared) cache
+    keys.
+    """
+
+    n_threads: int = 4
+    timeout: Optional[float] = None
+    result_cache_size: int = 1024
+    cache_cells: int = 4096
+    fallback: str = "degree-discount"
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 1:
+            raise ServeError(
+                f"n_threads must be at least 1, got {self.n_threads}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ServeError(
+                f"timeout must be positive (or None), got {self.timeout}"
+            )
+        if self.result_cache_size < 0:
+            raise ServeError(
+                f"result_cache_size must be >= 0, got {self.result_cache_size}"
+            )
+        if self.cache_cells <= 0:
+            raise ServeError(
+                f"cache_cells must be positive, got {self.cache_cells}"
+            )
+        if self.fallback not in ("degree-discount", "none"):
+            raise ServeError(
+                f"fallback must be 'degree-discount' or 'none', "
+                f"got {self.fallback!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ServedResult:
+    """One served query: the answer plus serving-layer context.
+
+    ``result`` is ``None`` only when ``error`` is set (the query raised,
+    or it timed out with fallback disabled).  ``elapsed`` is the
+    end-to-end serving latency in seconds — cache lookup included, queue
+    wait excluded — as opposed to ``result.elapsed`` which is the
+    method's own selection time.  ``cached`` marks a result-cache hit;
+    ``fallback_reason`` (e.g. ``"timeout"``) marks answers produced by
+    the fallback heuristic rather than the index.
+    """
+
+    result: Optional[SeedResult]
+    elapsed: float
+    cached: bool = False
+    fallback_reason: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def fallback(self) -> bool:
+        return self.fallback_reason is not None
+
+
+class QueryEngine:
+    """Serve many online DAIM queries against one loaded index."""
+
+    def __init__(
+        self,
+        index: AnyIndex,
+        config: ServeConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        fingerprint: str | None = None,
+    ):
+        self.index = index
+        self.network: GeoSocialNetwork = index.network
+        self.decay = index.decay
+        self.config = config if config is not None else ServeConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # In-memory indexes get an identity-based fingerprint: distinct
+        # engine instances over distinct indexes never share cache keys.
+        self.fingerprint = (
+            fingerprint if fingerprint is not None else f"mem:{id(index):x}"
+        )
+        if self.config.result_cache_size > 0:
+            self._grid = UniformGrid.with_cell_budget(
+                self.network.bounding_box(), self.config.cache_cells
+            )
+            self._results: Optional[ResultCache] = ResultCache(
+                self.config.result_cache_size, metrics=self.metrics
+            )
+        else:
+            self._grid = None
+            self._results = None
+        # RIS: make sure the corpus's inverted index is built before any
+        # concurrent query triggers its (unsynchronised) lazy build.
+        corpus = getattr(index, "corpus", None)
+        if corpus is not None:
+            corpus.inverted()
+
+    @classmethod
+    def from_path(
+        cls,
+        path,
+        network: GeoSocialNetwork,
+        kind: Optional[str] = None,
+        config: ServeConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        cache: IndexCache | None = None,
+    ) -> "QueryEngine":
+        """An engine over the saved index at ``path``.
+
+        ``kind`` (``"ris"`` / ``"mia"``) restricts what the engine will
+        accept; ``None`` serves whatever the file holds.  Pass a shared
+        :class:`IndexCache` so several engines (or repeated CLI batches
+        in one process) load each file once.
+        """
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        cache = cache if cache is not None else IndexCache(metrics=metrics)
+        _, index = cache.get(path, network, kind=kind)
+        return cls(
+            index,
+            config=config,
+            metrics=metrics,
+            fingerprint=IndexCache.fingerprint(path),
+        )
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def query(self, q: QueryLike, k: int | None = None) -> ServedResult:
+        """Serve one query synchronously (no pool, no timeout)."""
+        location, k = self._unpack(q, k)
+        return self._serve(location, k)
+
+    def serve_batch(
+        self, queries: Sequence[QueryLike], k: int | None = None
+    ) -> List[ServedResult]:
+        """Serve a batch concurrently, in input order.
+
+        ``queries`` may be :class:`DaimQuery` objects or bare locations
+        (then ``k`` supplies the shared budget).  Results line up with
+        the input; per-query failures become error results instead of
+        aborting the batch.
+        """
+        items = [self._unpack(q, k) for q in queries]
+        cfg = self.config
+        if not items:
+            return []
+        if cfg.n_threads == 1 and cfg.timeout is None:
+            return [self._serve(loc, kk) for loc, kk in items]
+
+        out: List[Optional[ServedResult]] = [None] * len(items)
+        pool = ThreadPoolExecutor(
+            max_workers=cfg.n_threads, thread_name_prefix="repro-serve"
+        )
+        try:
+            futures = [pool.submit(self._serve, loc, kk) for loc, kk in items]
+            for i, future in enumerate(futures):
+                try:
+                    out[i] = future.result(timeout=cfg.timeout)
+                except FutureTimeoutError:
+                    future.cancel()
+                    loc, kk = items[i]
+                    out[i] = self._fallback(loc, kk, "timeout")
+        finally:
+            # Do not wait for abandoned (timed-out) computations; their
+            # threads drain in the background.
+            pool.shutdown(wait=False, cancel_futures=True)
+        return out  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+
+    def _unpack(
+        self, q: QueryLike, k: int | None
+    ) -> Tuple[Tuple[float, float], int]:
+        if isinstance(q, DaimQuery):
+            return q.location, q.k
+        if k is None:
+            raise ServeError("k is required when passing a bare location")
+        return as_point(q), int(k)
+
+    def _serve(self, location: Tuple[float, float], k: int) -> ServedResult:
+        start = time.perf_counter()
+        m = self.metrics
+        m.inc("queries_total")
+        key = None
+        if self._results is not None:
+            key = (self.fingerprint, self._grid.cell_of(location), k)
+            hit = self._results.get(key)
+            if hit is not None:
+                elapsed = time.perf_counter() - start
+                m.observe("latency_ms", elapsed * 1e3)
+                return ServedResult(result=hit, elapsed=elapsed, cached=True)
+        try:
+            result = self.index.query(location, k)
+        except ReproError as exc:
+            m.inc("errors")
+            return ServedResult(
+                result=None,
+                elapsed=time.perf_counter() - start,
+                error=str(exc),
+            )
+        if result.samples_used is not None:
+            m.observe("samples_used", result.samples_used)
+        if result.evaluations is not None:
+            m.observe("evaluations", result.evaluations)
+        if key is not None:
+            self._results.put(key, result)
+        elapsed = time.perf_counter() - start
+        m.observe("latency_ms", elapsed * 1e3)
+        return ServedResult(result=result, elapsed=elapsed, cached=False)
+
+    def _fallback(
+        self, location: Tuple[float, float], k: int, reason: str
+    ) -> ServedResult:
+        start = time.perf_counter()
+        m = self.metrics
+        m.inc("timeouts" if reason == "timeout" else "fallback_triggers")
+        if self.config.fallback == "none":
+            return ServedResult(
+                result=None,
+                elapsed=time.perf_counter() - start,
+                error=f"query timed out after {self.config.timeout}s "
+                      f"(fallback disabled)",
+            )
+        m.inc("fallbacks")
+        try:
+            result = degree_discount(self.network, location, k, self.decay)
+        except ReproError as exc:
+            m.inc("errors")
+            return ServedResult(
+                result=None,
+                elapsed=time.perf_counter() - start,
+                error=f"timeout, then fallback failed: {exc}",
+            )
+        elapsed = time.perf_counter() - start
+        m.observe("fallback_latency_ms", elapsed * 1e3)
+        # Fallback answers are never cached: a later, slower query in the
+        # same cell deserves the real index answer, not a frozen heuristic.
+        return ServedResult(
+            result=result, elapsed=elapsed, fallback_reason=reason
+        )

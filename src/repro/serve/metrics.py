@@ -1,0 +1,212 @@
+"""Lightweight serving metrics: counters and fixed-bucket histograms.
+
+The online engine needs visibility into where latency goes — cache hit
+rates, the latency distribution, how many samples/evaluations each query
+actually consumed — without dragging in a metrics dependency.  This module
+is the minimal registry that covers those needs: named :class:`Counter`
+and :class:`Histogram` instruments created on first use, a structured
+:meth:`MetricsRegistry.dump` for programmatic consumers, and a
+:meth:`MetricsRegistry.report` text format for humans (printed by the
+``serve-batch`` CLI and persisted by the throughput benchmark).
+
+All instruments are thread-safe: the engine serves batches from a thread
+pool, so counters and histograms take a registry-wide lock per update
+(updates are tiny; contention is negligible next to a query).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Sequence, Tuple
+
+#: Default latency buckets, in milliseconds (upper bounds; +inf implicit).
+LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+#: Default buckets for count-valued distributions (samples used,
+#: marginal evaluations): powers of four cover 1 .. ~1e6 in 10 buckets.
+COUNT_BUCKETS: Tuple[float, ...] = tuple(float(4 ** i) for i in range(11))
+
+
+class Counter:
+    """A monotone named counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._value = 0
+        self._lock = lock
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Histogram:
+    """A fixed-bucket histogram with mean/min/max and quantile estimates.
+
+    ``buckets`` are ascending finite upper bounds; an implicit +inf bucket
+    catches the tail.  Quantiles are estimated by linear interpolation
+    inside the containing bucket — coarse, but honest enough for latency
+    reporting, and O(#buckets) memory regardless of observation count.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total",
+                 "min", "max", "_lock")
+
+    def __init__(self, name: str, buckets: Sequence[float],
+                 lock: threading.Lock):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"buckets must be ascending, got {buckets!r}")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # trailing +inf bucket
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        i = 0
+        while i < len(self.buckets) and value > self.buckets[i]:
+            i += 1
+        with self._lock:
+            self.counts[i] += 1
+            self.count += 1
+            self.total += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (``0 <= q <= 1``) from the buckets."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            if seen + c >= rank and c > 0:
+                lo = self.buckets[i - 1] if i > 0 else min(self.min, self.buckets[0])
+                hi = self.buckets[i] if i < len(self.buckets) else self.max
+                lo = max(lo, self.min)
+                hi = min(hi, self.max) if hi != float("inf") else self.max
+                frac = (rank - seen) / c
+                return lo + (hi - lo) * max(0.0, min(frac, 1.0))
+            seen += c
+        return self.max
+
+
+class MetricsRegistry:
+    """A named collection of counters and histograms.
+
+    Instruments are created on first use, so call sites never need to
+    pre-register anything::
+
+        metrics.inc("queries_total")
+        metrics.observe("latency_ms", 1.7)
+        print(metrics.report())
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter(name, self._lock)
+        return c
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                chosen = buckets if buckets is not None else (
+                    LATENCY_BUCKETS_MS if name.endswith("_ms")
+                    else COUNT_BUCKETS
+                )
+                h = self._histograms[name] = Histogram(
+                    name, chosen, self._lock
+                )
+        return h
+
+    # Convenience shortcuts -------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def observe(self, name: str, value: float,
+                buckets: Optional[Sequence[float]] = None) -> None:
+        self.histogram(name, buckets).observe(value)
+
+    # Output ----------------------------------------------------------------
+
+    def dump(self) -> dict:
+        """Structured snapshot: ``{"counters": ..., "histograms": ...}``."""
+        with self._lock:
+            counters = {n: c._value for n, c in sorted(self._counters.items())}
+            histograms = {
+                n: {
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.min if h.count else None,
+                    "max": h.max if h.count else None,
+                    "mean": h.mean,
+                    "buckets": [
+                        {"le": le, "count": c}
+                        for le, c in zip(h.buckets + (float("inf"),), h.counts)
+                    ],
+                }
+                for n, h in sorted(self._histograms.items())
+            }
+        return {"counters": counters, "histograms": histograms}
+
+    def report(self) -> str:
+        """Human-readable text report of every instrument."""
+        lines = ["== metrics =="]
+        if self._counters:
+            lines.append("counters:")
+            width = max(len(n) for n in self._counters)
+            for name in sorted(self._counters):
+                c = self._counters[name]
+                lines.append(f"  {name:<{width}}  {c.value}")
+        if self._histograms:
+            lines.append("histograms:")
+            for name in sorted(self._histograms):
+                h = self._histograms[name]
+                if h.count == 0:
+                    lines.append(f"  {name}: count=0")
+                    continue
+                lines.append(
+                    f"  {name}: count={h.count} mean={h.mean:.3g} "
+                    f"min={h.min:.3g} p50={h.quantile(0.5):.3g} "
+                    f"p95={h.quantile(0.95):.3g} max={h.max:.3g}"
+                )
+                peak = max(h.counts)
+                bounds = h.buckets + (float("inf"),)
+                for le, c in zip(bounds, h.counts):
+                    if c == 0:
+                        continue
+                    bar = "#" * max(1, round(24 * c / peak))
+                    label = "+inf" if le == float("inf") else f"{le:g}"
+                    lines.append(f"    <= {label:>8}  {c:>7}  {bar}")
+        return "\n".join(lines)

@@ -5,6 +5,8 @@ exactly the same seed set as PMIA (full greedy over the same MIA model),
 just with fewer marginal evaluations.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -196,3 +198,33 @@ class TestParallelBuild:
             rb = parallel.query(q, 5)
             assert ra.seeds == rb.seeds
             assert ra.estimate == rb.estimate
+
+
+class TestElapsedExcludesSetup:
+    """Regression: ``SeedResult.elapsed`` is documented as *selection
+    only*, but the MIA path used to start its timer before the per-query
+    bound setup (node weights + anchor/region bounds)."""
+
+    def test_elapsed_excludes_bound_setup(self, index, monkeypatch):
+        delay = 0.25
+        real_bounds = index.node_bounds
+
+        def slow_bounds(q):
+            time.sleep(delay)
+            return real_bounds(q)
+
+        monkeypatch.setattr(index, "node_bounds", slow_bounds)
+        result, diag = index.query((50.0, 50.0), 3, return_diagnostics=True)
+        assert result.elapsed < delay, (
+            "elapsed must not include bound-setup time "
+            f"(got {result.elapsed:.3f}s with a {delay}s setup stall)"
+        )
+        assert diag.setup_seconds >= delay
+
+    def test_diagnostics_shape(self, index):
+        result, diag = index.query((50.0, 50.0), 3, return_diagnostics=True)
+        assert diag.evaluations == result.evaluations
+        assert diag.heap_pops >= diag.evaluations
+        assert diag.setup_seconds >= 0.0
+        plain = index.query((50.0, 50.0), 3)
+        assert plain.seeds == result.seeds

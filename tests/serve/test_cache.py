@@ -1,0 +1,169 @@
+"""Tests for repro.serve.cache (index LRU + result LRU)."""
+
+import os
+
+import pytest
+
+from repro.core.mia_da import MiaDaConfig, MiaDaIndex
+from repro.core.persistence import save_mia_index, save_ris_index
+from repro.core.query import SeedResult
+from repro.core.ris_da import RisDaConfig, RisDaIndex
+from repro.exceptions import ServeError
+from repro.geo.weights import DistanceDecay
+from repro.network.generators import GeoSocialConfig, generate_geo_social_network
+from repro.serve.cache import IndexCache, ResultCache
+from repro.serve.metrics import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def net():
+    return generate_geo_social_network(
+        GeoSocialConfig(n=150, avg_out_degree=4.0, extent=100.0, city_std=8.0),
+        seed=23,
+    )
+
+
+@pytest.fixture(scope="module")
+def decay():
+    return DistanceDecay(alpha=0.02)
+
+
+@pytest.fixture(scope="module")
+def ris_path(net, decay, tmp_path_factory):
+    path = tmp_path_factory.mktemp("idx") / "ris.npz"
+    cfg = RisDaConfig(
+        k_max=5, n_pivots=6, epsilon_pivot=0.4, max_index_samples=8000, seed=2
+    )
+    save_ris_index(RisDaIndex(net, decay, cfg), path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def mia_path(net, decay, tmp_path_factory):
+    path = tmp_path_factory.mktemp("idx") / "mia.npz"
+    cfg = MiaDaConfig(theta=0.05, n_anchors=10, tau=24, seed=2)
+    save_mia_index(MiaDaIndex(net, decay, cfg), path)
+    return path
+
+
+class TestIndexCache:
+    def test_second_get_is_a_hit_and_same_object(self, net, ris_path):
+        metrics = MetricsRegistry()
+        cache = IndexCache(metrics=metrics)
+        kind1, idx1 = cache.get(ris_path, net)
+        kind2, idx2 = cache.get(ris_path, net)
+        assert kind1 == kind2 == "ris"
+        assert idx1 is idx2
+        assert metrics.counter("index_cache.misses").value == 1
+        assert metrics.counter("index_cache.hits").value == 1
+
+    def test_kind_detected_for_mia(self, net, mia_path):
+        kind, idx = IndexCache().get(mia_path, net)
+        assert kind == "mia"
+        assert isinstance(idx, MiaDaIndex)
+
+    def test_kind_mismatch_rejected_with_clear_error(self, net, mia_path):
+        cache = IndexCache()
+        with pytest.raises(ServeError, match="MIA-DA index.*serves RIS-DA"):
+            cache.get(mia_path, net, kind="ris")
+
+    def test_kind_mismatch_rejected_on_cached_entry(self, net, mia_path):
+        cache = IndexCache()
+        cache.get(mia_path, net)  # cache it untyped
+        with pytest.raises(ServeError):
+            cache.get(mia_path, net, kind="ris")
+
+    def test_bad_kind_argument(self, net, ris_path):
+        with pytest.raises(ServeError):
+            IndexCache().get(ris_path, net, kind="pmia")
+
+    def test_mtime_change_invalidates(self, net, decay, tmp_path):
+        path = tmp_path / "ris.npz"
+        cfg = RisDaConfig(
+            k_max=5, n_pivots=6, epsilon_pivot=0.4,
+            max_index_samples=8000, seed=2,
+        )
+        save_ris_index(RisDaIndex(net, decay, cfg), path)
+        cache = IndexCache()
+        _, idx1 = cache.get(path, net)
+        # Rewrite the file and bump its mtime well past the original.
+        save_ris_index(RisDaIndex(net, decay, cfg), path)
+        st = path.stat()
+        os.utime(path, ns=(st.st_atime_ns, st.st_mtime_ns + 10_000_000))
+        _, idx2 = cache.get(path, net)
+        assert idx1 is not idx2
+        # The stale entry is dropped, not left behind.
+        assert len(cache) == 1
+
+    def test_lru_eviction(self, net, decay, tmp_path):
+        cfg = RisDaConfig(
+            k_max=5, n_pivots=6, epsilon_pivot=0.4,
+            max_index_samples=8000, seed=2,
+        )
+        paths = []
+        for i in range(3):
+            p = tmp_path / f"ris{i}.npz"
+            save_ris_index(RisDaIndex(net, decay, cfg), p)
+            paths.append(p)
+        metrics = MetricsRegistry()
+        cache = IndexCache(capacity=2, metrics=metrics)
+        for p in paths:
+            cache.get(p, net)
+        assert len(cache) == 2
+        assert metrics.counter("index_cache.evictions").value == 1
+        # paths[0] was evicted; re-getting it is a miss.
+        cache.get(paths[0], net)
+        assert metrics.counter("index_cache.misses").value == 4
+
+    def test_missing_file(self, net, tmp_path):
+        with pytest.raises(ServeError, match="cannot stat"):
+            IndexCache().get(tmp_path / "nope.npz", net)
+
+    def test_fingerprint_tracks_content(self, ris_path):
+        fp1 = IndexCache.fingerprint(ris_path)
+        assert str(ris_path) in fp1
+        st = os.stat(ris_path)
+        os.utime(ris_path, ns=(st.st_atime_ns, st.st_mtime_ns + 1))
+        assert IndexCache.fingerprint(ris_path) != fp1
+
+    def test_bad_capacity(self):
+        with pytest.raises(ServeError):
+            IndexCache(capacity=0)
+
+
+def _result(seeds) -> SeedResult:
+    return SeedResult(seeds=list(seeds), estimate=float(len(seeds)),
+                      method="test")
+
+
+class TestResultCache:
+    def test_roundtrip_and_metrics(self):
+        metrics = MetricsRegistry()
+        cache = ResultCache(capacity=4, metrics=metrics)
+        key = ("fp", 7, 3)
+        assert cache.get(key) is None
+        cache.put(key, _result([1, 2]))
+        assert cache.get(key).seeds == [1, 2]
+        assert metrics.counter("result_cache.misses").value == 1
+        assert metrics.counter("result_cache.hits").value == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", _result([1]))
+        cache.put("b", _result([2]))
+        cache.get("a")  # refresh a; b is now least recent
+        cache.put("c", _result([3]))
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+
+    def test_clear(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", _result([1]))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_bad_capacity(self):
+        with pytest.raises(ServeError):
+            ResultCache(capacity=0)

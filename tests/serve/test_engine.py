@@ -1,0 +1,263 @@
+"""Tests for repro.serve.engine (caching, batches, timeout fallback)."""
+
+import time
+
+import pytest
+
+from repro.core.mia_da import MiaDaConfig, MiaDaIndex
+from repro.core.persistence import save_mia_index, save_ris_index
+from repro.core.query import DaimQuery
+from repro.core.ris_da import RisDaConfig, RisDaIndex
+from repro.exceptions import ServeError
+from repro.geo.weights import DistanceDecay
+from repro.network.generators import GeoSocialConfig, generate_geo_social_network
+from repro.serve.cache import IndexCache
+from repro.serve.engine import QueryEngine, ServeConfig
+from repro.serve.metrics import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def net():
+    return generate_geo_social_network(
+        GeoSocialConfig(n=150, avg_out_degree=4.0, extent=100.0, city_std=8.0),
+        seed=29,
+    )
+
+
+@pytest.fixture(scope="module")
+def decay():
+    return DistanceDecay(alpha=0.02)
+
+
+@pytest.fixture(scope="module")
+def ris_index(net, decay):
+    cfg = RisDaConfig(
+        k_max=6, n_pivots=8, epsilon_pivot=0.4, max_index_samples=10_000,
+        seed=3,
+    )
+    return RisDaIndex(net, decay, cfg)
+
+
+@pytest.fixture(scope="module")
+def mia_index(net, decay):
+    return MiaDaIndex(net, decay, MiaDaConfig(n_anchors=10, tau=24, seed=3))
+
+
+class TestServeConfig:
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            ServeConfig(n_threads=0)
+        with pytest.raises(ServeError):
+            ServeConfig(timeout=0.0)
+        with pytest.raises(ServeError):
+            ServeConfig(result_cache_size=-1)
+        with pytest.raises(ServeError):
+            ServeConfig(cache_cells=0)
+        with pytest.raises(ServeError):
+            ServeConfig(fallback="coin-flip")
+
+
+class TestSingleQuery:
+    def test_matches_direct_index_query(self, ris_index):
+        engine = QueryEngine(ris_index)
+        q = (50.0, 50.0)
+        served = engine.query(q, k=4)
+        direct = ris_index.query(q, 4)
+        assert served.ok and not served.cached and not served.fallback
+        assert served.result.seeds == direct.seeds
+        assert served.result.estimate == pytest.approx(direct.estimate)
+
+    def test_mia_index_served_identically(self, mia_index):
+        engine = QueryEngine(mia_index)
+        served = engine.query((40.0, 60.0), k=3)
+        direct = mia_index.query((40.0, 60.0), 3)
+        assert served.ok
+        assert served.result.seeds == direct.seeds
+
+    def test_bare_location_requires_k(self, ris_index):
+        with pytest.raises(ServeError):
+            QueryEngine(ris_index).query((1.0, 2.0))
+
+    def test_query_error_becomes_error_result(self, ris_index):
+        metrics = MetricsRegistry()
+        engine = QueryEngine(ris_index, metrics=metrics)
+        served = engine.query((50.0, 50.0), k=999)  # k > k_max
+        assert not served.ok
+        assert served.result is None
+        assert "k must be" in served.error
+        assert metrics.counter("errors").value == 1
+
+
+class TestResultCache:
+    def test_repeat_query_hits_cache(self, ris_index):
+        metrics = MetricsRegistry()
+        engine = QueryEngine(ris_index, metrics=metrics)
+        first = engine.query((50.0, 50.0), k=4)
+        second = engine.query((50.0, 50.0), k=4)
+        assert not first.cached and second.cached
+        assert second.result is first.result
+        assert metrics.counter("result_cache.hits").value == 1
+        assert metrics.counter("result_cache.misses").value == 1
+
+    def test_nearby_queries_share_a_cell(self, ris_index):
+        engine = QueryEngine(ris_index)
+        first = engine.query((50.0, 50.0), k=4)
+        # Well inside the same grid cell (extent 100, 4096 cells -> ~1.6
+        # units per cell side; 1e-4 is far below that).
+        second = engine.query((50.0001, 50.0001), k=4)
+        assert second.cached
+        assert second.result is first.result
+
+    def test_different_k_is_a_different_key(self, ris_index):
+        engine = QueryEngine(ris_index)
+        engine.query((50.0, 50.0), k=4)
+        other = engine.query((50.0, 50.0), k=5)
+        assert not other.cached
+
+    def test_cache_disabled(self, ris_index):
+        metrics = MetricsRegistry()
+        engine = QueryEngine(
+            ris_index, config=ServeConfig(result_cache_size=0),
+            metrics=metrics,
+        )
+        engine.query((50.0, 50.0), k=4)
+        second = engine.query((50.0, 50.0), k=4)
+        assert not second.cached
+        assert metrics.counter("result_cache.hits").value == 0
+
+    def test_latency_and_samples_metrics_recorded(self, ris_index):
+        metrics = MetricsRegistry()
+        engine = QueryEngine(ris_index, metrics=metrics)
+        engine.query((50.0, 50.0), k=4)
+        assert metrics.histogram("latency_ms").count == 1
+        assert metrics.histogram("samples_used").count == 1
+        assert metrics.counter("queries_total").value == 1
+
+
+class TestServeBatch:
+    def test_batch_matches_looped_queries(self, ris_index):
+        engine = QueryEngine(
+            ris_index, config=ServeConfig(n_threads=4, result_cache_size=0)
+        )
+        locations = [(20.0, 20.0), (50.0, 50.0), (80.0, 30.0)]
+        batch = engine.serve_batch(locations, k=4)
+        assert len(batch) == 3
+        for loc, served in zip(locations, batch):
+            direct = ris_index.query(loc, 4)
+            assert served.ok
+            assert served.result.seeds == direct.seeds
+
+    def test_empty_batch(self, ris_index):
+        assert QueryEngine(ris_index).serve_batch([]) == []
+
+    def test_serial_path_when_single_thread(self, ris_index):
+        engine = QueryEngine(ris_index, config=ServeConfig(n_threads=1))
+        batch = engine.serve_batch([(10.0, 10.0), (90.0, 90.0)], k=3)
+        assert all(s.ok for s in batch)
+
+    def test_error_does_not_poison_batch(self, ris_index):
+        engine = QueryEngine(ris_index, config=ServeConfig(result_cache_size=0))
+        batch = engine.serve_batch(
+            [DaimQuery((50.0, 50.0), 4), DaimQuery((20.0, 20.0), 999)]
+        )
+        assert batch[0].ok
+        assert not batch[1].ok and batch[1].result is None
+
+    def test_warm_batch_is_all_hits(self, ris_index):
+        metrics = MetricsRegistry()
+        engine = QueryEngine(ris_index, metrics=metrics)
+        locations = [(float(x), 50.0) for x in range(0, 100, 10)]
+        engine.serve_batch(locations, k=4)
+        hits_before = metrics.counter("result_cache.hits").value
+        warm = engine.serve_batch(locations, k=4)
+        assert all(s.cached for s in warm)
+        assert (
+            metrics.counter("result_cache.hits").value
+            == hits_before + len(locations)
+        )
+
+
+class TestTimeoutFallback:
+    def _slow_engine(self, ris_index, monkeypatch, **cfg_kwargs):
+        metrics = MetricsRegistry()
+        engine = QueryEngine(
+            ris_index,
+            config=ServeConfig(
+                n_threads=2, timeout=0.05, result_cache_size=0, **cfg_kwargs
+            ),
+            metrics=metrics,
+        )
+        real_query = ris_index.query
+
+        def slow_query(q, k=None, **kwargs):
+            time.sleep(0.3)
+            return real_query(q, k, **kwargs)
+
+        monkeypatch.setattr(ris_index, "query", slow_query)
+        return engine, metrics
+
+    def test_timeout_answers_with_degree_discount(
+        self, ris_index, monkeypatch
+    ):
+        engine, metrics = self._slow_engine(ris_index, monkeypatch)
+        batch = engine.serve_batch([(50.0, 50.0), (20.0, 80.0)], k=4)
+        assert all(s.ok for s in batch)
+        assert all(s.fallback_reason == "timeout" for s in batch)
+        assert all(s.result.method == "DegreeDiscount" for s in batch)
+        assert all(len(s.result.seeds) == 4 for s in batch)
+        assert metrics.counter("timeouts").value == 2
+        assert metrics.counter("fallbacks").value == 2
+        assert metrics.histogram("fallback_latency_ms").count == 2
+
+    def test_fallback_none_surfaces_error(self, ris_index, monkeypatch):
+        engine, _ = self._slow_engine(
+            ris_index, monkeypatch, fallback="none"
+        )
+        batch = engine.serve_batch([(50.0, 50.0)], k=4)
+        assert not batch[0].ok
+        assert "timed out" in batch[0].error
+
+    def test_fast_queries_beat_the_deadline(self, ris_index):
+        engine = QueryEngine(
+            ris_index, config=ServeConfig(n_threads=2, timeout=30.0)
+        )
+        batch = engine.serve_batch([(50.0, 50.0)], k=4)
+        assert batch[0].ok and not batch[0].fallback
+
+
+class TestFromPath:
+    def test_ris_file_round_trip(self, net, decay, ris_index, tmp_path):
+        path = tmp_path / "ris.npz"
+        save_ris_index(ris_index, path)
+        engine = QueryEngine.from_path(path, net, kind="ris")
+        served = engine.query((50.0, 50.0), k=4)
+        assert served.ok
+        assert served.result.seeds == ris_index.query((50.0, 50.0), 4).seeds
+        assert engine.fingerprint == IndexCache.fingerprint(path)
+
+    def test_kind_mismatch_is_a_serve_error(
+        self, net, decay, mia_index, tmp_path
+    ):
+        path = tmp_path / "mia.npz"
+        save_mia_index(mia_index, path)
+        with pytest.raises(ServeError, match="MIA-DA"):
+            QueryEngine.from_path(path, net, kind="ris")
+
+    def test_auto_kind_serves_mia(self, net, mia_index, tmp_path):
+        path = tmp_path / "mia.npz"
+        save_mia_index(mia_index, path)
+        engine = QueryEngine.from_path(path, net)
+        assert engine.query((40.0, 60.0), k=3).ok
+
+    def test_shared_cache_loads_once(self, net, ris_index, tmp_path):
+        path = tmp_path / "ris.npz"
+        save_ris_index(ris_index, path)
+        metrics = MetricsRegistry()
+        cache = IndexCache(metrics=metrics)
+        e1 = QueryEngine.from_path(path, net, cache=cache, metrics=metrics)
+        e2 = QueryEngine.from_path(path, net, cache=cache, metrics=metrics)
+        assert e1.index is e2.index
+        assert metrics.counter("index_cache.misses").value == 1
+        assert metrics.counter("index_cache.hits").value == 1
+        # Same file, same fingerprint: the engines share result-cache keys.
+        assert e1.fingerprint == e2.fingerprint

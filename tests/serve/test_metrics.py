@@ -1,0 +1,121 @@
+"""Tests for repro.serve.metrics (counters, histograms, report format)."""
+
+import threading
+
+import pytest
+
+from repro.serve.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS_MS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        m = MetricsRegistry()
+        c = m.counter("queries_total")
+        assert c.value == 0
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_same_name_same_instrument(self):
+        m = MetricsRegistry()
+        m.inc("hits")
+        m.inc("hits")
+        assert m.counter("hits").value == 2
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        m = MetricsRegistry()
+        h = m.histogram("latency_ms", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 1.0, 5.0, 50.0, 500.0):
+            h.observe(v)
+        # <=1: {0.5, 1.0}; <=10: {5.0}; <=100: {50.0}; +inf: {500.0}
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.min == 0.5 and h.max == 500.0
+        assert h.mean == pytest.approx((0.5 + 1 + 5 + 50 + 500) / 5)
+
+    def test_default_buckets_by_name(self):
+        m = MetricsRegistry()
+        assert m.histogram("latency_ms").buckets == LATENCY_BUCKETS_MS
+        assert m.histogram("samples_used").buckets == COUNT_BUCKETS
+
+    def test_quantiles_bracket_observations(self):
+        m = MetricsRegistry()
+        h = m.histogram("x_ms", buckets=(1.0, 2.0, 4.0, 8.0))
+        for v in (0.5, 1.5, 3.0, 6.0):
+            h.observe(v)
+        assert h.quantile(0.0) <= h.quantile(0.5) <= h.quantile(1.0)
+        assert h.quantile(1.0) == pytest.approx(6.0)
+
+    def test_empty_quantile_is_zero(self):
+        m = MetricsRegistry()
+        assert m.histogram("empty_ms").quantile(0.5) == 0.0
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (), threading.Lock())
+        with pytest.raises(ValueError):
+            Histogram("h", (2.0, 1.0), threading.Lock())
+
+    def test_bad_quantile_rejected(self):
+        m = MetricsRegistry()
+        with pytest.raises(ValueError):
+            m.histogram("x_ms").quantile(1.5)
+
+
+class TestDumpAndReport:
+    def test_dump_structure(self):
+        m = MetricsRegistry()
+        m.inc("queries_total", 3)
+        m.observe("latency_ms", 2.0)
+        snap = m.dump()
+        assert snap["counters"] == {"queries_total": 3}
+        hist = snap["histograms"]["latency_ms"]
+        assert hist["count"] == 1
+        assert hist["sum"] == pytest.approx(2.0)
+        assert sum(b["count"] for b in hist["buckets"]) == 1
+        assert hist["buckets"][-1]["le"] == float("inf")
+
+    def test_report_shows_everything(self):
+        m = MetricsRegistry()
+        m.inc("result_cache.hits", 5)
+        m.inc("result_cache.misses", 2)
+        for v in (0.3, 1.1, 4.2, 40.0):
+            m.observe("latency_ms", v)
+        text = m.report()
+        assert "result_cache.hits" in text and "5" in text
+        assert "result_cache.misses" in text
+        assert "latency_ms" in text
+        assert "count=4" in text
+        assert "p95=" in text
+        assert "#" in text  # histogram bars
+
+    def test_empty_histogram_reported(self):
+        m = MetricsRegistry()
+        m.histogram("never_ms")
+        assert "never_ms: count=0" in m.report()
+
+
+class TestThreadSafety:
+    def test_concurrent_updates_are_lossless(self):
+        m = MetricsRegistry()
+        rounds = 200
+
+        def work():
+            for _ in range(rounds):
+                m.inc("n")
+                m.observe("v_ms", 1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert m.counter("n").value == 8 * rounds
+        assert m.histogram("v_ms").count == 8 * rounds

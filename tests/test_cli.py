@@ -166,3 +166,117 @@ class TestBuildAndLoadMia:
         ])
         assert rc == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestServeBatch:
+    def _build_ris(self, tmp_path, capsys):
+        index_path = tmp_path / "idx.npz"
+        rc = main([
+            "build-ris", "--dataset", "brightkite", "--scale", "0.1",
+            "--out", str(index_path), "--k-max", "5", "--pivots", "6",
+            "--epsilon-pivot", "0.4", "--max-samples", "5000",
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        return index_path
+
+    def _write_queries(self, tmp_path, count=8, k=3):
+        import json
+        path = tmp_path / "queries.jsonl"
+        lines = [
+            json.dumps({"x": 10.0 * (i % 4), "y": 25.0 * (i // 4), "k": k})
+            for i in range(count)
+        ]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path
+
+    def test_serve_batch_writes_results_and_metrics(self, tmp_path, capsys):
+        import json
+        index_path = self._build_ris(tmp_path, capsys)
+        queries = self._write_queries(tmp_path)
+        out_path = tmp_path / "results.jsonl"
+        rc = main([
+            "serve-batch", "--dataset", "brightkite", "--scale", "0.1",
+            "--index", str(index_path), "--queries", str(queries),
+            "--out", str(out_path), "--threads", "2",
+        ])
+        assert rc == 0
+        rows = [
+            json.loads(line)
+            for line in out_path.read_text().splitlines() if line
+        ]
+        assert len(rows) == 8
+        for row in rows:
+            assert row["error"] is None
+            assert row["method"] == "RIS-DA"
+            assert len(row["seeds"]) == 3
+        out = capsys.readouterr().out
+        assert "served 8 queries" in out
+        assert "latency_ms" in out
+        assert "result_cache" in out
+
+    def test_serve_batch_metrics_out_file(self, tmp_path, capsys):
+        index_path = self._build_ris(tmp_path, capsys)
+        queries = self._write_queries(tmp_path, count=4)
+        metrics_path = tmp_path / "metrics.txt"
+        rc = main([
+            "serve-batch", "--dataset", "brightkite", "--scale", "0.1",
+            "--index", str(index_path), "--queries", str(queries),
+            "--out", str(tmp_path / "r.jsonl"),
+            "--metrics-out", str(metrics_path),
+        ])
+        assert rc == 0
+        text = metrics_path.read_text()
+        assert "queries_total" in text and "latency_ms" in text
+
+    def test_serve_batch_kind_mismatch_errors(self, tmp_path, capsys):
+        mia_path = tmp_path / "mia.npz"
+        main([
+            "build-mia", "--dataset", "brightkite", "--scale", "0.1",
+            "--out", str(mia_path), "--anchors", "8", "--tau", "16",
+        ])
+        capsys.readouterr()
+        queries = self._write_queries(tmp_path, count=2)
+        rc = main([
+            "serve-batch", "--dataset", "brightkite", "--scale", "0.1",
+            "--index", str(mia_path), "--queries", str(queries),
+            "--method", "ris",
+        ])
+        assert rc == 2
+        assert "MIA-DA" in capsys.readouterr().err
+
+    def test_serve_batch_mia_autodetect(self, tmp_path, capsys):
+        mia_path = tmp_path / "mia.npz"
+        main([
+            "build-mia", "--dataset", "brightkite", "--scale", "0.1",
+            "--out", str(mia_path), "--anchors", "8", "--tau", "16",
+        ])
+        capsys.readouterr()
+        queries = self._write_queries(tmp_path, count=2)
+        rc = main([
+            "serve-batch", "--dataset", "brightkite", "--scale", "0.1",
+            "--index", str(mia_path), "--queries", str(queries),
+        ])
+        assert rc == 0
+        assert "MIA-DA" in capsys.readouterr().out
+
+    def test_serve_batch_bad_query_file(self, tmp_path, capsys):
+        index_path = self._build_ris(tmp_path, capsys)
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"x": 1.0}\n', encoding="utf-8")
+        rc = main([
+            "serve-batch", "--dataset", "brightkite", "--scale", "0.1",
+            "--index", str(index_path), "--queries", str(bad),
+        ])
+        assert rc == 2
+        assert "bad query line" in capsys.readouterr().err
+
+    def test_serve_batch_empty_query_file(self, tmp_path, capsys):
+        index_path = self._build_ris(tmp_path, capsys)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("", encoding="utf-8")
+        rc = main([
+            "serve-batch", "--dataset", "brightkite", "--scale", "0.1",
+            "--index", str(index_path), "--queries", str(empty),
+        ])
+        assert rc == 2
