@@ -11,6 +11,7 @@ DESIGN.md).  The ``REPRO_SCALE`` environment variable stretches them.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import Dict
@@ -55,6 +56,34 @@ def emit(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
     print(f"\n=== {name} ===\n{text}\n")
+
+
+def emit_json(
+    section: str, payload: dict, name: str = "BENCH_query_kernels"
+) -> None:
+    """Merge one section into ``benchmarks/results/<name>.json``.
+
+    The kernel benchmarks (``test_selection_kernels``,
+    ``test_query_throughput``) each contribute a section to one
+    machine-readable file, so partial runs update their own section
+    without clobbering the others.  An unreadable existing file is
+    replaced rather than crashing the benchmark.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    data: dict = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text(encoding="utf-8"))
+            if isinstance(loaded, dict):
+                data = loaded
+        except ValueError:
+            pass
+    data[section] = payload
+    path.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"\n=== {name}.json [{section}] updated ===\n")
 
 
 @pytest.fixture(scope="session")

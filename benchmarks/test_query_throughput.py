@@ -20,7 +20,7 @@ from repro.geo.weights import DistanceDecay
 from repro.network.datasets import load_dataset
 from repro.serve.engine import QueryEngine, ServeConfig
 
-from .conftest import DEFAULT_ALPHA, emit
+from .conftest import DEFAULT_ALPHA, emit, emit_json
 
 N_QUERIES = 64
 K = 10
@@ -53,6 +53,25 @@ def test_query_throughput(tmp_path):
     emit("query_throughput", text + "\n\n" + report)
 
     cold, warm = rows[0], rows[-1]
+    # Machine-readable section: cold/warm latency plus the per-stage
+    # medians the engine aggregated from QueryDiagnostics.timings.
+    dump = engine.metrics.dump()
+    stage_p50_ms = {
+        name: engine.metrics.histogram(name).quantile(0.5)
+        for name in dump["histograms"]
+        if name.startswith("stage_")
+    }
+    emit_json("query_throughput", {
+        "workload": {
+            "dataset": "brightkite", "scale": 0.5, "n_queries": N_QUERIES,
+            "k": K, "rounds": len(rows),
+        },
+        "cold": cold.as_row(),
+        "warm": warm.as_row(),
+        "warm_speedup": warm.queries_per_second / cold.queries_per_second,
+        "stage_p50_ms": stage_p50_ms,
+        "latency_p50_ms": engine.metrics.histogram("latency_ms").quantile(0.5),
+    })
     assert cold.cache_hits == 0
     # The workload has 64 distinct locations but may share grid cells;
     # every warm-round query must hit the cache.

@@ -99,6 +99,7 @@ def cmd_build_ris(args: argparse.Namespace) -> int:
         max_index_samples=args.max_samples,
         seed=args.seed,
         n_workers=args.workers,
+        selection=args.selection,
     )
     index = RisDaIndex(network, decay, cfg)
     save_ris_index(index, args.out)
@@ -274,6 +275,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker processes for RR-set sampling (1 = serial; builds "
              "are reproducible per (seed, workers) pair)",
+    )
+    p.add_argument(
+        "--selection", choices=("eager", "lazy"), default="eager",
+        help="greedy-cover kernel: eager argmax scan (default) or "
+             "CELF-style lazy heap; both select identical seed sets",
     )
     p.set_defaults(func=cmd_build_ris)
 

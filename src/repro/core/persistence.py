@@ -127,6 +127,7 @@ def save_ris_index(index: RisDaIndex, path: PathLike) -> None:
             "diffusion": index.config.diffusion,
             "seed": index.config.seed,
             "n_workers": index.config.n_workers,
+            "selection": index.config.selection,
         },
     }
     np.savez_compressed(
@@ -193,6 +194,8 @@ def load_ris_index(path: PathLike, network: GeoSocialNetwork) -> RisDaIndex:
         diffusion=cfg_raw.get("diffusion", "ic"),
         seed=cfg_raw["seed"],
         n_workers=cfg_raw.get("n_workers", 1),
+        # Pre-kernel-PR files carry no selection field: they were eager.
+        selection=cfg_raw.get("selection", "eager"),
     )
 
     # Assemble the object without re-running the build.

@@ -31,7 +31,7 @@ indexed report ``guarantee_met=False`` in their diagnostics).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -77,6 +77,12 @@ class RisDaConfig:
     offline phases (pivot growth and the Algorithm 5 worst-case top-up).
     The build stays fully reproducible per ``(seed, n_workers)`` pair;
     different worker counts yield different, equally valid sample streams.
+
+    ``selection`` picks the greedy-cover kernel for both the pivot phase
+    and online queries: ``"eager"`` (default; argmax scan, reproducible
+    reference) or ``"lazy"`` (CELF-style stale-gain heap).  Both select
+    identical seed sets up to exact float ties — see
+    :func:`repro.ris.coverage.weighted_greedy_cover`.
     """
 
     k_max: int = 50
@@ -91,6 +97,7 @@ class RisDaConfig:
     diffusion: str = "ic"
     seed: int = 0
     n_workers: int = 1
+    selection: str = "eager"
 
     def __post_init__(self) -> None:
         if self.diffusion not in ("ic", "lt"):
@@ -112,6 +119,10 @@ class RisDaConfig:
             raise QueryError(
                 f"n_workers must be at least 1, got {self.n_workers}"
             )
+        if self.selection not in ("eager", "lazy"):
+            raise QueryError(
+                f"selection must be 'eager' or 'lazy', got {self.selection!r}"
+            )
 
     def resolved_deltas(self, n: int) -> Tuple[float, float]:
         """``(delta_pivot, delta_online)`` with the paper's defaults."""
@@ -126,8 +137,38 @@ class RisDaConfig:
 
 
 @dataclass(frozen=True)
+class QueryTimings:
+    """Per-stage wall-clock seconds of one online query.
+
+    ``weight_eval`` is the distance-decay evaluation over the prefix
+    roots; ``score_build`` / ``selection`` / ``bound`` come from the
+    greedy cover (see :class:`repro.ris.coverage.SelectionTimings`);
+    ``total`` is the whole query including pivot lookup and sizing.
+    """
+
+    weight_eval: float
+    score_build: float
+    selection: float
+    bound: float
+    total: float
+
+    def as_dict(self) -> dict:
+        return {
+            "weight_eval": self.weight_eval,
+            "score_build": self.score_build,
+            "selection": self.selection,
+            "bound": self.bound,
+            "total": self.total,
+        }
+
+
+@dataclass(frozen=True)
 class QueryDiagnostics:
-    """Side-channel information about one RIS-DA query."""
+    """Side-channel information about one RIS-DA query.
+
+    ``timings`` is excluded from equality: two runs of the same query are
+    diagnostically identical even though their wall clocks never are.
+    """
 
     pivot_index: int
     pivot_distance: float
@@ -135,6 +176,7 @@ class QueryDiagnostics:
     samples_required: int
     samples_used: int
     guarantee_met: bool
+    timings: Optional[QueryTimings] = field(default=None, compare=False)
 
 
 class RisDaIndex:
@@ -160,7 +202,9 @@ class RisDaIndex:
         net = self.network
         n = net.n
         k_max = min(cfg.k_max, n)
-        delta_pivot, _ = cfg.resolved_deltas(n)
+        # Resolved once; both the pivot phase and the Voronoi sizing below
+        # reuse the same pair (it depends only on the network size).
+        delta_pivot, delta_online = cfg.resolved_deltas(n)
         rng = as_generator(cfg.seed)
         start = time.perf_counter()
 
@@ -202,8 +246,11 @@ class RisDaIndex:
             )
             l_p = self._capped(l_p)
             self.corpus.ensure(l_p)
+            # The pivot phase only needs the estimate curve, never the
+            # certification bound — skip the per-iteration partitions.
             cover = weighted_greedy_cover(
-                self.corpus, weights[self.corpus.roots[:l_p]], k_max, prefix=l_p
+                self.corpus, weights[self.corpus.roots[:l_p]], k_max,
+                prefix=l_p, compute_bound=False, method=cfg.selection,
             )
             # Greedy is nested: prefix estimates give the whole k curve.
             self.pivot_estimates[pi] = [
@@ -215,7 +262,6 @@ class RisDaIndex:
         vstart = time.perf_counter()
         self.voronoi = VoronoiDiagram(pivots, box)
         l_max = 0
-        delta_pivot, delta_online = cfg.resolved_deltas(n)
         delta_query = delta_online - delta_pivot
         for cell in self.voronoi.cells:
             pi = cell.site_index
@@ -358,12 +404,17 @@ class RisDaIndex:
         l_used = min(l_required, len(self.corpus))
         guarantee = l_used >= l_required
 
+        t_weights = time.perf_counter()
         roots = self.corpus.roots[:l_used]
         sample_weights = self.decay.weights(
             self.network.coords[roots], location
         )
+        weight_seconds = time.perf_counter() - t_weights
+        # Serving default: no certification bound (certify.py draws its
+        # own fresh samples and requests the bound explicitly there).
         cover = weighted_greedy_cover(
-            self.corpus, sample_weights, k, prefix=l_used
+            self.corpus, sample_weights, k, prefix=l_used,
+            compute_bound=False, method=cfg.selection,
         )
         elapsed = time.perf_counter() - start
         result = SeedResult(
@@ -374,6 +425,7 @@ class RisDaIndex:
             samples_used=l_used,
         )
         if return_diagnostics:
+            ct = cover.timings
             diag = QueryDiagnostics(
                 pivot_index=diag.pivot_index,
                 pivot_distance=diag.pivot_distance,
@@ -381,6 +433,13 @@ class RisDaIndex:
                 samples_required=l_required,
                 samples_used=l_used,
                 guarantee_met=guarantee,
+                timings=QueryTimings(
+                    weight_eval=weight_seconds,
+                    score_build=ct.score_build if ct else 0.0,
+                    selection=ct.selection if ct else 0.0,
+                    bound=ct.bound if ct else 0.0,
+                    total=elapsed,
+                ),
             )
             return result, diag
         return result

@@ -18,7 +18,13 @@
 from repro.ris.adhoc import adhoc_ris_query
 from repro.ris.certify import Certificate, certify_seed_set
 from repro.ris.corpus import RRCorpus
-from repro.ris.coverage import CoverageResult, weighted_greedy_cover
+from repro.ris.coverage import (
+    CoverageResult,
+    SelectionTimings,
+    covered_sample_mask,
+    estimate_spread,
+    weighted_greedy_cover,
+)
 from repro.ris.lower_bound import lb_est, lb_est_lt, topk_sum
 from repro.ris.parallel import ParallelRRSampler
 from repro.ris.rrset import RRSampler
@@ -31,7 +37,10 @@ from repro.ris.sample_size import (
 __all__ = [
     "Certificate",
     "CoverageResult",
+    "SelectionTimings",
     "certify_seed_set",
+    "covered_sample_mask",
+    "estimate_spread",
     "ParallelRRSampler",
     "RRCorpus",
     "RRSampler",

@@ -37,7 +37,7 @@ from repro.geo.point import PointLike, as_point
 from repro.geo.weights import DistanceDecay
 from repro.network.graph import GeoSocialNetwork
 from repro.ris.corpus import RRCorpus
-from repro.ris.coverage import weighted_greedy_cover
+from repro.ris.coverage import covered_sample_mask, weighted_greedy_cover
 from repro.ris.rrset import RRSampler
 from repro.ris.sample_size import GREEDY_FACTOR
 from repro.rng import RandomLike
@@ -126,21 +126,16 @@ def certify_seed_set(
     a = math.log(2.0 / delta)  # each one-sided event gets delta / 2
 
     # --- LCB of I_q(S): observed normalised covered weight of S. ---------
-    seed_mask = np.zeros(n, dtype=bool)
-    seed_mask[seed_list] = True
-    flat, offsets = corpus.flat()
-    covered = 0.0
-    for i in range(n_samples):
-        members = flat[offsets[i] : offsets[i + 1]]
-        if bool(seed_mask[members].any()):
-            covered += float(omega[i])
+    covered_mask = covered_sample_mask(corpus, seed_list, n_samples)
+    covered = float(omega[:n_samples][covered_mask].sum())
     spread_lcb = n * w_max * mean_lower_bound(covered / w_max, n_samples, a)
 
     # --- UCB of OPT_q^k via the fresh-sample greedy. ----------------------
     # Two deterministic bounds on the best k-set's sample coverage: the
     # (1 - 1/e) inflation of the greedy's coverage, and the tighter
     # submodular "coverage + top-k residuals" bound tracked per iteration.
-    greedy = weighted_greedy_cover(corpus, omega, k)
+    # Certification explicitly requests the bound the serving path skips.
+    greedy = weighted_greedy_cover(corpus, omega, k, compute_bound=True)
     opt_cov_samples = min(
         float(greedy.gains.sum()) / GREEDY_FACTOR,
         greedy.optimal_coverage_upper,

@@ -7,20 +7,83 @@ the unbiased DAIM spread estimate (Eq. 9)::
 
     I_hat_q(S) = n * (sum of omega_i over samples covered by S) / l
 
-The loop is linear in the total member entries of the prefix: each sample's
-members are visited once at initialisation (score build) and once when the
-sample first becomes covered (score decrement).
+The selection path is built from flat numpy kernels (this is the hot
+online path — see DESIGN.md, "Selection kernels"):
+
+* the initial score array is one weighted ``np.bincount`` over the flat
+  member prefix (not ``np.add.at``, which takes a slow generalized
+  ufunc path);
+* when a seed is chosen, all samples it newly covers are decremented in
+  a single batch: their member slices are gathered through the CSR
+  offsets and subtracted with one weighted ``bincount``;
+* the per-iteration submodular certification bound (a ``np.partition``
+  over all ``n`` scores) is **opt-in** via ``compute_bound`` — the
+  default serving path runs without it, certification requests it;
+* a CELF-style lazy greedy (``method="lazy"``) trades the per-iteration
+  ``argmax`` scan for a max-heap of stale gains.
+
+Float caveat: the batched decrement subtracts each node's pre-summed
+total where the old per-sample loop subtracted one weight at a time, so
+residual scores may differ from the historical kernel by ~1 ulp per
+covered sample — including drifting slightly *positive* where the
+sequential order happened to land at or below zero.  Selection therefore
+stops once the best gain falls to ``<= 1e-12`` of the covered weight
+(``_DRIFT_RTOL``): drift seeds are never selected, and a genuine gain
+that small changes the estimate by less than 1e-12 relative anyway.
+Seed sets agree with the historical kernel on every pinned corpus (see
+``tests/ris/test_kernel_parity.py``); an exact-tie flip on an unpinned
+corpus would still yield an equally valid greedy solution.
+
+The loop stays linear in the total member entries of the prefix: each
+sample's members are visited once at initialisation (score build) and
+once when the sample first becomes covered (batched decrement).
 """
 
 from __future__ import annotations
 
+import heapq
+import time
 from dataclasses import dataclass
-from typing import List
+from typing import List, Union
 
 import numpy as np
 
 from repro.exceptions import QueryError, SamplingError
 from repro.ris.corpus import RRCorpus
+
+#: Accepted values of ``weighted_greedy_cover``'s ``compute_bound``.
+BoundMode = Union[bool, str]
+
+#: Stop selecting once the best residual gain is below this fraction of
+#: the covered weight: batched float decrements can leave exhausted
+#: residuals ~1 ulp above zero, and a real gain this small is estimator
+#: noise (it moves the Eq. 9 estimate by < 1e-12 relative).
+_DRIFT_RTOL = 1e-12
+
+
+@dataclass(frozen=True)
+class SelectionTimings:
+    """Per-stage wall-clock seconds of one greedy-cover run.
+
+    ``score_build`` covers the flat-prefix gather, the weighted
+    ``bincount`` and (on a cold corpus) the lazy inverted-index build;
+    ``selection`` is the pick/decrement loop excluding bound work;
+    ``bound`` is the submodular upper-bound computation (0 when
+    ``compute_bound=False``); ``total`` the whole call.
+    """
+
+    score_build: float
+    selection: float
+    bound: float
+    total: float
+
+    def as_dict(self) -> dict:
+        return {
+            "score_build": self.score_build,
+            "selection": self.selection,
+            "bound": self.bound,
+            "total": self.total,
+        }
 
 
 @dataclass(frozen=True)
@@ -37,7 +100,10 @@ class CoverageResult:
     ``optimal_coverage_upper`` a deterministic upper bound on the covered
     weight of the *best possible* k-set over the same sample prefix (the
     standard submodular bound ``min_i covered(S_i) + top-k residual
-    scores``), used by a-posteriori certification.
+    scores``), used by a-posteriori certification.  It is only computed
+    when the caller asks for it (``compute_bound``); otherwise it stays
+    ``inf`` (a trivially valid bound).
+    ``timings`` the per-stage wall-clock breakdown of the run.
     """
 
     seeds: List[int]
@@ -45,6 +111,7 @@ class CoverageResult:
     estimate: float
     samples_used: int
     optimal_coverage_upper: float = float("inf")
+    timings: SelectionTimings | None = None
 
     def estimate_for_prefix(self, j: int, n_nodes: int) -> float:
         """Spread estimate for the first ``j`` seeds (greedy is nested).
@@ -59,11 +126,44 @@ class CoverageResult:
         return n_nodes * covered / self.samples_used
 
 
+def _topk_residual(score: np.ndarray, n: int, k: int) -> float:
+    """Sum of the k largest positive residual scores."""
+    if k < n:
+        part = np.partition(score, n - k)[n - k:]
+        return float(part[part > 0].sum())
+    return float(score[score > 0].sum())
+
+
+def _gather_slices(
+    flat: np.ndarray, offsets: np.ndarray, ids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenated ``flat`` slices of the samples in ``ids``.
+
+    Returns ``(entries, counts)`` where ``entries`` is the concatenation
+    of ``flat[offsets[i]:offsets[i+1]]`` for each ``i`` in ``ids`` and
+    ``counts[j] = len(slice j)`` — the ragged gather done entirely with
+    array ops (no per-sample Python loop).
+    """
+    starts = offsets[ids]
+    counts = offsets[ids + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=flat.dtype), counts
+    # Within block j the flat position runs starts[j] .. starts[j]+counts[j)-1:
+    # a global arange shifted back to each block's start.
+    cum = np.cumsum(counts)
+    idx = np.arange(total, dtype=np.int64) + np.repeat(starts - (cum - counts), counts)
+    return flat[idx], counts
+
+
 def weighted_greedy_cover(
     corpus: RRCorpus,
     sample_weights: np.ndarray,
     k: int,
     prefix: int | None = None,
+    *,
+    compute_bound: BoundMode = True,
+    method: str = "eager",
 ) -> CoverageResult:
     """Algorithm 2: greedy seed selection over a weighted sample prefix.
 
@@ -79,7 +179,23 @@ def weighted_greedy_cover(
     prefix:
         Use only the first ``prefix`` samples (default: all).  This is how
         RIS-DA answers online queries with fewer samples than indexed.
+    compute_bound:
+        ``True`` (default): track the submodular upper bound on the best
+        k-set's coverage at every iteration (tightest; k partitions).
+        ``"final"``: compute it once from the final residual state (one
+        partition; looser but still valid).  ``False``: skip it entirely
+        — ``optimal_coverage_upper`` stays ``inf``.  Selection is
+        identical in all three modes; only the bound (and its cost)
+        changes.  The RIS-DA serving path passes ``False``;
+        :mod:`repro.ris.certify` keeps the default.
+    method:
+        ``"eager"`` (default): argmax over the maintained score array
+        each iteration.  ``"lazy"``: CELF-style max-heap of stale gains,
+        re-evaluated on pop.  Both maintain scores with the same batched
+        kernels and break exact ties toward the lowest node id, so they
+        select identical seed sets.
     """
+    t_start = time.perf_counter()
     l = len(corpus) if prefix is None else int(prefix)
     if l <= 0:
         raise SamplingError("cannot run coverage over zero samples")
@@ -92,6 +208,12 @@ def weighted_greedy_cover(
     n = corpus.n_nodes
     if k > n:
         raise QueryError(f"k={k} exceeds node count {n}")
+    if compute_bound not in (True, False, "final"):
+        raise QueryError(
+            f"compute_bound must be True, False or 'final', got {compute_bound!r}"
+        )
+    if method not in ("eager", "lazy"):
+        raise QueryError(f"method must be 'eager' or 'lazy', got {method!r}")
     weights = np.asarray(sample_weights, dtype=float)
     if len(weights) < l:
         raise SamplingError(
@@ -103,67 +225,134 @@ def weighted_greedy_cover(
     flat_prefix = flat[:end]
     # Per-entry weight: each member entry of sample i carries omega_i.
     entry_weight = np.repeat(weights[:l], np.diff(offsets[: l + 1]))
-
-    score = np.zeros(n, dtype=float)
-    np.add.at(score, flat_prefix, entry_weight)
+    score = np.bincount(flat_prefix, weights=entry_weight, minlength=n)
 
     # Inverted index (node -> ascending sample ids) is cached corpus-wide;
     # per-node prefix restriction is one binary search for the cutoff.
     inv_samples, inv_offsets = corpus.inverted()
+    t_built = time.perf_counter()
+
+    heap: List[tuple[float, int]] | None = None
+    if method == "lazy":
+        positive = np.flatnonzero(score > 0)
+        heap = [(-float(score[u]), int(u)) for u in positive]
+        heapq.heapify(heap)
 
     covered = np.zeros(l, dtype=bool)
     seeds: List[int] = []
     gains = np.zeros(k, dtype=float)
     covered_weight = 0.0
     opt_upper = float("inf")
+    bound_seconds = 0.0
     for it in range(k):
-        # Submodular upper bound at this state: any k-set covers at most
-        # the current coverage plus the k largest residual scores.
-        if k < n:
-            part = np.partition(score, n - k)[n - k:]
-            topk = float(part[part > 0].sum())
+        if compute_bound is True:
+            # Submodular upper bound at this state: any k-set covers at
+            # most the current coverage plus the k largest residuals.
+            tb = time.perf_counter()
+            opt_upper = min(
+                opt_upper, covered_weight + _topk_residual(score, n, k)
+            )
+            bound_seconds += time.perf_counter() - tb
+        if heap is None:
+            u = int(np.argmax(score))
+            gain = float(score[u])
         else:
-            topk = float(score[score > 0].sum())
-        opt_upper = min(opt_upper, covered_weight + topk)
-        u = int(np.argmax(score))
-        gain = float(score[u])
-        if gain <= 0.0:
+            # CELF: pop entries whose stored gain went stale (scores only
+            # decrease) and re-push them at their current value; a fresh
+            # top is the true maximum.  Ties on (gain, node id) order
+            # exactly as argmax does.
+            while heap:
+                neg_stale, u = heap[0]
+                current = float(score[u])
+                if -neg_stale <= current:
+                    break
+                if current <= 0.0:
+                    heapq.heappop(heap)
+                else:
+                    heapq.heapreplace(heap, (-current, u))
+            if not heap:
+                break
+            neg_gain, u = heapq.heappop(heap)
+            gain = -neg_gain
+        if gain <= _DRIFT_RTOL * covered_weight:
             # Prefix exhausted: every positive-weight sample is covered.
-            # Residual scores are 0 up to float drift (decrements can
-            # leave them at ~-1e-17), so selecting further would record
-            # negative gains and make the estimate non-monotone in k.
+            # Residual scores are 0 only up to float drift (batched
+            # decrements can leave them ~1 ulp either side of zero), so
+            # selecting further would record drift-noise gains and make
+            # the estimate non-monotone in k.
             break
         seeds.append(u)
         gains[it] = gain
         covered_weight += gain
-        # Mark all samples newly covered by u and decrement member scores.
+        # Batch-decrement every sample newly covered by u: gather their
+        # member slices through the CSR offsets and subtract one weighted
+        # bincount — no per-sample Python loop.
         u_samples = inv_samples[inv_offsets[u] : inv_offsets[u + 1]]
         cut = int(np.searchsorted(u_samples, l))
-        for i in u_samples[:cut]:
-            i = int(i)
-            if covered[i]:
-                continue
-            covered[i] = True
-            members = flat[offsets[i] : offsets[i + 1]]
-            score[members] -= weights[i]
+        candidates = u_samples[:cut]
+        newly = candidates[~covered[candidates]]
+        if len(newly):
+            covered[newly] = True
+            entries, counts = _gather_slices(flat, offsets, newly)
+            dec_weight = np.repeat(weights[newly], counts)
+            score -= np.bincount(entries, weights=dec_weight, minlength=n)
         # Guard against float drift leaving the seed positive.
         score[u] = -np.inf
+    if compute_bound is not False:
+        # The final state also bounds the optimum (and coverage can only
+        # have grown, so only the residual term matters there).
+        tb = time.perf_counter()
+        opt_upper = min(
+            opt_upper, covered_weight + _topk_residual(score, n, k)
+        )
+        bound_seconds += time.perf_counter() - tb
     estimate = n * covered_weight / l
-    # The final state also bounds the optimum (and coverage can only
-    # have grown, so only the residual term matters there).
-    if k < n:
-        part = np.partition(score, n - k)[n - k:]
-        topk = float(part[part > 0].sum())
-    else:
-        topk = float(score[score > 0].sum())
-    opt_upper = min(opt_upper, covered_weight + topk)
+    t_end = time.perf_counter()
+    timings = SelectionTimings(
+        score_build=t_built - t_start,
+        selection=(t_end - t_built) - bound_seconds,
+        bound=bound_seconds,
+        total=t_end - t_start,
+    )
     return CoverageResult(
         seeds=seeds,
         gains=gains,
         estimate=estimate,
         samples_used=l,
         optimal_coverage_upper=opt_upper,
+        timings=timings,
     )
+
+
+def covered_sample_mask(
+    corpus: RRCorpus,
+    seeds: np.ndarray | List[int],
+    prefix: int | None = None,
+) -> np.ndarray:
+    """Boolean mask over the first ``prefix`` samples hit by ``seeds``.
+
+    One flat gather (``seed_mask[flat]``) segment-reduced with
+    ``np.logical_or.reduceat`` over the CSR offsets — no per-sample loop.
+    Shared by :func:`estimate_spread` and the certification path.
+    """
+    l = len(corpus) if prefix is None else int(prefix)
+    if l <= 0 or l > len(corpus):
+        raise SamplingError(f"invalid prefix {l} for corpus of {len(corpus)}")
+    seed_mask = np.zeros(corpus.n_nodes, dtype=bool)
+    seed_mask[np.asarray(list(seeds), dtype=np.int64)] = True
+    flat, offsets = corpus.flat()
+    end = int(offsets[l])
+    hit = seed_mask[flat[:end]]
+    sizes = np.diff(offsets[: l + 1])
+    covered = np.zeros(l, dtype=bool)
+    nonempty = sizes > 0
+    if end and nonempty.any():
+        # reduceat needs one start index per non-empty segment; empty
+        # samples (possible via from_arrays, never from real RR sets)
+        # stay uncovered.
+        starts = offsets[:l][nonempty]
+        covered[nonempty] = np.logical_or.reduceat(hit, starts)
+    return covered
 
 
 def estimate_spread(
@@ -178,17 +367,9 @@ def estimate_spread(
     sets chosen by other methods on an independent sample pool.
     """
     l = len(corpus) if prefix is None else int(prefix)
-    if l <= 0 or l > len(corpus):
-        raise SamplingError(f"invalid prefix {l} for corpus of {len(corpus)}")
+    covered = covered_sample_mask(corpus, seeds, prefix)
     weights = np.asarray(sample_weights, dtype=float)
     if len(weights) < l:
         raise SamplingError(f"need at least {l} sample weights, got {len(weights)}")
-    seed_mask = np.zeros(corpus.n_nodes, dtype=bool)
-    seed_mask[np.asarray(list(seeds), dtype=np.int64)] = True
-    flat, offsets = corpus.flat()
-    covered_weight = 0.0
-    for i in range(l):
-        members = flat[offsets[i] : offsets[i + 1]]
-        if bool(seed_mask[members].any()):
-            covered_weight += float(weights[i])
+    covered_weight = float(weights[:l][covered].sum())
     return corpus.n_nodes * covered_weight / l

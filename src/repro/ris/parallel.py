@@ -67,14 +67,9 @@ def _sample_chunk(
     sampler = RRSampler(
         network, seed=np.random.default_rng(seed_seq), diffusion=diffusion
     )
-    roots, members = sampler.sample_many(count)
-    sizes = np.asarray([len(m) for m in members], dtype=np.int64)
-    offsets = np.zeros(count + 1, dtype=np.int64)
-    np.cumsum(sizes, out=offsets[1:])
-    flat = (
-        np.concatenate(members) if members else np.empty(0, dtype=np.int64)
-    )
-    return roots, flat, offsets
+    # Flat assembly lives in the sampler now (single growing buffer);
+    # the draw order — hence the chunk's RNG stream — is unchanged.
+    return sampler.sample_many_flat(count)
 
 
 def _pool_task(args: tuple[np.random.SeedSequence, int]) -> FlatSamples:

@@ -1,0 +1,135 @@
+"""Pre-vectorization selection kernels, kept as the parity/benchmark oracle.
+
+These are the Algorithm 2 kernels exactly as they shipped before the
+flat-array rewrite of :mod:`repro.ris.coverage`: ``np.add.at`` for the
+score build, a per-sample Python loop for the coverage decrement, a
+``np.partition`` submodular bound recomputed every iteration, and a
+per-sample Python loop in the spread estimator.  They are deliberately
+*not* exported through ``repro.ris`` — production code must use
+:func:`repro.ris.coverage.weighted_greedy_cover` — but they stay in the
+tree for two jobs:
+
+* **parity tests** (``tests/ris/test_kernel_parity.py``) prove the
+  vectorized kernels select the same seeds with the same gains;
+* **benchmarks** (``benchmarks/test_selection_kernels.py``) measure the
+  speedup of the new default query path against this baseline and record
+  it in ``BENCH_query_kernels.json``.
+
+Float caveat: the reference decrements a node's score once per newly
+covered sample (``((s - w1) - w2)``), while the batched kernel subtracts
+the pre-summed total (``s - (w1 + w2)``).  The two differ by at most one
+rounding step per covered sample, which is why parity tests compare gains
+with a tight tolerance instead of bit equality.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import QueryError, SamplingError
+from repro.ris.corpus import RRCorpus
+from repro.ris.coverage import CoverageResult
+
+
+def reference_greedy_cover(
+    corpus: RRCorpus,
+    sample_weights: np.ndarray,
+    k: int,
+    prefix: int | None = None,
+) -> CoverageResult:
+    """The pre-PR eager greedy: per-iteration bound, per-sample decrements."""
+    l = len(corpus) if prefix is None else int(prefix)
+    if l <= 0:
+        raise SamplingError("cannot run coverage over zero samples")
+    if l > len(corpus):
+        raise SamplingError(f"prefix {l} exceeds corpus size {len(corpus)}")
+    if k <= 0:
+        raise QueryError(f"k must be positive, got {k}")
+    n = corpus.n_nodes
+    if k > n:
+        raise QueryError(f"k={k} exceeds node count {n}")
+    weights = np.asarray(sample_weights, dtype=float)
+    if len(weights) < l:
+        raise SamplingError(
+            f"need at least {l} sample weights, got {len(weights)}"
+        )
+
+    flat, offsets = corpus.flat()
+    end = int(offsets[l])
+    flat_prefix = flat[:end]
+    entry_weight = np.repeat(weights[:l], np.diff(offsets[: l + 1]))
+
+    score = np.zeros(n, dtype=float)
+    np.add.at(score, flat_prefix, entry_weight)
+
+    inv_samples, inv_offsets = corpus.inverted()
+
+    covered = np.zeros(l, dtype=bool)
+    seeds: List[int] = []
+    gains = np.zeros(k, dtype=float)
+    covered_weight = 0.0
+    opt_upper = float("inf")
+    for it in range(k):
+        if k < n:
+            part = np.partition(score, n - k)[n - k:]
+            topk = float(part[part > 0].sum())
+        else:
+            topk = float(score[score > 0].sum())
+        opt_upper = min(opt_upper, covered_weight + topk)
+        u = int(np.argmax(score))
+        gain = float(score[u])
+        if gain <= 0.0:
+            break
+        seeds.append(u)
+        gains[it] = gain
+        covered_weight += gain
+        u_samples = inv_samples[inv_offsets[u] : inv_offsets[u + 1]]
+        cut = int(np.searchsorted(u_samples, l))
+        for i in u_samples[:cut]:
+            i = int(i)
+            if covered[i]:
+                continue
+            covered[i] = True
+            members = flat[offsets[i] : offsets[i + 1]]
+            score[members] -= weights[i]
+        score[u] = -np.inf
+    estimate = n * covered_weight / l
+    if k < n:
+        part = np.partition(score, n - k)[n - k:]
+        topk = float(part[part > 0].sum())
+    else:
+        topk = float(score[score > 0].sum())
+    opt_upper = min(opt_upper, covered_weight + topk)
+    return CoverageResult(
+        seeds=seeds,
+        gains=gains,
+        estimate=estimate,
+        samples_used=l,
+        optimal_coverage_upper=opt_upper,
+    )
+
+
+def reference_estimate_spread(
+    corpus: RRCorpus,
+    seeds: np.ndarray | List[int],
+    sample_weights: np.ndarray,
+    prefix: int | None = None,
+) -> float:
+    """The pre-PR Eq. 9 estimator: a Python loop over every sample."""
+    l = len(corpus) if prefix is None else int(prefix)
+    if l <= 0 or l > len(corpus):
+        raise SamplingError(f"invalid prefix {l} for corpus of {len(corpus)}")
+    weights = np.asarray(sample_weights, dtype=float)
+    if len(weights) < l:
+        raise SamplingError(f"need at least {l} sample weights, got {len(weights)}")
+    seed_mask = np.zeros(corpus.n_nodes, dtype=bool)
+    seed_mask[np.asarray(list(seeds), dtype=np.int64)] = True
+    flat, offsets = corpus.flat()
+    covered_weight = 0.0
+    for i in range(l):
+        members = flat[offsets[i] : offsets[i + 1]]
+        if bool(seed_mask[members].any()):
+            covered_weight += float(weights[i])
+    return corpus.n_nodes * covered_weight / l

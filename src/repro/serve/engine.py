@@ -255,7 +255,11 @@ class QueryEngine:
                 m.observe("latency_ms", elapsed * 1e3)
                 return ServedResult(result=hit, elapsed=elapsed, cached=True)
         try:
-            result = self.index.query(location, k)
+            # Both index families accept return_diagnostics; the engine
+            # always asks so per-stage timings reach the metrics.
+            result, diag = self.index.query(
+                location, k, return_diagnostics=True
+            )
         except ReproError as exc:
             m.inc("errors")
             return ServedResult(
@@ -267,6 +271,14 @@ class QueryEngine:
             m.observe("samples_used", result.samples_used)
         if result.evaluations is not None:
             m.observe("evaluations", result.evaluations)
+        timings = getattr(diag, "timings", None)
+        if timings is not None:
+            # RIS-DA: weight-eval / score-build / selection / bound stages.
+            m.observe_stage_seconds(timings.as_dict())
+        setup = getattr(diag, "setup_seconds", None)
+        if setup is not None:
+            # MIA-DA reports its per-query bound setup separately.
+            m.observe_stage_seconds({"bound_setup": setup})
         if key is not None:
             self._results.put(key, result)
         elapsed = time.perf_counter() - start

@@ -17,7 +17,7 @@ pool, so counters and histograms take a registry-wide lock per update
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 #: Default latency buckets, in milliseconds (upper bounds; +inf implicit).
 LATENCY_BUCKETS_MS: Tuple[float, ...] = (
@@ -157,6 +157,19 @@ class MetricsRegistry:
     def observe(self, name: str, value: float,
                 buckets: Optional[Sequence[float]] = None) -> None:
         self.histogram(name, buckets).observe(value)
+
+    def observe_stage_seconds(
+        self, stages: Mapping[str, float], prefix: str = "stage_"
+    ) -> None:
+        """Record a per-stage seconds breakdown as ``<prefix><name>_ms``.
+
+        The serving engine feeds query-stage timings (weight eval, score
+        build, selection, bound) through this, so each stage gets its own
+        latency histogram without call sites hand-rolling the unit
+        conversion.
+        """
+        for stage, seconds in stages.items():
+            self.observe(f"{prefix}{stage}_ms", float(seconds) * 1e3)
 
     # Output ----------------------------------------------------------------
 

@@ -114,6 +114,25 @@ class TestQuery:
         assert diag.samples_used == res.samples_used
         assert diag.samples_required >= diag.samples_used
 
+    def test_diagnostics_timings(self, index):
+        """Per-stage timings ride along; the serving path books no bound."""
+        _, diag = index.query((50.0, 50.0), 5, return_diagnostics=True)
+        t = diag.timings
+        assert t is not None
+        stages = t.as_dict()
+        assert set(stages) == {
+            "weight_eval", "score_build", "selection", "bound", "total"
+        }
+        assert all(v >= 0.0 for v in stages.values())
+        assert stages["bound"] == 0.0
+        assert stages["total"] >= (
+            stages["weight_eval"] + stages["score_build"]
+            + stages["selection"] - 1e-6
+        )
+        # Wall-clock never repeats, but diagnostics compare equal anyway.
+        _, again = index.query((50.0, 50.0), 5, return_diagnostics=True)
+        assert diag == again
+
     def test_prefix_size_follows_lemma(self, index, net):
         """samples_required must equal the Lemma 7 formula for L_q^k."""
         q, k = (42.0, 58.0), 5

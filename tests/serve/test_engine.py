@@ -133,6 +133,24 @@ class TestResultCache:
         assert metrics.histogram("samples_used").count == 1
         assert metrics.counter("queries_total").value == 1
 
+    def test_stage_timings_exported_per_query(self, ris_index):
+        """Each uncached query feeds its per-stage breakdown into
+        stage_*_ms histograms; cache hits add nothing."""
+        metrics = MetricsRegistry()
+        engine = QueryEngine(ris_index, metrics=metrics)
+        engine.query((50.0, 50.0), k=4)
+        engine.query((10.0, 80.0), k=4)
+        engine.query((50.0, 50.0), k=4)  # cache hit: no new stage samples
+        for stage in (
+            "weight_eval", "score_build", "selection", "bound", "total"
+        ):
+            h = metrics.histogram(f"stage_{stage}_ms")
+            assert h.count == 2, f"stage_{stage}_ms missing observations"
+            assert h.min >= 0.0
+        dump = metrics.dump()
+        assert "stage_selection_ms" in dump["histograms"]
+        assert "stage_selection_ms" in metrics.report()
+
 
 class TestServeBatch:
     def test_batch_matches_looped_queries(self, ris_index):
