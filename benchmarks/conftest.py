@@ -23,6 +23,7 @@ from repro.core.ris_da import RisDaConfig, RisDaIndex
 from repro.geo.weights import DistanceDecay
 from repro.mia.pmia import MiaModel, PmiaDa
 from repro.network.datasets import load_dataset
+from repro.obs.env import runtime_info
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -80,6 +81,9 @@ def emit_json(
         except ValueError:
             pass
     data[section] = payload
+    # Stamp the machine context so results files are comparable across
+    # hosts (python/numpy/BLAS/CPU are the variables that move numbers).
+    data["environment"] = runtime_info()
     path.write_text(
         json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

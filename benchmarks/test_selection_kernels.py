@@ -10,14 +10,20 @@ same corpus and queries:
   decrement, ``compute_bound=False``);
 * ``lazy``: the CELF variant of the same kernels;
 * ``eager+bound``: the new kernels with the full per-iteration bound
-  (what certification pays).
+  (what certification pays);
+* ``eager+obs(off)``: the default path wrapped in the *disabled* tracer
+  exactly the way ``QueryEngine._serve`` wraps it (``NULL_TRACER``
+  spans + no-op ``record_stages``) — the observability layer's
+  everybody-pays cost.
 
 Every run asserts **seed parity** against the reference kernel — this is
 the parity half of the CI smoke step (``REPRO_BENCH_TINY=1`` shrinks the
 workload and drops the speedup bar; parity always fails loudly).  On the
-standard workload the default path must be >= 3x the reference.  Results
-land in ``selection_kernels.txt`` and the ``selection_kernels`` section
-of ``BENCH_query_kernels.json``.
+standard workload the default path must be >= 3x the reference, and the
+disabled-tracer wrapper must stay within ``OBS_OVERHEAD_BAR`` (2%) of
+the bare kernel (report-only under TINY, where per-query time is too
+small to measure a ratio).  Results land in ``selection_kernels.txt``
+and the ``selection_kernels`` section of ``BENCH_query_kernels.json``.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from repro.bench.reporting import format_table
 from repro.bench.workloads import random_queries
 from repro.geo.weights import DistanceDecay
 from repro.network.datasets import load_dataset
+from repro.obs.trace import NULL_TRACER
 from repro.ris.corpus import RRCorpus
 from repro.ris.coverage import weighted_greedy_cover
 from repro.ris.reference import reference_greedy_cover
@@ -50,6 +57,26 @@ N_QUERIES = 2 if TINY else 4
 REPS = 2 if TINY else 5
 
 SPEEDUP_BAR = 3.0
+OBS_OVERHEAD_BAR = 1.02
+
+
+def _eager_obs_off(corpus, w, k):
+    """The default kernel under the disabled-tracer span pattern.
+
+    Mirrors ``QueryEngine._serve`` with tracing off: one ``serve.query``
+    span, one ``index.query`` child, attribute writes, and a no-op
+    ``record_stages`` — all against :data:`NULL_TRACER`.
+    """
+    tracer = NULL_TRACER
+    with tracer.span("serve.query", {"k": k}) as span:
+        with tracer.span("index.query") as qspan:
+            result = weighted_greedy_cover(
+                corpus, w, k, compute_bound=False, method="eager"
+            )
+            tracer.record_stages(qspan, result.timings.as_dict())
+        span.set_attribute("cached", False)
+        span.set_attribute("fallback", False)
+    return result
 
 
 def _time_variant(fn, weights_per_query, reps):
@@ -83,6 +110,7 @@ def test_selection_kernel_speedup():
         "eager+bound": lambda w: weighted_greedy_cover(
             corpus, w, K, compute_bound=True, method="eager"
         ),
+        "eager+obs(off)": lambda w: _eager_obs_off(corpus, w, K),
     }
 
     # Warm shared lazy state (flat layout, inverted index) so no variant
@@ -97,7 +125,7 @@ def test_selection_kernel_speedup():
 
     # Parity: every new variant must select the reference kernel's seeds
     # with matching gains, query by query.  This is the CI smoke gate.
-    for name in ("eager", "lazy", "eager+bound"):
+    for name in ("eager", "lazy", "eager+bound", "eager+obs(off)"):
         for qi, (new, ref) in enumerate(zip(results[name], results["reference"])):
             assert new.seeds == ref.seeds, (
                 f"{name} diverged from reference on query {qi}: "
@@ -121,6 +149,7 @@ def test_selection_kernel_speedup():
         name: medians["reference"] / medians[name]
         for name in variants if name != "reference"
     }
+    obs_overhead = medians["eager+obs(off)"] / medians["eager"]
     headers = ["variant", "median_ms", "speedup_vs_reference"]
     rows = [
         [name, f"{medians[name] * 1e3:.2f}",
@@ -147,10 +176,17 @@ def test_selection_kernel_speedup():
         "eager_stage_median_ms": stage_medians,
         "speedup_bar": SPEEDUP_BAR,
         "speedup_bar_enforced": not TINY,
+        "obs_disabled_overhead": obs_overhead,
+        "obs_overhead_bar": OBS_OVERHEAD_BAR,
+        "obs_overhead_bar_enforced": not TINY,
     })
 
     if not TINY:
         assert speedups["eager"] >= SPEEDUP_BAR, (
             f"default kernel path only {speedups['eager']:.2f}x the "
             f"pre-PR kernel (bar: {SPEEDUP_BAR}x)"
+        )
+        assert obs_overhead <= OBS_OVERHEAD_BAR, (
+            f"disabled-tracer serving wrapper is {obs_overhead:.3f}x the "
+            f"bare kernel (bar: {OBS_OVERHEAD_BAR}x)"
         )

@@ -60,6 +60,11 @@ from repro.exceptions import (
 )
 from repro.geo.weights import DistanceDecay
 from repro.mia.pmia import MiaModel, PmiaDa
+from repro.obs.env import runtime_info
+from repro.obs.log import JsonLogger, use_logger
+from repro.obs.prom import parse_prometheus, render_prometheus
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import NullTracer, Tracer, use_tracer
 from repro.network.datasets import DATASET_RECIPES, load_dataset
 from repro.network.generators import GeoSocialConfig, generate_geo_social_network
 from repro.network.graph import GeoSocialNetwork
@@ -81,10 +86,13 @@ __all__ = [
     "GraphError",
     "IndexCache",
     "IndexNotReadyError",
+    "JsonLogger",
     "MetricsRegistry",
     "MiaDaConfig",
     "MiaDaIndex",
     "MiaModel",
+    "NullTracer",
+    "ObsHttpServer",
     "PmiaDa",
     "QueryEngine",
     "QueryError",
@@ -97,7 +105,9 @@ __all__ = [
     "ServeConfig",
     "ServeError",
     "ServedResult",
+    "SlowQueryLog",
     "SpreadEstimate",
+    "Tracer",
     "Certificate",
     "__version__",
     "adhoc_ris_query",
@@ -120,6 +130,21 @@ __all__ = [
     "multi_location_query",
     "multi_location_weights",
     "naive_greedy",
+    "parse_prometheus",
     "read_network",
+    "render_prometheus",
+    "runtime_info",
+    "use_logger",
+    "use_tracer",
     "write_network",
 ]
+
+
+def __getattr__(name):
+    # Lazy: the HTTP sidecar pulls in http.server and the serve engine;
+    # resolving it on demand keeps plain `import repro` lightweight.
+    if name == "ObsHttpServer":
+        from repro.obs.httpd import ObsHttpServer
+
+        return ObsHttpServer
+    raise AttributeError(name)

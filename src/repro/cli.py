@@ -16,11 +16,22 @@ query
 serve-batch
     Answer a JSONL batch of queries against a prebuilt index through the
     serving engine (result cache, thread pool, timeouts, metrics).
+serve-http
+    Expose a prebuilt index over HTTP: ``/query``, ``/metrics``
+    (Prometheus text format) and ``/healthz``.
+info
+    Print the runtime-environment snapshot (python/numpy/BLAS/CPU).
+
+Observability flags (``--log-json``, ``--trace-out``) are shared by the
+build and serve commands: ``--log-json`` switches progress reporting to
+structured JSON events on stderr, ``--trace-out PATH`` activates the span
+tracer and exports the collected trace as JSON on exit.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 import time
@@ -41,6 +52,11 @@ from repro.geo.weights import DistanceDecay
 from repro.network.datasets import DATASET_RECIPES, load_dataset
 from repro.network.io import read_network, write_network
 from repro.network.stats import summarize
+from repro.obs.env import runtime_info
+from repro.obs.log import JsonLogger, use_logger
+from repro.obs.prom import render_prometheus
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import NULL_TRACER, Tracer, use_tracer
 from repro.ris.adhoc import adhoc_ris_query
 from repro.serve.engine import QueryEngine, ServeConfig
 
@@ -73,6 +89,41 @@ def _add_decay_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--c", type=float, default=1.0, help="maximum node weight")
 
 
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON events (one per line) on stderr",
+    )
+    p.add_argument(
+        "--trace-out", metavar="PATH",
+        help="activate span tracing and export the trace JSON here on exit",
+    )
+
+
+def _activate_obs(
+    args: argparse.Namespace, stack: contextlib.ExitStack
+) -> Tracer:
+    """Install the ambient logger/tracer the flags ask for.
+
+    Returns the active tracer (:data:`NULL_TRACER` when ``--trace-out`` is
+    absent) so the caller can export it before the stack unwinds.
+    """
+    if getattr(args, "log_json", False):
+        stack.enter_context(use_logger(JsonLogger(sys.stderr)))
+    tracer = NULL_TRACER
+    if getattr(args, "trace_out", None):
+        tracer = Tracer()
+        stack.enter_context(use_tracer(tracer))
+    return tracer
+
+
+def _export_trace(args: argparse.Namespace, tracer: Tracer) -> None:
+    if getattr(args, "trace_out", None) and tracer.enabled:
+        tracer.export_json(args.trace_out)
+        print(f"trace ({len(tracer.finished_spans)} spans) -> "
+              f"{args.trace_out}")
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     network = load_dataset(args.dataset, scale=args.scale)
     write_network(network, args.out_edges, args.out_checkins)
@@ -101,7 +152,10 @@ def cmd_build_ris(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         selection=args.selection,
     )
-    index = RisDaIndex(network, decay, cfg)
+    with contextlib.ExitStack() as stack:
+        tracer = _activate_obs(args, stack)
+        index = RisDaIndex(network, decay, cfg)
+        _export_trace(args, tracer)
     save_ris_index(index, args.out)
     print(
         f"built RIS-DA index in {index.build_seconds:.1f}s: "
@@ -124,7 +178,10 @@ def cmd_build_mia(args: argparse.Namespace) -> int:
         seed=args.seed,
         n_workers=args.workers,
     )
-    index = MiaDaIndex(network, decay, cfg)
+    with contextlib.ExitStack() as stack:
+        tracer = _activate_obs(args, stack)
+        index = MiaDaIndex(network, decay, cfg)
+        _export_trace(args, tracer)
     save_mia_index(index, args.out)
     print(
         f"built MIA-DA index in {index.build_seconds:.1f}s: "
@@ -189,6 +246,35 @@ def _read_query_batch(path: str, default_k: int) -> list[DaimQuery]:
     return queries
 
 
+def _served_row(q: DaimQuery, sr) -> dict:
+    """One JSONL output row for a served query.
+
+    Fallback answers are tagged ``"fallback": true`` and publish their
+    spread as ``heuristic_score``, never ``estimate`` — a degree-discount
+    score is not an Eq. 9 influence estimate and must not be mistaken for
+    one downstream.
+    """
+    row = {
+        "x": q.location[0],
+        "y": q.location[1],
+        "k": q.k,
+        "elapsed_ms": round(sr.elapsed * 1000, 3),
+        "cached": sr.cached,
+        "fallback": sr.fallback,
+        "fallback_reason": sr.fallback_reason,
+        "error": sr.error,
+        "trace_id": sr.trace_id,
+    }
+    if sr.result is not None:
+        row["seeds"] = [int(s) for s in sr.result.seeds]
+        row["method"] = sr.result.method
+        if sr.fallback:
+            row["heuristic_score"] = sr.result.estimate
+        else:
+            row["estimate"] = sr.result.estimate
+    return row
+
+
 def cmd_serve_batch(args: argparse.Namespace) -> int:
     network = _resolve_network(args)
     queries = _read_query_batch(args.queries, args.k)
@@ -198,29 +284,21 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         result_cache_size=args.cache_size,
         cache_cells=args.cache_cells,
     )
-    engine = QueryEngine.from_path(
-        args.index, network, kind=args.method, config=config
-    )
-    start = time.perf_counter()
-    served = engine.serve_batch(queries)
-    wall = time.perf_counter() - start
+    slow_log = None
+    if args.slow_query_ms is not None:
+        slow_log = SlowQueryLog(args.slow_query_out, args.slow_query_ms)
+    with contextlib.ExitStack() as stack:
+        tracer = _activate_obs(args, stack)
+        engine = QueryEngine.from_path(
+            args.index, network, kind=args.method, config=config,
+            slow_log=slow_log,
+        )
+        start = time.perf_counter()
+        served = engine.serve_batch(queries)
+        wall = time.perf_counter() - start
+        _export_trace(args, tracer)
 
-    lines = []
-    for q, sr in zip(queries, served):
-        row = {
-            "x": q.location[0],
-            "y": q.location[1],
-            "k": q.k,
-            "elapsed_ms": round(sr.elapsed * 1000, 3),
-            "cached": sr.cached,
-            "fallback": sr.fallback_reason,
-            "error": sr.error,
-        }
-        if sr.result is not None:
-            row["seeds"] = [int(s) for s in sr.result.seeds]
-            row["estimate"] = sr.result.estimate
-            row["method"] = sr.result.method
-        lines.append(json.dumps(row))
+    lines = [json.dumps(_served_row(q, sr)) for q, sr in zip(queries, served)]
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write("\n".join(lines) + "\n")
@@ -235,12 +313,57 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         f"({len(served) / wall:.0f} q/s), {n_fb} fallbacks, {n_err} errors"
         + (f", results -> {args.out}" if args.out else "")
     )
+    if slow_log is not None:
+        print(f"slow queries (>= {slow_log.threshold_ms:g} ms): "
+              f"{slow_log.recorded} -> {slow_log.path}")
     report = engine.metrics.report()
     print(report)
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as fh:
             fh.write(report + "\n")
+    if args.metrics_prom:
+        with open(args.metrics_prom, "w", encoding="utf-8") as fh:
+            fh.write(render_prometheus(engine.metrics))
     return 0 if n_err == 0 else 1
+
+
+def cmd_serve_http(args: argparse.Namespace) -> int:
+    from repro.obs.httpd import ObsHttpServer
+
+    network = _resolve_network(args)
+    config = ServeConfig(
+        n_threads=args.threads,
+        timeout=args.timeout,
+        result_cache_size=args.cache_size,
+        cache_cells=args.cache_cells,
+    )
+    slow_log = None
+    if args.slow_query_ms is not None:
+        slow_log = SlowQueryLog(args.slow_query_out, args.slow_query_ms)
+    with contextlib.ExitStack() as stack:
+        tracer = _activate_obs(args, stack)
+        engine = QueryEngine.from_path(
+            args.index, network, kind=args.method, config=config,
+            slow_log=slow_log,
+        )
+        server = ObsHttpServer(
+            engine=engine, host=args.host, port=args.port, default_k=args.k,
+        )
+        print(f"serving on http://{server.host}:{server.port} "
+              f"(/query /metrics /healthz), Ctrl-C to stop", file=sys.stderr)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+            _export_trace(args, tracer)
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    print(json.dumps(runtime_info(), indent=2, sort_keys=True))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -281,6 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="greedy-cover kernel: eager argmax scan (default) or "
              "CELF-style lazy heap; both select identical seed sets",
     )
+    _add_obs_args(p)
     p.set_defaults(func=cmd_build_ris)
 
     p = sub.add_parser("build-mia", help="build and save a MIA-DA index")
@@ -304,6 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the arborescence build (1 = serial; "
              "the index is bit-identical for any worker count)",
     )
+    _add_obs_args(p)
     p.set_defaults(func=cmd_build_mia)
 
     p = sub.add_parser("query", help="answer a DAIM query")
@@ -352,7 +477,62 @@ def build_parser() -> argparse.ArgumentParser:
                    help="quantization-grid cell budget for cache keys")
     p.add_argument("--metrics-out",
                    help="also write the metrics report to this file")
+    p.add_argument("--metrics-prom",
+                   help="write the metrics in Prometheus text format here")
+    p.add_argument(
+        "--slow-query-ms", type=float, default=None,
+        help="record queries at or above this latency (span tree + "
+             "diagnostics) to the slow-query JSONL sink",
+    )
+    p.add_argument(
+        "--slow-query-out", default="slow-queries.jsonl",
+        help="slow-query JSONL sink path (default: slow-queries.jsonl)",
+    )
+    _add_obs_args(p)
     p.set_defaults(func=cmd_serve_batch)
+
+    p = sub.add_parser(
+        "serve-http",
+        help="serve a prebuilt index over HTTP "
+             "(/query, /metrics, /healthz)",
+    )
+    _add_network_args(p)
+    p.add_argument("--index", required=True,
+                   help="saved index (.npz) from build-ris or build-mia")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9464,
+                   help="listen port (0 picks an ephemeral port)")
+    p.add_argument("-k", "--k", type=int, default=30,
+                   help="budget for /query requests without their own k")
+    p.add_argument("--method", choices=("ris", "mia"), default=None,
+                   help="require this index kind (default: serve whatever "
+                        "the file holds)")
+    p.add_argument("--threads", type=int, default=4,
+                   help="serving thread-pool size")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-query deadline in seconds; on expiry the "
+                        "degree-discount fallback answers instead")
+    p.add_argument("--cache-size", type=int, default=1024,
+                   help="result-cache capacity (0 disables caching)")
+    p.add_argument("--cache-cells", type=int, default=4096,
+                   help="quantization-grid cell budget for cache keys")
+    p.add_argument(
+        "--slow-query-ms", type=float, default=None,
+        help="record queries at or above this latency (span tree + "
+             "diagnostics) to the slow-query JSONL sink",
+    )
+    p.add_argument(
+        "--slow-query-out", default="slow-queries.jsonl",
+        help="slow-query JSONL sink path (default: slow-queries.jsonl)",
+    )
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_serve_http)
+
+    p = sub.add_parser(
+        "info",
+        help="print the runtime-environment snapshot (JSON)",
+    )
+    p.set_defaults(func=cmd_info)
     return parser
 
 

@@ -38,6 +38,8 @@ from repro.mia.influence import activation_probabilities, linear_coefficients
 from repro.mia.parallel import ParallelMiaBuilder
 from repro.mia.pmia import MiaModel
 from repro.network.graph import GeoSocialNetwork
+from repro.obs.log import get_logger
+from repro.obs.trace import get_tracer
 from repro.rng import as_generator
 
 
@@ -183,38 +185,72 @@ class MiaDaIndex:
         self.network = network
         self.decay = decay if decay is not None else DistanceDecay()
         self.config = config if config is not None else MiaDaConfig()
+        tracer = get_tracer()
+        logger = get_logger()
+        if logger.enabled:
+            logger.event(
+                "build_start", phase="mia.build", n=network.n,
+                theta=self.config.theta, n_anchors=self.config.n_anchors,
+                n_workers=self.config.n_workers,
+            )
         build_start = time.perf_counter()
-        if model is not None:
-            self.model = model
-        elif self.config.n_workers > 1:
-            with ParallelMiaBuilder(
-                network, self.config.theta, n_workers=self.config.n_workers
-            ) as builder:
-                self.model = builder.build_model()
-        else:
-            self.model = MiaModel(network, self.config.theta)
-        rng = as_generator(self.config.seed)
-        if self.config.anchor_strategy == "uniform":
-            anchors = sample_uniform_points(
-                network.bounding_box(), self.config.n_anchors, rng
-            )
-        else:
-            anchors = sample_density_pivots(
-                network.coords, self.config.n_anchors, rng
-            )
-        self.anchor_bounds = AnchorBounds(self.model, self.decay, anchors)
-        n_heavy = self.config.n_heavy
-        if n_heavy is None:
-            n_heavy = max(32, network.n // 20)
-        n_heavy = min(n_heavy, network.n)
-        # Heavy = largest influence seen at any anchor (a cheap, robust
-        # proxy for "influential anywhere").
-        peak = self.anchor_bounds.influence.max(axis=0)
-        heavy = np.argpartition(peak, network.n - n_heavy)[network.n - n_heavy :]
-        self.region_bounds = RegionBounds(
-            self.model, self.decay, heavy, self.config.tau
-        )
+        with tracer.span(
+            "mia.build",
+            {"n": network.n, "theta": self.config.theta,
+             "n_anchors": self.config.n_anchors, "tau": self.config.tau,
+             "n_workers": self.config.n_workers},
+        ):
+            if model is not None:
+                self.model = model
+            elif self.config.n_workers > 1:
+                # ParallelMiaBuilder emits its own "mia.build_trees" span
+                # (with re-parented per-chunk worker spans) inside ours.
+                with ParallelMiaBuilder(
+                    network, self.config.theta,
+                    n_workers=self.config.n_workers,
+                ) as builder:
+                    self.model = builder.build_model()
+            else:
+                with tracer.span("mia.build_trees", {"n": network.n}):
+                    self.model = MiaModel(network, self.config.theta)
+            rng = as_generator(self.config.seed)
+            if self.config.anchor_strategy == "uniform":
+                anchors = sample_uniform_points(
+                    network.bounding_box(), self.config.n_anchors, rng
+                )
+            else:
+                anchors = sample_density_pivots(
+                    network.coords, self.config.n_anchors, rng
+                )
+            with tracer.span(
+                "mia.anchor_bounds", {"n_anchors": len(anchors)}
+            ):
+                self.anchor_bounds = AnchorBounds(
+                    self.model, self.decay, anchors
+                )
+            n_heavy = self.config.n_heavy
+            if n_heavy is None:
+                n_heavy = max(32, network.n // 20)
+            n_heavy = min(n_heavy, network.n)
+            # Heavy = largest influence seen at any anchor (a cheap, robust
+            # proxy for "influential anywhere").
+            peak = self.anchor_bounds.influence.max(axis=0)
+            heavy = np.argpartition(
+                peak, network.n - n_heavy
+            )[network.n - n_heavy :]
+            with tracer.span(
+                "mia.region_bounds",
+                {"n_heavy": int(n_heavy), "tau": self.config.tau},
+            ):
+                self.region_bounds = RegionBounds(
+                    self.model, self.decay, heavy, self.config.tau
+                )
         self.build_seconds = time.perf_counter() - build_start
+        if logger.enabled:
+            logger.event(
+                "build_end", phase="mia.build",
+                seconds=round(self.build_seconds, 3), n=network.n,
+            )
 
     # ------------------------------------------------------------------
 
@@ -350,12 +386,14 @@ class MiaDaIndex:
             for q in locations
         ]  # type: ignore[return-value]
 
-    def serve(self, config=None, metrics=None):
+    def serve(self, config=None, metrics=None, **kwargs):
         """A :class:`repro.serve.QueryEngine` over this index.
 
         Convenience for ``QueryEngine(index, ...)``; the serving layer is
         imported lazily to keep ``repro.core`` free of the dependency.
+        Extra keyword arguments (``tracer``, ``logger``, ``slow_log``)
+        pass straight through to the engine.
         """
         from repro.serve.engine import QueryEngine
 
-        return QueryEngine(self, config=config, metrics=metrics)
+        return QueryEngine(self, config=config, metrics=metrics, **kwargs)

@@ -48,6 +48,9 @@ from repro.geo.sampling import (
 from repro.geo.voronoi import VoronoiDiagram
 from repro.geo.weights import DistanceDecay
 from repro.network.graph import GeoSocialNetwork
+from repro.obs.log import get_logger
+from repro.obs.progress import Heartbeat
+from repro.obs.trace import get_tracer
 from repro.ris.corpus import RRCorpus
 from repro.ris.coverage import weighted_greedy_cover
 from repro.ris.lower_bound import lb_est, lb_est_lt
@@ -206,8 +209,38 @@ class RisDaIndex:
         # reuse the same pair (it depends only on the network size).
         delta_pivot, delta_online = cfg.resolved_deltas(n)
         rng = as_generator(cfg.seed)
+        tracer = get_tracer()
+        logger = get_logger()
+        if logger.enabled:
+            logger.event(
+                "build_start", phase="ris.build", n=n, k_max=k_max,
+                n_pivots=cfg.n_pivots, n_workers=cfg.n_workers,
+            )
         start = time.perf_counter()
+        with tracer.span(
+            "ris.build",
+            {"n": n, "k_max": k_max, "n_pivots": cfg.n_pivots,
+             "n_workers": cfg.n_workers, "diffusion": cfg.diffusion},
+        ) as build_span:
+            self._build_phases(
+                cfg, net, n, k_max, delta_pivot, delta_online, rng,
+                tracer, start,
+            )
+            build_span.set_attribute("samples", len(self.corpus))
+            build_span.set_attribute("truncated", self.truncated)
+        self.build_seconds = time.perf_counter() - start
+        self.k_max = k_max
+        if logger.enabled:
+            logger.event(
+                "build_end", phase="ris.build",
+                seconds=round(self.build_seconds, 3),
+                samples=len(self.corpus), truncated=self.truncated,
+            )
 
+    def _build_phases(
+        self, cfg, net, n, k_max, delta_pivot, delta_online, rng,
+        tracer, start,
+    ) -> None:
         box = net.bounding_box()
         if cfg.pivot_strategy == "uniform":
             pivots = sample_uniform_points(box, cfg.n_pivots, rng)
@@ -233,68 +266,75 @@ class RisDaIndex:
         self.pivot_estimates = np.zeros((len(pivots), k_max), dtype=float)
         self.pivot_lower_bounds = np.zeros((len(pivots), k_max), dtype=float)
         self.truncated = False
-        for pi, p in enumerate(pivots):
-            loc = (float(p[0]), float(p[1]))
-            weights = self.decay.weights(net.coords, loc)
-            lbs = self._lb_curve(weights, k_max)
-            self.pivot_lower_bounds[pi] = lbs
-            # One sample size covering every k at this pivot.
-            l_p = max(
-                required_sample_size(n, k, w_max, cfg.epsilon_pivot,
-                                     delta_pivot, float(lbs[k - 1]))
-                for k in range(1, k_max + 1)
-            )
-            l_p = self._capped(l_p)
-            self.corpus.ensure(l_p)
-            # The pivot phase only needs the estimate curve, never the
-            # certification bound — skip the per-iteration partitions.
-            cover = weighted_greedy_cover(
-                self.corpus, weights[self.corpus.roots[:l_p]], k_max,
-                prefix=l_p, compute_bound=False, method=cfg.selection,
-            )
-            # Greedy is nested: prefix estimates give the whole k curve.
-            self.pivot_estimates[pi] = [
-                cover.estimate_for_prefix(k, n) for k in range(1, k_max + 1)
-            ]
+        with tracer.span("ris.pivot_phase", {"n_pivots": len(pivots)}):
+            hb = Heartbeat("ris.pivot_phase", total=len(pivots),
+                           unit="pivots")
+            for pi, p in enumerate(pivots):
+                loc = (float(p[0]), float(p[1]))
+                weights = self.decay.weights(net.coords, loc)
+                lbs = self._lb_curve(weights, k_max)
+                self.pivot_lower_bounds[pi] = lbs
+                # One sample size covering every k at this pivot.
+                l_p = max(
+                    required_sample_size(n, k, w_max, cfg.epsilon_pivot,
+                                         delta_pivot, float(lbs[k - 1]))
+                    for k in range(1, k_max + 1)
+                )
+                l_p = self._capped(l_p)
+                self.corpus.ensure(l_p)
+                # The pivot phase only needs the estimate curve, never the
+                # certification bound — skip the per-iteration partitions.
+                cover = weighted_greedy_cover(
+                    self.corpus, weights[self.corpus.roots[:l_p]], k_max,
+                    prefix=l_p, compute_bound=False, method=cfg.selection,
+                )
+                # Greedy is nested: prefix estimates give the whole k curve.
+                self.pivot_estimates[pi] = [
+                    cover.estimate_for_prefix(k, n)
+                    for k in range(1, k_max + 1)
+                ]
+                hb.advance()
+            hb.finish()
         self.pivot_seconds = time.perf_counter() - start
 
         # ---- Algorithm 5: Voronoi worst-case sizing ----
         vstart = time.perf_counter()
-        self.voronoi = VoronoiDiagram(pivots, box)
-        l_max = 0
-        delta_query = delta_online - delta_pivot
-        for cell in self.voronoi.cells:
-            pi = cell.site_index
-            d_worst = cell.worst_distance
-            for k in range(1, k_max + 1):
-                lb = lemma8_lower_bound(
-                    float(self.pivot_estimates[pi, k - 1]), d_worst,
-                    self.decay.alpha, cfg.epsilon_pivot, delta_pivot, n, k,
-                )
-                if lb <= 0:
-                    lb = float(self.pivot_lower_bounds[pi, k - 1]) * np.exp(
-                        -self.decay.alpha * d_worst
+        with tracer.span("ris.voronoi_sizing"):
+            self.voronoi = VoronoiDiagram(pivots, box)
+            l_max = 0
+            delta_query = delta_online - delta_pivot
+            for cell in self.voronoi.cells:
+                pi = cell.site_index
+                d_worst = cell.worst_distance
+                for k in range(1, k_max + 1):
+                    lb = lemma8_lower_bound(
+                        float(self.pivot_estimates[pi, k - 1]), d_worst,
+                        self.decay.alpha, cfg.epsilon_pivot, delta_pivot,
+                        n, k,
                     )
-                if lb <= 0:
-                    continue
-                l_max = max(
-                    l_max,
-                    required_sample_size(n, k, w_max, cfg.epsilon,
-                                         delta_query, lb),
-                )
-        self.index_samples_required = l_max
-        l_final = self._capped(max(l_max, len(self.corpus)))
-        self.corpus.ensure(l_final)
+                    if lb <= 0:
+                        lb = float(
+                            self.pivot_lower_bounds[pi, k - 1]
+                        ) * np.exp(-self.decay.alpha * d_worst)
+                    if lb <= 0:
+                        continue
+                    l_max = max(
+                        l_max,
+                        required_sample_size(n, k, w_max, cfg.epsilon,
+                                             delta_query, lb),
+                    )
+            self.index_samples_required = l_max
+            l_final = self._capped(max(l_max, len(self.corpus)))
+            self.corpus.ensure(l_final)
         if isinstance(self.sampler, ParallelRRSampler):
             # Sampling is done; free the workers.  The pool restarts
             # lazily if the corpus ever grows again.
             self.sampler.close()
-        # Pay the inverted-index build offline; queries then only binary-
-        # search prefix cutoffs instead of re-sorting the corpus.
-        self.corpus.inverted()
+        with tracer.span("ris.inverted_index"):
+            # Pay the inverted-index build offline; queries then only
+            # binary-search prefix cutoffs instead of re-sorting.
+            self.corpus.inverted()
         self.voronoi_seconds = time.perf_counter() - vstart
-        self.build_seconds = time.perf_counter() - start
-        self.k_max = k_max
 
     def _capped(self, l: int) -> int:
         if l > self.config.max_index_samples:
@@ -465,12 +505,14 @@ class RisDaIndex:
             for q in locations
         ]  # type: ignore[return-value]
 
-    def serve(self, config=None, metrics=None):
+    def serve(self, config=None, metrics=None, **kwargs):
         """A :class:`repro.serve.QueryEngine` over this index.
 
         Convenience for ``QueryEngine(index, ...)``; the serving layer is
         imported lazily to keep ``repro.core`` free of the dependency.
+        Extra keyword arguments (``tracer``, ``logger``, ``slow_log``)
+        pass straight through to the engine.
         """
         from repro.serve.engine import QueryEngine
 
-        return QueryEngine(self, config=config, metrics=metrics)
+        return QueryEngine(self, config=config, metrics=metrics, **kwargs)

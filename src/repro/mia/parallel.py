@@ -24,7 +24,8 @@ produces the same bytes the serial build would.
 from __future__ import annotations
 
 import multiprocessing
-from typing import List, Tuple
+import time
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,6 +33,11 @@ from repro.exceptions import GraphError
 from repro.mia.arborescence import build_miia
 from repro.mia.pmia import FlatTrees, MiaModel
 from repro.network.graph import GeoSocialNetwork
+from repro.obs.progress import Heartbeat
+from repro.obs.trace import SpanContext, get_tracer, span_context, worker_span
+
+#: One chunk's CSR block plus its (optional) finished worker span dict.
+ChunkResult = Tuple[FlatTrees, Optional[Dict[str, Any]]]
 
 #: Chunks per worker in one build: > 1 so a slow chunk (hub-heavy trees)
 #: doesn't leave the other workers idle at the tail of the build.
@@ -54,9 +60,20 @@ def _init_worker(network: GeoSocialNetwork, theta: float) -> None:
 
 
 def _build_chunk(
-    network: GeoSocialNetwork, theta: float, start: int, count: int
-) -> FlatTrees:
-    """``MIIA(v)`` for roots ``start .. start+count`` as one CSR block."""
+    network: GeoSocialNetwork,
+    theta: float,
+    start: int,
+    count: int,
+    ctx: Optional[SpanContext] = None,
+) -> ChunkResult:
+    """``MIIA(v)`` for roots ``start .. start+count`` as one CSR block.
+
+    ``ctx`` is the parent build span's propagated context; when set, the
+    chunk's timing comes back as a finished span dict for the parent
+    tracer to adopt.  Tree construction is unaffected.
+    """
+    start_unix = time.time()
+    t0 = time.perf_counter()
     trees = [build_miia(network, v, theta) for v in range(start, start + count)]
     sizes = np.asarray([len(t) for t in trees], dtype=np.int64)
     offsets = np.zeros(count + 1, dtype=np.int64)
@@ -71,13 +88,18 @@ def _build_chunk(
         parents = np.empty(0, dtype=np.int64)
         edge_probs = np.empty(0, dtype=float)
         path_probs = np.empty(0, dtype=float)
-    return members, parents, edge_probs, path_probs, offsets
+    span = worker_span(
+        "mia.build_chunk", ctx, start_unix,
+        (time.perf_counter() - t0) * 1e3,
+        {"start": start, "count": count},
+    )
+    return (members, parents, edge_probs, path_probs, offsets), span
 
 
-def _pool_task(args: tuple[int, int]) -> FlatTrees:
-    start, count = args
+def _pool_task(args: tuple[int, int, Optional[SpanContext]]) -> ChunkResult:
+    start, count, ctx = args
     assert _worker_network is not None, "worker pool not initialised"
-    return _build_chunk(_worker_network, _worker_theta, start, count)
+    return _build_chunk(_worker_network, _worker_theta, start, count, ctx)
 
 
 def _concat_chunks(parts: List[FlatTrees]) -> FlatTrees:
@@ -153,8 +175,17 @@ class ParallelMiaBuilder:
                 empty_f.copy(),
                 np.zeros(1, dtype=np.int64),
             )
-        tasks = self._chunk_plan(n)
-        parts = self._run_tasks(tasks, n)
+        plan = self._chunk_plan(n)
+        tracer = get_tracer()
+        with tracer.span(
+            "mia.build_trees",
+            {"n": n, "n_chunks": len(plan), "n_workers": self.n_workers,
+             "theta": self.theta},
+        ) as span:
+            ctx = span_context(span)
+            tasks = [(start, count, ctx) for start, count in plan]
+            parts, chunk_spans = self._run_tasks(tasks, n)
+            tracer.adopt(chunk_spans)
         return _concat_chunks(parts)
 
     def build_model(self) -> MiaModel:
@@ -176,22 +207,43 @@ class ParallelMiaBuilder:
         return plan
 
     def _run_tasks(
-        self, tasks: List[Tuple[int, int]], n: int
-    ) -> List[FlatTrees]:
+        self, tasks: List[Tuple[int, int, Optional[SpanContext]]], n: int
+    ) -> Tuple[List[FlatTrees], List[Optional[Dict[str, Any]]]]:
         if n >= _MIN_PARALLEL_NODES:
             pool = self._ensure_pool()
             if pool is not None:
                 try:
-                    return pool.map(_pool_task, tasks)
+                    # imap keeps plan order (node order) while letting the
+                    # heartbeat tick as chunk results are collected.
+                    hb = Heartbeat("mia.trees", total=n, unit="trees")
+                    results: List[ChunkResult] = []
+                    for task, chunk in zip(
+                        tasks, pool.imap(_pool_task, tasks)
+                    ):
+                        results.append(chunk)
+                        hb.advance(task[1])
+                    hb.finish()
+                    return (
+                        [r[0] for r in results],
+                        [r[1] for r in results],
+                    )
                 except Exception:
                     # A dead/poisoned pool (e.g. a worker was killed) must
                     # not lose the build: mark it broken and replay the
                     # identical chunk plan in-process.
                     self._teardown_pool(broken=True)
-        return [
-            _build_chunk(self.network, self.theta, start, count)
-            for start, count in tasks
-        ]
+        hb = Heartbeat("mia.trees", total=n, unit="trees")
+        parts: List[FlatTrees] = []
+        spans: List[Optional[Dict[str, Any]]] = []
+        for start, count, ctx in tasks:
+            block, span = _build_chunk(
+                self.network, self.theta, start, count, ctx
+            )
+            parts.append(block)
+            spans.append(span)
+            hb.advance(count)
+        hb.finish()
+        return parts, spans
 
     # ------------------------------------------------------------------
     # Pool lifecycle

@@ -1,0 +1,82 @@
+"""Observability: tracing, structured logging, metrics exposition.
+
+The ``repro.obs`` package is the cross-cutting runtime layer the serving
+and build paths report through:
+
+* :mod:`repro.obs.trace` — a dependency-free span tracer with worker-pool
+  context propagation (``Tracer`` / ``Span`` / ``NULL_TRACER``);
+* :mod:`repro.obs.log` — structured JSON logging with a stable event
+  schema (``JsonLogger`` / ``NULL_LOGGER``);
+* :mod:`repro.obs.prom` — Prometheus text-format exposition of
+  :class:`~repro.serve.metrics.MetricsRegistry` plus a minimal parser;
+* :mod:`repro.obs.httpd` — a stdlib HTTP sidecar serving ``/metrics``,
+  ``/healthz`` and ``/query``;
+* :mod:`repro.obs.slowlog` — the slow-query JSONL sink;
+* :mod:`repro.obs.progress` — build-telemetry heartbeats;
+* :mod:`repro.obs.env` — the runtime-environment snapshot embedded in
+  traces and benchmark results.
+
+Everything defaults to off: the ambient tracer and logger are no-op
+singletons until :class:`use_tracer` / :class:`use_logger` activate real
+ones, so library users pay near-zero cost for the instrumentation.
+"""
+
+from repro.obs.env import runtime_info
+from repro.obs.log import (
+    EVENTS,
+    NULL_LOGGER,
+    JsonLogger,
+    NullLogger,
+    get_logger,
+    use_logger,
+)
+from repro.obs.progress import Heartbeat
+from repro.obs.prom import parse_prometheus, render_prometheus
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    new_trace_id,
+    span_context,
+    span_tree,
+    use_tracer,
+    worker_span,
+)
+
+def __getattr__(name):
+    # Lazy: httpd imports repro.serve.engine, which imports repro.obs —
+    # resolving it eagerly here would make that a circular import.
+    if name == "ObsHttpServer":
+        from repro.obs.httpd import ObsHttpServer
+
+        return ObsHttpServer
+    raise AttributeError(name)
+
+
+__all__ = [
+    "EVENTS",
+    "Heartbeat",
+    "JsonLogger",
+    "NULL_LOGGER",
+    "NULL_TRACER",
+    "NullLogger",
+    "NullTracer",
+    "ObsHttpServer",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "get_logger",
+    "get_tracer",
+    "new_trace_id",
+    "parse_prometheus",
+    "render_prometheus",
+    "runtime_info",
+    "span_context",
+    "span_tree",
+    "use_logger",
+    "use_tracer",
+    "worker_span",
+]

@@ -1,0 +1,199 @@
+"""A stdlib HTTP server exposing ``/metrics``, ``/healthz`` and ``/query``.
+
+No web framework: :class:`http.server.ThreadingHTTPServer` plus a small
+handler is all a scrape endpoint needs.  Endpoints:
+
+``GET /metrics``
+    The engine's :class:`~repro.serve.metrics.MetricsRegistry` rendered
+    by :func:`repro.obs.prom.render_prometheus` (text format 0.0.4).
+``GET /healthz``
+    ``{"status": "ok", "uptime_s": ..., "index_kind": ..., ...}`` — 200
+    while the process can answer; a scrape target for liveness probes.
+``GET /query?x=..&y=..&k=..``
+    One DAIM query through the :class:`~repro.serve.QueryEngine` (result
+    cache, metrics, tracing all apply); JSON answer with the trace id.
+
+The server is deliberately read-only (GET only) and binds loopback by
+default; it is an operational sidecar, not a public API gateway.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.exceptions import ReproError, ServeError
+from repro.obs.log import get_logger
+from repro.obs.prom import render_prometheus
+from repro.serve.engine import QueryEngine
+from repro.serve.metrics import MetricsRegistry
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ObsHttpServer:
+    """Serves observability endpoints for one engine (or bare registry).
+
+    Pass an ``engine`` to expose ``/query`` as well; with only a
+    ``metrics`` registry the server is a pure exposition sidecar.
+    ``port=0`` binds an ephemeral port (see :attr:`port` after
+    :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        engine: Optional[QueryEngine] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        default_k: int = 30,
+        namespace: str = "repro",
+        health_extra: Optional[Dict[str, Any]] = None,
+    ):
+        if engine is None and metrics is None:
+            raise ServeError("need an engine or a metrics registry to serve")
+        self.engine = engine
+        self.metrics = metrics if metrics is not None else engine.metrics
+        self.default_k = int(default_k)
+        self.namespace = namespace
+        self.health_extra = dict(health_extra or {})
+        self.started_at = time.time()
+        self.logger = get_logger()
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                t0 = time.perf_counter()
+                status, body, content_type = outer._route(self.path)
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+                if outer.logger.enabled:
+                    outer.logger.event(
+                        "http_request",
+                        path=self.path,
+                        status=status,
+                        elapsed_ms=round(
+                            (time.perf_counter() - t0) * 1e3, 3
+                        ),
+                    )
+
+            def log_message(self, format, *args):  # noqa: A002
+                pass  # request logging goes through the structured logger
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    # -- routing -------------------------------------------------------
+
+    def _route(self, path: str) -> tuple:
+        split = urlsplit(path)
+        route = split.path.rstrip("/") or "/"
+        try:
+            if route == "/metrics":
+                text = render_prometheus(self.metrics, self.namespace)
+                return 200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE
+            if route == "/healthz":
+                return self._json(200, self._health())
+            if route == "/query":
+                return self._query(parse_qs(split.query))
+            return self._json(
+                404,
+                {"error": f"no route {route}",
+                 "routes": ["/metrics", "/healthz", "/query"]},
+            )
+        except Exception as exc:  # never kill the scrape loop
+            return self._json(500, {"error": str(exc)})
+
+    @staticmethod
+    def _json(status: int, payload: Dict[str, Any]) -> tuple:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        return status, body, "application/json; charset=utf-8"
+
+    def _health(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "status": "ok",
+            "uptime_s": round(time.time() - self.started_at, 3),
+        }
+        if self.engine is not None:
+            payload["index_kind"] = type(self.engine.index).__name__
+            payload["queries_total"] = (
+                self.metrics.counter("queries_total").value
+            )
+        payload.update(self.health_extra)
+        return payload
+
+    def _query(self, params: Dict[str, list]) -> tuple:
+        if self.engine is None:
+            return self._json(
+                404, {"error": "no engine attached; /query is disabled"}
+            )
+        try:
+            x = float(params["x"][0])
+            y = float(params["y"][0])
+            k = int(params.get("k", [self.default_k])[0])
+        except (KeyError, ValueError, IndexError):
+            return self._json(
+                400,
+                {"error": "need numeric query params x, y (and optional k)"},
+            )
+        try:
+            served = self.engine.query((x, y), k=k)
+        except ReproError as exc:
+            return self._json(400, {"error": str(exc)})
+        payload: Dict[str, Any] = {
+            "x": x, "y": y, "k": k,
+            "trace_id": served.trace_id,
+            "elapsed_ms": round(served.elapsed * 1e3, 3),
+            "cached": served.cached,
+            "fallback": served.fallback,
+            "error": served.error,
+        }
+        if served.result is not None:
+            payload["seeds"] = [int(s) for s in served.result.seeds]
+            payload["method"] = served.result.method
+            if served.fallback:
+                payload["heuristic_score"] = served.result.estimate
+            else:
+                payload["estimate"] = served.result.estimate
+        return self._json(200 if served.ok else 500, payload)
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    def start(self) -> "ObsHttpServer":
+        """Serve on a daemon thread (for tests and embedding)."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-obs-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI ``serve-http`` mode)."""
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -1,0 +1,78 @@
+"""Build-telemetry heartbeats for long offline phases.
+
+RR-corpus growth and MIIA construction can run for minutes; a
+:class:`Heartbeat` turns their inner loops into periodic
+``build_progress`` events (units done, rate, ETA) on the ambient
+structured logger without the loops knowing anything about logging.
+When the ambient logger is the null logger the heartbeat short-circuits
+to two attribute loads per :meth:`advance` call.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.obs.log import JsonLogger, NullLogger, get_logger
+
+#: Seconds between build_progress events (first event after one interval).
+DEFAULT_INTERVAL_S = 1.0
+
+
+class Heartbeat:
+    """Emits rate/ETA ``build_progress`` events for one build phase.
+
+    ``total`` may be ``None`` for open-ended phases (no ETA is emitted
+    then).  ``advance(n)`` is the only hot call; everything else happens
+    at most once per ``interval_s``.
+    """
+
+    def __init__(
+        self,
+        phase: str,
+        total: Optional[int],
+        unit: str = "items",
+        interval_s: float = DEFAULT_INTERVAL_S,
+        logger: "JsonLogger | NullLogger | None" = None,
+    ):
+        self.logger = logger if logger is not None else get_logger()
+        self.enabled = self.logger.enabled
+        self.phase = phase
+        self.total = total
+        self.unit = unit
+        self.interval_s = interval_s
+        self.done = 0
+        self._start = time.perf_counter()
+        self._last_emit = self._start
+
+    def advance(self, n: int = 1) -> None:
+        self.done += n
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        if now - self._last_emit >= self.interval_s:
+            self._last_emit = now
+            self._emit(now)
+
+    def finish(self) -> None:
+        """Emit the final progress event (always, when enabled)."""
+        if self.enabled:
+            self._emit(time.perf_counter())
+
+    def _emit(self, now: float) -> None:
+        elapsed = max(now - self._start, 1e-9)
+        rate = self.done / elapsed
+        fields = {
+            "phase": self.phase,
+            "done": self.done,
+            "unit": self.unit,
+            "rate_per_s": round(rate, 3),
+            "elapsed_s": round(elapsed, 3),
+        }
+        if self.total is not None:
+            fields["total"] = self.total
+            remaining = max(self.total - self.done, 0)
+            fields["eta_s"] = (
+                round(remaining / rate, 3) if rate > 0 else None
+            )
+        self.logger.event("build_progress", **fields)

@@ -1,0 +1,167 @@
+"""Prometheus text-format exposition of a :class:`MetricsRegistry`.
+
+:func:`render_prometheus` turns the registry's counters and histograms
+into the Prometheus text exposition format (version 0.0.4):
+
+* counters -> ``<ns>_<name>`` with ``# TYPE ... counter``;
+* histograms -> the conventional triplet ``_bucket{le="..."}`` /
+  ``_sum`` / ``_count`` with **cumulative** bucket counts (the registry
+  stores per-bucket counts; the renderer accumulates), plus gauges
+  ``_min`` / ``_max`` and a ``_quantile{q="..."}`` gauge family carrying
+  the registry's interpolated stage quantiles.
+
+:func:`parse_prometheus` is the minimal inverse used by tests and the CI
+smoke step: enough of the format to read back every sample this module
+writes (and to reject malformed output), not a general scrape client.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import TYPE_CHECKING, Dict, Mapping, Tuple
+
+from repro.exceptions import DataFormatError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serve -> obs)
+    from repro.serve.metrics import MetricsRegistry
+
+#: Quantiles exported per histogram (matches the human report).
+QUANTILES = (0.5, 0.9, 0.99)
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"$')
+
+LabelSet = Tuple[Tuple[str, str], ...]
+Samples = Dict[Tuple[str, LabelSet], float]
+
+
+def sanitize_metric_name(name: str) -> str:
+    """A valid Prometheus metric name from a registry instrument name."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    return repr(float(value)) if value != int(value) else str(int(value))
+
+
+def render_prometheus(
+    registry: MetricsRegistry, namespace: str = "repro"
+) -> str:
+    """The registry as Prometheus text exposition format (0.0.4)."""
+    dump = registry.dump()
+    lines = []
+    for name, value in dump["counters"].items():
+        full = f"{namespace}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {full} counter")
+        lines.append(f"{full} {_fmt(float(value))}")
+    for name, h in dump["histograms"].items():
+        full = f"{namespace}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {full} histogram")
+        cumulative = 0
+        for bucket in h["buckets"]:
+            cumulative += bucket["count"]
+            lines.append(
+                f'{full}_bucket{{le="{_fmt(bucket["le"])}"}} {cumulative}'
+            )
+        lines.append(f"{full}_sum {_fmt(h['sum'])}")
+        lines.append(f"{full}_count {h['count']}")
+        if h["count"]:
+            lines.append(f"# TYPE {full}_min gauge")
+            lines.append(f"{full}_min {_fmt(h['min'])}")
+            lines.append(f"# TYPE {full}_max gauge")
+            lines.append(f"{full}_max {_fmt(h['max'])}")
+            lines.append(f"# TYPE {full}_quantile gauge")
+            hist = registry.histogram(name)
+            for q in QUANTILES:
+                lines.append(
+                    f'{full}_quantile{{q="{q:g}"}} {_fmt(hist.quantile(q))}'
+                )
+    return "\n".join(lines) + "\n"
+
+
+class ParsedMetrics:
+    """Samples and types read back from exposition text."""
+
+    def __init__(self, samples: Samples, types: Mapping[str, str]):
+        self.samples = samples
+        self.types = dict(types)
+
+    def value(self, name: str, **labels: str) -> float:
+        key = (name, tuple(sorted(labels.items())))
+        if key not in self.samples:
+            raise KeyError(f"no sample {name}{labels or ''}")
+        return self.samples[key]
+
+    def names(self) -> set:
+        return {name for name, _ in self.samples}
+
+
+def _parse_value(text: str) -> float:
+    lowered = text.lower()
+    if lowered in ("+inf", "inf"):
+        return math.inf
+    if lowered == "-inf":
+        return -math.inf
+    if lowered == "nan":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise DataFormatError(f"bad sample value {text!r}")
+
+
+def parse_prometheus(text: str) -> ParsedMetrics:
+    """Parse exposition text; raises :class:`DataFormatError` on bad lines.
+
+    Handles the subset :func:`render_prometheus` emits — ``# TYPE`` /
+    ``# HELP`` comments, plain and labelled samples — which also covers
+    typical client_python output for the validation the CI smoke does.
+    """
+    samples: Samples = {}
+    types: Dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] not in ("TYPE", "HELP", "EOF"):
+                raise DataFormatError(
+                    f"line {lineno}: unknown comment {parts[1]!r}"
+                )
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        m = _SAMPLE_LINE.match(line)
+        if m is None:
+            raise DataFormatError(f"line {lineno}: malformed sample {raw!r}")
+        labels: Dict[str, str] = {}
+        label_text = m.group("labels")
+        if label_text:
+            for part in filter(None, label_text.split(",")):
+                lm = _LABEL.match(part.strip())
+                if lm is None:
+                    raise DataFormatError(
+                        f"line {lineno}: malformed label {part!r}"
+                    )
+                labels[lm.group("key")] = lm.group("value")
+        key = (m.group("name"), tuple(sorted(labels.items())))
+        samples[key] = _parse_value(m.group("value"))
+    if not samples:
+        raise DataFormatError("no samples in exposition text")
+    return ParsedMetrics(samples, types)

@@ -1,0 +1,97 @@
+"""The slow-query log: full context for queries over a latency threshold.
+
+Aggregated histograms answer "how slow are we?"; the slow-query log
+answers "why was *this* query slow?".  Queries whose end-to-end serving
+latency exceeds ``threshold_ms`` are appended to a JSONL sink with
+everything the engine knows about them: the query itself, the served
+outcome, the index diagnostics (``QueryDiagnostics`` /
+``MiaQueryDiagnostics``, dataclasses serialised field-by-field), and the
+query's span tree when tracing is enabled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+import time
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from repro.exceptions import ServeError
+from repro.obs.trace import span_tree
+
+
+def _jsonable(value: Any) -> Any:
+    """Diagnostics fields as plain JSON types (best effort, never raises)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    try:
+        return float(value)  # numpy scalars
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+class SlowQueryLog:
+    """An append-only JSONL sink for queries over the latency threshold.
+
+    The threshold lives on the sink (not the engine) so one engine can be
+    re-pointed at a stricter sink without reconstruction.  Appends are
+    serialised by a lock — the engine may record from pool threads.
+    """
+
+    def __init__(self, path, threshold_ms: float):
+        if threshold_ms < 0:
+            raise ServeError(
+                f"threshold_ms must be >= 0, got {threshold_ms}"
+            )
+        self.path = str(path)
+        self.threshold_ms = float(threshold_ms)
+        self.recorded = 0
+        self._lock = threading.Lock()
+
+    def should_record(self, elapsed_s: float) -> bool:
+        return elapsed_s * 1e3 >= self.threshold_ms
+
+    def record(
+        self,
+        trace_id: str,
+        location,
+        k: int,
+        elapsed_s: float,
+        cached: bool,
+        fallback_reason: Optional[str],
+        error: Optional[str],
+        diagnostics: Any = None,
+        spans: Optional[Sequence[Mapping[str, Any]]] = None,
+    ) -> Dict[str, Any]:
+        """Append one slow-query row; returns the row written."""
+        row = {
+            "ts": round(time.time(), 6),
+            "trace_id": trace_id,
+            "x": float(location[0]),
+            "y": float(location[1]),
+            "k": int(k),
+            "elapsed_ms": round(elapsed_s * 1e3, 3),
+            "threshold_ms": self.threshold_ms,
+            "cached": bool(cached),
+            "fallback": fallback_reason is not None,
+            "fallback_reason": fallback_reason,
+            "error": error,
+            "diagnostics": _jsonable(diagnostics),
+            "span_tree": span_tree(spans) if spans else None,
+        }
+        line = json.dumps(row, default=repr)
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+            self.recorded += 1
+        return row

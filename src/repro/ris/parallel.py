@@ -26,16 +26,21 @@ same corpus the pool would have.
 from __future__ import annotations
 
 import multiprocessing
-from typing import List, Tuple
+import time
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.exceptions import GraphError, SamplingError
 from repro.network.graph import GeoSocialNetwork
+from repro.obs.progress import Heartbeat
+from repro.obs.trace import SpanContext, get_tracer, span_context, worker_span
 from repro.ris.rrset import RRSampler
 from repro.rng import RandomLike, as_seed_sequence
 
 FlatSamples = Tuple[np.ndarray, np.ndarray, np.ndarray]
+#: One chunk's result plus its (optional) finished worker span dict.
+ChunkResult = Tuple[FlatSamples, Optional[Dict[str, Any]]]
 
 #: Chunks per worker in one batch: > 1 so a slow chunk (hub-heavy RR sets)
 #: doesn't leave the other workers idle at the tail of the batch.
@@ -62,20 +67,38 @@ def _sample_chunk(
     diffusion: str,
     seed_seq: np.random.SeedSequence,
     count: int,
-) -> FlatSamples:
-    """Draw ``count`` RR sets from one chunk's dedicated RNG stream."""
+    ctx: Optional[SpanContext] = None,
+) -> ChunkResult:
+    """Draw ``count`` RR sets from one chunk's dedicated RNG stream.
+
+    ``ctx`` is the parent build span's propagated context; when set, the
+    chunk's timing comes back as a finished span dict for the parent
+    tracer to adopt (sampling itself is unaffected — spans observe the
+    chunk, they never feed its RNG).
+    """
     sampler = RRSampler(
         network, seed=np.random.default_rng(seed_seq), diffusion=diffusion
     )
+    start_unix = time.time()
+    t0 = time.perf_counter()
     # Flat assembly lives in the sampler now (single growing buffer);
     # the draw order — hence the chunk's RNG stream — is unchanged.
-    return sampler.sample_many_flat(count)
+    flat = sampler.sample_many_flat(count)
+    span = worker_span(
+        "ris.sample_chunk", ctx, start_unix,
+        (time.perf_counter() - t0) * 1e3, {"count": count},
+    )
+    return flat, span
 
 
-def _pool_task(args: tuple[np.random.SeedSequence, int]) -> FlatSamples:
-    seed_seq, count = args
+def _pool_task(
+    args: tuple[np.random.SeedSequence, int, Optional[SpanContext]],
+) -> ChunkResult:
+    seed_seq, count, ctx = args
     assert _worker_network is not None, "worker pool not initialised"
-    return _sample_chunk(_worker_network, _worker_diffusion, seed_seq, count)
+    return _sample_chunk(
+        _worker_network, _worker_diffusion, seed_seq, count, ctx
+    )
 
 
 def _concat_chunks(parts: List[FlatSamples]) -> FlatSamples:
@@ -160,8 +183,18 @@ class ParallelRRSampler:
             return empty, empty.copy(), np.zeros(1, dtype=np.int64)
         sizes = self._chunk_sizes(count)
         children = self._seed_seq.spawn(len(sizes))
-        tasks = list(zip(children, sizes))
-        parts = self._run_tasks(tasks, count)
+        tracer = get_tracer()
+        with tracer.span(
+            "ris.sample_batch",
+            {"count": count, "n_chunks": len(sizes),
+             "n_workers": self.n_workers},
+        ) as span:
+            ctx = span_context(span)
+            tasks = [
+                (ss, size, ctx) for ss, size in zip(children, sizes)
+            ]
+            parts, chunk_spans = self._run_tasks(tasks, count)
+            tracer.adopt(chunk_spans)
         return _concat_chunks(parts)
 
     def sample_many(self, count: int) -> tuple[np.ndarray, List[np.ndarray]]:
@@ -182,22 +215,45 @@ class ParallelRRSampler:
         return [base + (1 if i < extra else 0) for i in range(n_chunks)]
 
     def _run_tasks(
-        self, tasks: List[tuple[np.random.SeedSequence, int]], count: int
-    ) -> List[FlatSamples]:
+        self,
+        tasks: List[tuple[np.random.SeedSequence, int, Optional[SpanContext]]],
+        count: int,
+    ) -> Tuple[List[FlatSamples], List[Optional[Dict[str, Any]]]]:
         if count >= _MIN_PARALLEL_COUNT:
             pool = self._ensure_pool()
             if pool is not None:
                 try:
-                    return pool.map(_pool_task, tasks)
+                    # imap keeps plan order (determinism) while letting the
+                    # heartbeat tick as chunk results are collected.
+                    hb = Heartbeat("ris.sample", total=count, unit="samples")
+                    results: List[ChunkResult] = []
+                    for task, chunk in zip(
+                        tasks, pool.imap(_pool_task, tasks)
+                    ):
+                        results.append(chunk)
+                        hb.advance(task[1])
+                    hb.finish()
+                    return (
+                        [r[0] for r in results],
+                        [r[1] for r in results],
+                    )
                 except Exception:
                     # A dead/poisoned pool (e.g. a worker was killed) must
                     # not lose the batch: mark it broken and replay the
                     # identical chunk plan in-process.
                     self._teardown_pool(broken=True)
-        return [
-            _sample_chunk(self.network, self.diffusion, ss, c)
-            for ss, c in tasks
-        ]
+        hb = Heartbeat("ris.sample", total=count, unit="samples")
+        parts: List[FlatSamples] = []
+        spans: List[Optional[Dict[str, Any]]] = []
+        for ss, c, ctx in tasks:
+            flat, span = _sample_chunk(
+                self.network, self.diffusion, ss, c, ctx
+            )
+            parts.append(flat)
+            spans.append(span)
+            hb.advance(c)
+        hb.finish()
+        return parts, spans
 
     # ------------------------------------------------------------------
     # Pool lifecycle

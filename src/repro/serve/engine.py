@@ -19,7 +19,17 @@ and turns it into a serving component:
 * **metrics** — every serve updates a
   :class:`~repro.serve.metrics.MetricsRegistry` (query counters, cache
   hit/miss, a latency histogram, samples-used / evaluations
-  distributions).
+  distributions);
+* **observability** — every served query carries a fresh trace id
+  (``ServedResult.trace_id``) whether or not tracing is on.  With a real
+  :class:`~repro.obs.trace.Tracer` attached, each query becomes a span
+  tree (``serve.query`` -> ``index.query`` -> per-stage children from
+  :class:`SelectionTimings`); with a structured logger attached,
+  ``query_start`` / ``query_end`` / ``cache_hit`` / ``fallback`` events
+  are emitted; with a :class:`~repro.obs.slowlog.SlowQueryLog` attached,
+  queries over its threshold dump their span tree and diagnostics to a
+  JSONL sink.  All three default to no-ops costing roughly one branch
+  each on the hot path.
 
 Timeout semantics: the deadline is enforced at *collection* — the worker
 thread itself is not interrupted (Python threads cannot be killed), so an
@@ -44,6 +54,9 @@ from repro.exceptions import ReproError, ServeError
 from repro.geo.grid import UniformGrid
 from repro.geo.point import PointLike, as_point
 from repro.network.graph import GeoSocialNetwork
+from repro.obs.log import get_logger
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import Tracer, get_tracer, new_trace_id
 from repro.serve.cache import IndexCache, ResultCache
 from repro.serve.metrics import MetricsRegistry
 
@@ -105,7 +118,10 @@ class ServedResult:
     wait excluded — as opposed to ``result.elapsed`` which is the
     method's own selection time.  ``cached`` marks a result-cache hit;
     ``fallback_reason`` (e.g. ``"timeout"``) marks answers produced by
-    the fallback heuristic rather than the index.
+    the fallback heuristic rather than the index — a fallback's
+    ``result.estimate`` is a heuristic score, *not* an Eq. 9 spread
+    estimate.  ``trace_id`` identifies the query in traces, logs, and
+    the slow-query sink (always set, even with tracing disabled).
     """
 
     result: Optional[SeedResult]
@@ -113,6 +129,7 @@ class ServedResult:
     cached: bool = False
     fallback_reason: Optional[str] = None
     error: Optional[str] = None
+    trace_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -132,12 +149,25 @@ class QueryEngine:
         config: ServeConfig | None = None,
         metrics: MetricsRegistry | None = None,
         fingerprint: str | None = None,
+        tracer=None,
+        logger=None,
+        slow_log: Optional[SlowQueryLog] = None,
     ):
         self.index = index
         self.network: GeoSocialNetwork = index.network
         self.decay = index.decay
         self.config = config if config is not None else ServeConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Tracer/logger are resolved once from the ambient context here
+        # (contextvars do not propagate into pool threads, so per-query
+        # code must read instance attributes, not the ambient context).
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.logger = logger if logger is not None else get_logger()
+        self.slow_log = slow_log
+        if slow_log is not None and not self.tracer.enabled:
+            # A slow-query row without a span tree answers "that it was
+            # slow" but not "why"; give the sink a real tracer.
+            self.tracer = Tracer()
         # In-memory indexes get an identity-based fingerprint: distinct
         # engine instances over distinct indexes never share cache keys.
         self.fingerprint = (
@@ -168,6 +198,9 @@ class QueryEngine:
         config: ServeConfig | None = None,
         metrics: MetricsRegistry | None = None,
         cache: IndexCache | None = None,
+        tracer=None,
+        logger=None,
+        slow_log: Optional[SlowQueryLog] = None,
     ) -> "QueryEngine":
         """An engine over the saved index at ``path``.
 
@@ -184,6 +217,9 @@ class QueryEngine:
             config=config,
             metrics=metrics,
             fingerprint=IndexCache.fingerprint(path),
+            tracer=tracer,
+            logger=logger,
+            slow_log=slow_log,
         )
 
     # ------------------------------------------------------------------
@@ -209,8 +245,16 @@ class QueryEngine:
         cfg = self.config
         if not items:
             return []
+        log = self.logger
+        if log.enabled:
+            log.event(
+                "serve_start", queries=len(items), threads=cfg.n_threads,
+                timeout_s=cfg.timeout,
+            )
         if cfg.n_threads == 1 and cfg.timeout is None:
-            return [self._serve(loc, kk) for loc, kk in items]
+            out_serial = [self._serve(loc, kk) for loc, kk in items]
+            self._log_batch_end(out_serial)
+            return out_serial
 
         out: List[Optional[ServedResult]] = [None] * len(items)
         pool = ThreadPoolExecutor(
@@ -229,7 +273,19 @@ class QueryEngine:
             # Do not wait for abandoned (timed-out) computations; their
             # threads drain in the background.
             pool.shutdown(wait=False, cancel_futures=True)
+        self._log_batch_end(out)  # type: ignore[arg-type]
         return out  # type: ignore[return-value]
+
+    def _log_batch_end(self, served: Sequence[ServedResult]) -> None:
+        if not self.logger.enabled:
+            return
+        self.logger.event(
+            "serve_end",
+            queries=len(served),
+            cached=sum(1 for s in served if s.cached),
+            fallbacks=sum(1 for s in served if s.fallback),
+            errors=sum(1 for s in served if not s.ok),
+        )
 
     # ------------------------------------------------------------------
 
@@ -244,8 +300,43 @@ class QueryEngine:
 
     def _serve(self, location: Tuple[float, float], k: int) -> ServedResult:
         start = time.perf_counter()
+        trace_id = new_trace_id()
+        log = self.logger
+        self.metrics.inc("queries_total")
+        if log.enabled:
+            log.event(
+                "query_start", trace_id=trace_id,
+                x=location[0], y=location[1], k=k,
+            )
+        with self.tracer.span(
+            "serve.query",
+            {"x": location[0], "y": location[1], "k": k},
+            trace_id=trace_id,
+        ) as span:
+            served, diag = self._serve_in_span(
+                location, k, start, trace_id, span
+            )
+        if log.enabled:
+            log.event(
+                "query_end", trace_id=trace_id,
+                elapsed_ms=round(served.elapsed * 1e3, 3),
+                cached=served.cached, fallback=served.fallback,
+                error=served.error,
+            )
+        self._maybe_record_slow(location, k, served, diag)
+        return served
+
+    def _serve_in_span(
+        self,
+        location: Tuple[float, float],
+        k: int,
+        start: float,
+        trace_id: str,
+        span,
+    ) -> Tuple[ServedResult, object]:
+        """The serve body; runs inside the query's root span."""
         m = self.metrics
-        m.inc("queries_total")
+        tracer = self.tracer
         key = None
         if self._results is not None:
             key = (self.fingerprint, self._grid.cell_of(location), k)
@@ -253,20 +344,35 @@ class QueryEngine:
             if hit is not None:
                 elapsed = time.perf_counter() - start
                 m.observe("latency_ms", elapsed * 1e3)
-                return ServedResult(result=hit, elapsed=elapsed, cached=True)
+                span.set_attribute("cached", True)
+                if self.logger.enabled:
+                    self.logger.event(
+                        "cache_hit", trace_id=trace_id, cache="result"
+                    )
+                return ServedResult(
+                    result=hit, elapsed=elapsed, cached=True,
+                    trace_id=trace_id,
+                ), None
         try:
             # Both index families accept return_diagnostics; the engine
             # always asks so per-stage timings reach the metrics.
-            result, diag = self.index.query(
-                location, k, return_diagnostics=True
-            )
+            with tracer.span("index.query") as qspan:
+                result, diag = self.index.query(
+                    location, k, return_diagnostics=True
+                )
         except ReproError as exc:
             m.inc("errors")
+            span.set_attribute("error", str(exc))
+            if self.logger.enabled:
+                self.logger.event(
+                    "error", trace_id=trace_id, message=str(exc)
+                )
             return ServedResult(
                 result=None,
                 elapsed=time.perf_counter() - start,
                 error=str(exc),
-            )
+                trace_id=trace_id,
+            ), None
         if result.samples_used is not None:
             m.observe("samples_used", result.samples_used)
         if result.evaluations is not None:
@@ -275,21 +381,68 @@ class QueryEngine:
         if timings is not None:
             # RIS-DA: weight-eval / score-build / selection / bound stages.
             m.observe_stage_seconds(timings.as_dict())
+            if tracer.enabled:
+                tracer.record_stages(qspan, timings.as_dict())
         setup = getattr(diag, "setup_seconds", None)
         if setup is not None:
             # MIA-DA reports its per-query bound setup separately.
             m.observe_stage_seconds({"bound_setup": setup})
+            if tracer.enabled:
+                tracer.record_stages(
+                    qspan,
+                    {"bound_setup": setup, "selection": result.elapsed},
+                )
         if key is not None:
             self._results.put(key, result)
         elapsed = time.perf_counter() - start
         m.observe("latency_ms", elapsed * 1e3)
-        return ServedResult(result=result, elapsed=elapsed, cached=False)
+        return ServedResult(
+            result=result, elapsed=elapsed, cached=False, trace_id=trace_id
+        ), diag
+
+    def _maybe_record_slow(
+        self,
+        location: Tuple[float, float],
+        k: int,
+        served: ServedResult,
+        diag: object,
+        elapsed_override: Optional[float] = None,
+    ) -> None:
+        sl = self.slow_log
+        if sl is None:
+            return
+        elapsed = (
+            elapsed_override if elapsed_override is not None
+            else served.elapsed
+        )
+        if not sl.should_record(elapsed):
+            return
+        self.metrics.inc("slow_queries_total")
+        spans = self.tracer.spans_for_trace(served.trace_id or "")
+        sl.record(
+            trace_id=served.trace_id or "",
+            location=location,
+            k=k,
+            elapsed_s=elapsed,
+            cached=served.cached,
+            fallback_reason=served.fallback_reason,
+            error=served.error,
+            diagnostics=diag,
+            spans=spans or None,
+        )
+        if self.logger.enabled:
+            self.logger.event(
+                "slow_query", trace_id=served.trace_id,
+                elapsed_ms=round(elapsed * 1e3, 3),
+                threshold_ms=sl.threshold_ms, sink=sl.path,
+            )
 
     def _fallback(
         self, location: Tuple[float, float], k: int, reason: str
     ) -> ServedResult:
         start = time.perf_counter()
         m = self.metrics
+        trace_id = new_trace_id()
         m.inc("timeouts" if reason == "timeout" else "fallback_triggers")
         if self.config.fallback == "none":
             return ServedResult(
@@ -297,21 +450,46 @@ class QueryEngine:
                 elapsed=time.perf_counter() - start,
                 error=f"query timed out after {self.config.timeout}s "
                       f"(fallback disabled)",
+                trace_id=trace_id,
             )
         m.inc("fallbacks")
-        try:
-            result = degree_discount(self.network, location, k, self.decay)
-        except ReproError as exc:
-            m.inc("errors")
-            return ServedResult(
-                result=None,
-                elapsed=time.perf_counter() - start,
-                error=f"timeout, then fallback failed: {exc}",
-            )
+        m.inc("serve_fallback_total")
+        with self.tracer.span(
+            "serve.fallback",
+            {"x": location[0], "y": location[1], "k": k, "reason": reason},
+            trace_id=trace_id,
+        ):
+            try:
+                result = degree_discount(
+                    self.network, location, k, self.decay
+                )
+            except ReproError as exc:
+                m.inc("errors")
+                return ServedResult(
+                    result=None,
+                    elapsed=time.perf_counter() - start,
+                    error=f"timeout, then fallback failed: {exc}",
+                    trace_id=trace_id,
+                )
         elapsed = time.perf_counter() - start
         m.observe("fallback_latency_ms", elapsed * 1e3)
+        if self.logger.enabled:
+            self.logger.event(
+                "fallback", trace_id=trace_id, reason=reason,
+                method=result.method, elapsed_ms=round(elapsed * 1e3, 3),
+            )
         # Fallback answers are never cached: a later, slower query in the
         # same cell deserves the real index answer, not a frozen heuristic.
-        return ServedResult(
-            result=result, elapsed=elapsed, fallback_reason=reason
+        served = ServedResult(
+            result=result, elapsed=elapsed, fallback_reason=reason,
+            trace_id=trace_id,
         )
+        # A timed-out query *is* a slow query: record it against the
+        # deadline it blew (its true latency is unknown — the abandoned
+        # thread is still running), not the fallback's own latency.
+        if reason == "timeout" and self.config.timeout is not None:
+            self._maybe_record_slow(
+                location, k, served, None,
+                elapsed_override=self.config.timeout,
+            )
+        return served

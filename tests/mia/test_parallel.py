@@ -130,3 +130,36 @@ class TestFlatRoundTrip:
         flat = MiaModel(example_net, 0.03).flat_trees()
         with pytest.raises(GraphError):
             MiaModel.from_flat_trees(small_net, 0.03, flat)
+
+
+class TestWorkerSpans:
+    def test_chunk_spans_reparented_under_build(self, small_net):
+        from repro.obs.trace import Tracer, use_tracer
+
+        tracer = Tracer()
+        builder = ParallelMiaBuilder(
+            small_net, 0.03, n_workers=2, force_serial=True
+        )
+        with use_tracer(tracer):
+            builder.build_flat()
+        spans = {s["name"]: s for s in tracer.finished_spans}
+        build = spans["mia.build_trees"]
+        assert build["attributes"]["n"] == small_net.n
+        chunks = [
+            s for s in tracer.finished_spans if s["name"] == "mia.build_chunk"
+        ]
+        assert len(chunks) == build["attributes"]["n_chunks"]
+        assert all(c["parent_id"] == build["span_id"] for c in chunks)
+        assert sum(c["attributes"]["count"] for c in chunks) == small_net.n
+
+    def test_tracing_does_not_change_the_index(self, small_net):
+        from repro.obs.trace import Tracer, use_tracer
+
+        plain = ParallelMiaBuilder(
+            small_net, 0.03, n_workers=2, force_serial=True
+        ).build_flat()
+        with use_tracer(Tracer()):
+            traced = ParallelMiaBuilder(
+                small_net, 0.03, n_workers=2, force_serial=True
+            ).build_flat()
+        assert _flat_equal(plain, traced)

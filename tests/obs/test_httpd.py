@@ -1,0 +1,112 @@
+"""Tests for the HTTP observability sidecar (repro.obs.httpd)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.mia_da import MiaDaConfig, MiaDaIndex
+from repro.exceptions import ServeError
+from repro.geo.weights import DistanceDecay
+from repro.network.generators import (
+    GeoSocialConfig,
+    generate_geo_social_network,
+)
+from repro.obs.httpd import PROMETHEUS_CONTENT_TYPE, ObsHttpServer
+from repro.obs.prom import parse_prometheus
+from repro.serve.engine import QueryEngine
+from repro.serve.metrics import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def engine():
+    net = generate_geo_social_network(
+        GeoSocialConfig(n=80, avg_out_degree=3.0, extent=100.0, city_std=8.0),
+        seed=11,
+    )
+    index = MiaDaIndex(
+        net, DistanceDecay(alpha=0.02), MiaDaConfig(n_anchors=8, tau=16)
+    )
+    return QueryEngine(index)
+
+
+@pytest.fixture(scope="module")
+def server(engine):
+    srv = ObsHttpServer(engine=engine, port=0, default_k=3).start()
+    yield srv
+    srv.stop()
+
+
+def get(server, path):
+    url = f"http://{server.host}:{server.port}{path}"
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, dict(resp.headers), resp.read().decode()
+
+
+class TestConstruction:
+    def test_requires_engine_or_metrics(self):
+        with pytest.raises(ServeError):
+            ObsHttpServer()
+
+    def test_metrics_only_mode(self):
+        metrics = MetricsRegistry()
+        metrics.inc("queries_total", 7)
+        srv = ObsHttpServer(metrics=metrics, port=0).start()
+        try:
+            _, _, body = get(srv, "/metrics")
+            assert parse_prometheus(body).value("repro_queries_total") == 7
+        finally:
+            srv.stop()
+
+    def test_ephemeral_port_resolved(self, server):
+        assert server.port > 0
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, _, body = get(server, "/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["index_kind"] == "MiaDaIndex"
+        assert payload["uptime_s"] >= 0
+
+    def test_metrics_is_valid_prometheus(self, server):
+        # Serve one query first so the exposition is non-trivial.
+        status, _, _ = get(server, "/query?x=50&y=50&k=2")
+        assert status == 200
+        status, headers, body = get(server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        parsed = parse_prometheus(body)
+        assert parsed.value("repro_queries_total") >= 1
+
+    def test_query_returns_answer_with_trace_id(self, server):
+        _, _, body = get(server, "/query?x=50&y=50&k=3")
+        payload = json.loads(body)
+        assert len(payload["seeds"]) == 3
+        assert "estimate" in payload
+        assert payload["fallback"] is False
+        assert payload["trace_id"]
+
+    def test_query_default_k(self, server):
+        _, _, body = get(server, "/query?x=10&y=10")
+        assert len(json.loads(body)["seeds"]) == 3  # default_k
+
+    def test_query_bad_params_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(server, "/query?x=abc&y=1")
+        assert err.value.code == 400
+
+    def test_query_missing_params_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(server, "/query")
+        assert err.value.code == 400
+
+    def test_unknown_path_is_404_with_routes(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(server, "/nope")
+        assert err.value.code == 404
+        payload = json.loads(err.value.read().decode())
+        assert "/metrics" in payload["routes"]

@@ -1,0 +1,71 @@
+"""Tests for structured JSON logging (repro.obs.log)."""
+
+import io
+import json
+
+from repro.obs.log import (
+    EVENTS,
+    NULL_LOGGER,
+    JsonLogger,
+    NullLogger,
+    get_logger,
+    use_logger,
+)
+
+
+def events_of(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestJsonLogger:
+    def test_one_json_object_per_line(self):
+        stream = io.StringIO()
+        log = JsonLogger(stream)
+        log.event("query_start", trace_id="t1", x=1.0, y=2.0, k=5)
+        log.event("query_end", trace_id="t1", elapsed_ms=3.2)
+        first, second = events_of(stream)
+        assert first["event"] == "query_start"
+        assert first["trace_id"] == "t1"
+        assert first["k"] == 5
+        assert second["event"] == "query_end"
+
+    def test_every_event_carries_ts(self):
+        stream = io.StringIO()
+        JsonLogger(stream).event("error", message="x")
+        (record,) = events_of(stream)
+        assert isinstance(record["ts"], float)
+
+    def test_emitted_events_are_in_schema(self):
+        # The instrumented call sites only emit schema events; spot-check
+        # the vocabulary itself is what the docs promise.
+        assert {"query_start", "query_end", "cache_hit", "fallback",
+                "slow_query", "build_start", "build_progress", "build_end",
+                "serve_start", "serve_end", "http_request",
+                "error"} == EVENTS
+
+    def test_unserialisable_values_degrade_to_repr(self):
+        stream = io.StringIO()
+        JsonLogger(stream).event("error", message=object())
+        (record,) = events_of(stream)
+        assert "object object" in record["message"]
+
+
+class TestAmbient:
+    def test_default_is_null(self):
+        assert get_logger() is NULL_LOGGER
+        NULL_LOGGER.event("query_start")  # no-op, no error
+
+    def test_use_logger_activates_and_restores(self):
+        stream = io.StringIO()
+        log = JsonLogger(stream)
+        with use_logger(log):
+            assert get_logger() is log
+            get_logger().event("serve_start", queries=1)
+        assert get_logger() is NULL_LOGGER
+        assert events_of(stream)[0]["event"] == "serve_start"
+
+    def test_use_logger_with_null_deactivates(self):
+        with use_logger(JsonLogger(io.StringIO())) as outer:
+            with use_logger(NullLogger()):
+                assert get_logger() is NULL_LOGGER
+            assert get_logger() is outer

@@ -1,0 +1,72 @@
+"""Tests for build-telemetry heartbeats (repro.obs.progress)."""
+
+import io
+import json
+
+from repro.obs.log import NULL_LOGGER, JsonLogger
+from repro.obs.progress import Heartbeat
+
+
+def events_of(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestHeartbeat:
+    def test_disabled_with_null_logger(self):
+        hb = Heartbeat("ris.sample", total=100, logger=NULL_LOGGER)
+        hb.advance(50)
+        hb.finish()
+        assert not hb.enabled
+        assert hb.done == 50
+
+    def test_finish_always_emits(self):
+        stream = io.StringIO()
+        hb = Heartbeat(
+            "ris.sample", total=100, unit="samples",
+            logger=JsonLogger(stream),
+        )
+        hb.advance(25)
+        hb.finish()
+        (event,) = events_of(stream)
+        assert event["event"] == "build_progress"
+        assert event["phase"] == "ris.sample"
+        assert event["done"] == 25
+        assert event["total"] == 100
+        assert event["unit"] == "samples"
+        assert event["rate_per_s"] > 0
+        assert event["eta_s"] is not None
+
+    def test_interval_throttles_advance(self):
+        stream = io.StringIO()
+        hb = Heartbeat(
+            "mia.trees", total=1000, interval_s=3600.0,
+            logger=JsonLogger(stream),
+        )
+        for _ in range(100):
+            hb.advance()
+        # Inside one interval nothing is emitted until finish().
+        assert events_of(stream) == []
+        hb.finish()
+        assert events_of(stream)[0]["done"] == 100
+
+    def test_zero_interval_emits_per_advance(self):
+        stream = io.StringIO()
+        hb = Heartbeat(
+            "mia.trees", total=4, interval_s=0.0, logger=JsonLogger(stream),
+        )
+        hb.advance()
+        hb.advance()
+        assert len(events_of(stream)) == 2
+
+    def test_open_ended_phase_has_no_eta(self):
+        stream = io.StringIO()
+        hb = Heartbeat("scan", total=None, logger=JsonLogger(stream))
+        hb.advance(7)
+        hb.finish()
+        (event,) = events_of(stream)
+        assert "eta_s" not in event
+        assert "total" not in event
+
+    def test_uses_ambient_logger_by_default(self):
+        hb = Heartbeat("scan", total=None)
+        assert hb.logger is NULL_LOGGER

@@ -1,0 +1,99 @@
+"""Tests for Prometheus exposition and parsing (repro.obs.prom)."""
+
+import pytest
+
+from repro.exceptions import DataFormatError
+from repro.obs.prom import (
+    QUANTILES,
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from repro.serve.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    m = MetricsRegistry()
+    m.inc("queries_total", 3)
+    m.inc("result_cache.hits")
+    for v in (1.0, 3.0, 7.0, 120.0):
+        m.observe("latency_ms", v)
+    return m
+
+
+class TestRender:
+    def test_counters(self, registry):
+        text = render_prometheus(registry)
+        assert "# TYPE repro_queries_total counter" in text
+        assert "repro_queries_total 3" in text
+        # Dots in registry names become underscores.
+        assert "repro_result_cache_hits 1" in text
+
+    def test_histogram_buckets_are_cumulative(self, registry):
+        parsed = parse_prometheus(render_prometheus(registry))
+        buckets = [
+            (labels, value)
+            for (name, labels), value in parsed.samples.items()
+            if name == "repro_latency_ms_bucket"
+        ]
+        by_le = {dict(labels)["le"]: value for labels, value in buckets}
+        # Non-decreasing along the bucket axis, +Inf covers everything.
+        assert by_le["+Inf"] == 4
+        values = [v for _, v in sorted(
+            ((float(le) if le != "+Inf" else float("inf")), v)
+            for le, v in by_le.items()
+        )]
+        assert values == sorted(values)
+
+    def test_sum_count_min_max_quantiles(self, registry):
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert parsed.value("repro_latency_ms_count") == 4
+        assert parsed.value("repro_latency_ms_sum") == pytest.approx(131.0)
+        assert parsed.value("repro_latency_ms_min") == 1.0
+        assert parsed.value("repro_latency_ms_max") == 120.0
+        for q in QUANTILES:
+            assert parsed.value(
+                "repro_latency_ms_quantile", q=str(q)
+            ) >= 0.0
+
+    def test_namespace_override(self, registry):
+        text = render_prometheus(registry, namespace="daim")
+        assert "daim_queries_total 3" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()).strip() == ""
+
+
+class TestRoundTrip:
+    def test_every_rendered_sample_parses_back(self, registry):
+        text = render_prometheus(registry)
+        parsed = parse_prometheus(text)
+        assert "repro_queries_total" in parsed.names()
+        assert "repro_latency_ms_bucket" in parsed.names()
+
+
+class TestParser:
+    def test_rejects_malformed_line(self):
+        with pytest.raises(DataFormatError):
+            parse_prometheus("this is { not prometheus\n")
+
+    def test_rejects_empty_exposition(self):
+        with pytest.raises(DataFormatError):
+            parse_prometheus("# HELP nothing here\n")
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(DataFormatError):
+            parse_prometheus("metric_name twelve\n")
+
+    def test_parses_labels(self):
+        parsed = parse_prometheus('m_bucket{le="5",x="a"} 2\n')
+        assert parsed.value("m_bucket", le="5", x="a") == 2
+
+
+class TestSanitize:
+    def test_replaces_invalid_chars(self):
+        assert sanitize_metric_name("result_cache.hits") == (
+            "result_cache_hits"
+        )
+        assert sanitize_metric_name("9lives") == "_9lives"

@@ -1,0 +1,106 @@
+"""Tests for the slow-query JSONL sink (repro.obs.slowlog)."""
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServeError
+from repro.obs.slowlog import SlowQueryLog, _jsonable
+from repro.obs.trace import Tracer
+
+
+@dataclass(frozen=True)
+class FakeDiagnostics:
+    samples_used: int
+    setup_seconds: float
+
+
+class TestThreshold:
+    def test_negative_threshold_rejected(self, tmp_path):
+        with pytest.raises(ServeError):
+            SlowQueryLog(tmp_path / "slow.jsonl", -1.0)
+
+    def test_should_record_boundary(self, tmp_path):
+        log = SlowQueryLog(tmp_path / "slow.jsonl", 10.0)
+        assert log.should_record(0.010)
+        assert log.should_record(0.011)
+        assert not log.should_record(0.009)
+
+    def test_zero_threshold_records_everything(self, tmp_path):
+        log = SlowQueryLog(tmp_path / "slow.jsonl", 0.0)
+        assert log.should_record(0.0)
+
+
+class TestRecord:
+    def test_row_written_and_counted(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(path, 5.0)
+        row = log.record(
+            trace_id="t1", location=(1.0, 2.0), k=10, elapsed_s=0.25,
+            cached=False, fallback_reason=None, error=None,
+            diagnostics=FakeDiagnostics(samples_used=100, setup_seconds=0.1),
+        )
+        assert log.recorded == 1
+        assert row["elapsed_ms"] == 250.0
+        assert row["fallback"] is False
+        (line,) = path.read_text().splitlines()
+        loaded = json.loads(line)
+        assert loaded["trace_id"] == "t1"
+        assert loaded["diagnostics"] == {
+            "samples_used": 100, "setup_seconds": 0.1,
+        }
+        assert loaded["span_tree"] is None
+
+    def test_fallback_reason_sets_flag(self, tmp_path):
+        log = SlowQueryLog(tmp_path / "slow.jsonl", 0.0)
+        row = log.record(
+            trace_id="t2", location=(0.0, 0.0), k=1, elapsed_s=1.0,
+            cached=False, fallback_reason="timeout", error=None,
+        )
+        assert row["fallback"] is True
+        assert row["fallback_reason"] == "timeout"
+
+    def test_span_tree_embedded(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("serve.query") as root:
+            with tracer.span("index.query"):
+                pass
+        log = SlowQueryLog(tmp_path / "slow.jsonl", 0.0)
+        row = log.record(
+            trace_id=root.trace_id, location=(1.0, 1.0), k=2, elapsed_s=0.1,
+            cached=False, fallback_reason=None, error=None,
+            spans=tracer.spans_for_trace(root.trace_id),
+        )
+        (tree_root,) = row["span_tree"]
+        assert tree_root["name"] == "serve.query"
+        assert [c["name"] for c in tree_root["children"]] == ["index.query"]
+
+    def test_appends_accumulate(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(path, 0.0)
+        for i in range(3):
+            log.record(
+                trace_id=f"t{i}", location=(0.0, 0.0), k=1, elapsed_s=0.1,
+                cached=False, fallback_reason=None, error=None,
+            )
+        assert log.recorded == 3
+        assert len(path.read_text().splitlines()) == 3
+
+
+class TestJsonable:
+    def test_numpy_scalars_become_floats(self):
+        assert _jsonable(np.float64(1.5)) == 1.5
+        assert _jsonable(np.int64(3)) == 3.0
+
+    def test_nested_structures(self):
+        out = _jsonable({"a": [np.float64(1.0), "s"], "b": (1, 2)})
+        assert out == {"a": [1.0, "s"], "b": [1, 2]}
+
+    def test_opaque_objects_degrade_to_repr(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert _jsonable(Opaque()) == "<opaque>"

@@ -1,0 +1,212 @@
+"""Tests for the span tracer (repro.obs.trace)."""
+
+import json
+import re
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    new_id,
+    new_trace_id,
+    span_context,
+    span_tree,
+    use_tracer,
+    worker_span,
+)
+
+
+class TestIds:
+    def test_new_id_is_hex(self):
+        assert re.fullmatch(r"[0-9a-f]{16}", new_id())
+
+    def test_new_trace_id_is_32_hex(self):
+        assert re.fullmatch(r"[0-9a-f]{32}", new_trace_id())
+
+    def test_ids_are_unique(self):
+        assert len({new_id() for _ in range(100)}) == 100
+
+
+class TestSpans:
+    def test_root_span_has_no_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as span:
+            assert span.parent_id is None
+        (finished,) = tracer.finished_spans
+        assert finished["name"] == "root"
+        assert finished["parent_id"] is None
+        assert finished["duration_ms"] >= 0
+
+    def test_nesting_links_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+
+    def test_sibling_spans_share_trace(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b = (s for s in tracer.finished_spans if s["name"] in "ab")
+        assert a["parent_id"] == root.span_id
+        assert b["parent_id"] == root.span_id
+
+    def test_explicit_trace_id_pins_root(self):
+        tracer = Tracer()
+        tid = new_trace_id()
+        with tracer.span("q", trace_id=tid) as span:
+            assert span.trace_id == tid
+        assert tracer.spans_for_trace(tid)
+
+    def test_separate_roots_get_separate_traces(self):
+        tracer = Tracer()
+        with tracer.span("one"):
+            pass
+        with tracer.span("two"):
+            pass
+        ids = {s["trace_id"] for s in tracer.finished_spans}
+        assert len(ids) == 2
+
+    def test_attributes_captured(self):
+        tracer = Tracer()
+        with tracer.span("q", {"k": 5}) as span:
+            span.set_attribute("cached", True)
+        (finished,) = tracer.finished_spans
+        assert finished["attributes"] == {"k": 5, "cached": True}
+
+    def test_exception_sets_error_attribute(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("bad")
+        (finished,) = tracer.finished_spans
+        assert finished["attributes"]["error"] == "ValueError: bad"
+
+    def test_end_is_idempotent(self):
+        tracer = Tracer()
+        span = tracer.start_span("manual")
+        span.end()
+        span.end()
+        assert len(tracer.finished_spans) == 1
+
+
+class TestAdoption:
+    def test_worker_span_reparents_under_context(self):
+        tracer = Tracer()
+        with tracer.span("build") as parent:
+            ctx = span_context(parent)
+            child = worker_span("chunk", ctx, 1.0, 2.5, {"count": 10})
+            tracer.adopt([child, None])
+        spans = {s["name"]: s for s in tracer.finished_spans}
+        assert spans["chunk"]["trace_id"] == parent.trace_id
+        assert spans["chunk"]["parent_id"] == parent.span_id
+        assert spans["chunk"]["attributes"]["count"] == 10
+        assert spans["chunk"]["attributes"]["worker"] is True
+
+    def test_worker_span_none_context(self):
+        assert worker_span("chunk", None, 1.0, 2.5) is None
+        assert span_context(NULL_SPAN) is None
+
+    def test_adopt_all_none_is_noop(self):
+        tracer = Tracer()
+        tracer.adopt([None, None])
+        assert tracer.finished_spans == []
+
+
+class TestRecordStages:
+    def test_stage_spans_are_sequential_children(self):
+        tracer = Tracer()
+        with tracer.span("query") as parent:
+            tracer.record_stages(
+                parent, {"weights": 0.001, "cover": 0.002, "total": 0.003}
+            )
+        stages = [
+            s for s in tracer.finished_spans if s["name"].startswith("stage.")
+        ]
+        assert [s["name"] for s in stages] == ["stage.weights", "stage.cover"]
+        assert all(s["parent_id"] == parent.span_id for s in stages)
+        assert all(s["attributes"]["synthetic"] is True for s in stages)
+        # Laid out sequentially from the parent start.
+        assert stages[1]["start_unix"] > stages[0]["start_unix"]
+
+
+class TestExport:
+    def test_export_document(self, tmp_path):
+        tracer = Tracer(service="test")
+        with tracer.span("root"):
+            pass
+        doc = tracer.export()
+        assert doc["schema_version"] == TRACE_SCHEMA_VERSION
+        assert doc["service"] == "test"
+        assert doc["environment"]["python"]
+        assert len(doc["spans"]) == 1
+        path = tmp_path / "trace.json"
+        tracer.export_json(path)
+        assert json.loads(path.read_text())["spans"][0]["name"] == "root"
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("x", {"a": 1}) as span:
+            span.set_attribute("b", 2)
+            assert span is NULL_SPAN
+            assert span.context is None
+        NULL_TRACER.adopt([{"name": "w"}])
+        NULL_TRACER.record_stages(NULL_SPAN, {"s": 1.0})
+        assert NULL_TRACER.finished_spans == []
+        assert NULL_TRACER.spans_for_trace("abc") == []
+        assert not NULL_TRACER.enabled
+
+    def test_null_span_swallows_nothing(self):
+        with pytest.raises(RuntimeError):
+            with NULL_TRACER.span("x"):
+                raise RuntimeError("propagates")
+
+
+class TestAmbient:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_activates_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_with_null_deactivates(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with use_tracer(NullTracer()):
+                assert get_tracer() is NULL_TRACER
+            assert get_tracer() is tracer
+
+
+class TestSpanTree:
+    def test_nests_children_and_sorts(self):
+        spans = [
+            {"span_id": "b", "parent_id": "a", "start_unix": 2.0},
+            {"span_id": "a", "parent_id": None, "start_unix": 1.0},
+            {"span_id": "c", "parent_id": "a", "start_unix": 1.5},
+        ]
+        (root,) = span_tree(spans)
+        assert root["span_id"] == "a"
+        assert [c["span_id"] for c in root["children"]] == ["c", "b"]
+
+    def test_orphans_promoted_to_roots(self):
+        spans = [
+            {"span_id": "x", "parent_id": "missing", "start_unix": 1.0},
+        ]
+        (root,) = span_tree(spans)
+        assert root["span_id"] == "x"
+
+    def test_empty(self):
+        assert span_tree([]) == []

@@ -229,3 +229,46 @@ class TestCorpusIntegration:
         assert corpus.roots.tolist() == roots.tolist()
         for i in range(50):
             assert np.array_equal(corpus.members(i), members[i])
+
+
+class TestWorkerSpans:
+    def test_chunk_spans_reparented_under_batch(self, small_net):
+        from repro.obs.trace import Tracer, use_tracer
+
+        tracer = Tracer()
+        sampler = ParallelRRSampler(
+            small_net, seed=5, n_workers=2, force_serial=True
+        )
+        with use_tracer(tracer):
+            sampler.sample_many_flat(600)
+        spans = {s["name"]: s for s in tracer.finished_spans}
+        batch = spans["ris.sample_batch"]
+        assert batch["attributes"]["count"] == 600
+        chunks = [
+            s for s in tracer.finished_spans if s["name"] == "ris.sample_chunk"
+        ]
+        assert len(chunks) == batch["attributes"]["n_chunks"]
+        assert all(c["parent_id"] == batch["span_id"] for c in chunks)
+        assert all(c["trace_id"] == batch["trace_id"] for c in chunks)
+        assert all(c["attributes"]["worker"] for c in chunks)
+        assert sum(c["attributes"]["count"] for c in chunks) == 600
+
+    def test_tracing_does_not_change_the_corpus(self, small_net):
+        from repro.obs.trace import Tracer, use_tracer
+
+        plain = ParallelRRSampler(
+            small_net, seed=5, n_workers=2, force_serial=True
+        ).sample_many_flat(600)
+        with use_tracer(Tracer()):
+            traced = ParallelRRSampler(
+                small_net, seed=5, n_workers=2, force_serial=True
+            ).sample_many_flat(600)
+        for a, b in zip(plain, traced):
+            assert np.array_equal(a, b)
+
+    def test_untraced_chunks_ship_no_spans(self, small_net):
+        from repro.ris.parallel import _sample_chunk
+
+        flat, span = _sample_chunk(small_net, "ic", np.random.SeedSequence(1), 5)
+        assert span is None
+        assert len(flat[0]) == 5

@@ -243,7 +243,140 @@ class TestTimeoutFallback:
         assert batch[0].ok and not batch[0].fallback
 
 
-class TestFromPath:
+class TestObservability:
+    def test_every_query_carries_a_trace_id(self, ris_index):
+        engine = QueryEngine(ris_index)
+        served = engine.query((50.0, 50.0), k=4)
+        assert served.trace_id and len(served.trace_id) == 32
+        cached = engine.query((50.0, 50.0), k=4)
+        assert cached.cached
+        assert cached.trace_id and cached.trace_id != served.trace_id
+
+    def test_error_results_carry_a_trace_id(self, ris_index):
+        engine = QueryEngine(ris_index)
+        served = engine.query((50.0, 50.0), k=999)
+        assert not served.ok
+        assert served.trace_id
+
+    def test_span_tree_includes_selection_stages(self, ris_index):
+        from repro.obs.trace import Tracer, span_tree
+
+        tracer = Tracer()
+        engine = QueryEngine(
+            ris_index, config=ServeConfig(result_cache_size=0),
+            tracer=tracer,
+        )
+        served = engine.query((50.0, 50.0), k=4)
+        spans = tracer.spans_for_trace(served.trace_id)
+        (root,) = span_tree(spans)
+        assert root["name"] == "serve.query"
+        (index_query,) = root["children"]
+        assert index_query["name"] == "index.query"
+        stage_names = {c["name"] for c in index_query["children"]}
+        assert {"stage.weight_eval", "stage.selection"} <= stage_names
+        assert "stage.total" not in stage_names
+
+    def test_mia_span_tree_has_bound_setup_stage(self, mia_index):
+        from repro.obs.trace import Tracer, span_tree
+
+        tracer = Tracer()
+        engine = QueryEngine(
+            mia_index, config=ServeConfig(result_cache_size=0),
+            tracer=tracer,
+        )
+        served = engine.query((40.0, 60.0), k=3)
+        (root,) = span_tree(tracer.spans_for_trace(served.trace_id))
+        (index_query,) = root["children"]
+        stage_names = {c["name"] for c in index_query["children"]}
+        assert {"stage.bound_setup", "stage.selection"} <= stage_names
+
+    def test_query_events_logged(self, ris_index):
+        import io
+        import json as json_mod
+
+        from repro.obs.log import JsonLogger
+
+        stream = io.StringIO()
+        engine = QueryEngine(ris_index, logger=JsonLogger(stream))
+        served = engine.query((51.0, 51.0), k=4)
+        events = [
+            json_mod.loads(line) for line in stream.getvalue().splitlines()
+        ]
+        names = [e["event"] for e in events]
+        assert names[0] == "query_start"
+        assert "query_end" in names
+        end = next(e for e in events if e["event"] == "query_end")
+        assert end["trace_id"] == served.trace_id
+
+    def test_slow_log_captures_span_tree_and_diagnostics(
+        self, ris_index, tmp_path
+    ):
+        import json as json_mod
+
+        from repro.obs.slowlog import SlowQueryLog
+
+        path = tmp_path / "slow.jsonl"
+        metrics = MetricsRegistry()
+        engine = QueryEngine(
+            ris_index, config=ServeConfig(result_cache_size=0),
+            metrics=metrics, slow_log=SlowQueryLog(path, 0.0),
+        )
+        # Attaching a slow log auto-upgrades the tracer so rows have trees.
+        assert engine.tracer.enabled
+        served = engine.query((50.0, 50.0), k=4)
+        (line,) = path.read_text().splitlines()
+        row = json_mod.loads(line)
+        assert row["trace_id"] == served.trace_id
+        assert row["diagnostics"]["samples_used"] >= 1
+        (tree_root,) = row["span_tree"]
+        assert tree_root["name"] == "serve.query"
+        assert metrics.counter("slow_queries_total").value == 1
+
+    def test_high_threshold_records_nothing(self, ris_index, tmp_path):
+        from repro.obs.slowlog import SlowQueryLog
+
+        path = tmp_path / "slow.jsonl"
+        slow_log = SlowQueryLog(path, 60_000.0)
+        engine = QueryEngine(
+            ris_index, config=ServeConfig(result_cache_size=0),
+            slow_log=slow_log,
+        )
+        engine.query((50.0, 50.0), k=4)
+        assert slow_log.recorded == 0
+        assert not path.exists()
+
+
+class TestFallbackTagging:
+    def _slow_engine(self, ris_index, monkeypatch):
+        metrics = MetricsRegistry()
+        engine = QueryEngine(
+            ris_index,
+            config=ServeConfig(
+                n_threads=2, timeout=0.05, result_cache_size=0
+            ),
+            metrics=metrics,
+        )
+        real_query = ris_index.query
+
+        def slow_query(q, k=None, **kwargs):
+            time.sleep(0.3)
+            return real_query(q, k, **kwargs)
+
+        monkeypatch.setattr(ris_index, "query", slow_query)
+        return engine, metrics
+
+    def test_fallback_results_are_distinguishable(
+        self, ris_index, monkeypatch
+    ):
+        engine, metrics = self._slow_engine(ris_index, monkeypatch)
+        (served,) = engine.serve_batch([(50.0, 50.0)], k=4)
+        assert served.fallback is True
+        assert served.fallback_reason == "timeout"
+        assert served.result.method == "DegreeDiscount"
+        assert served.trace_id
+        assert metrics.counter("serve_fallback_total").value == 1
+        # The legacy counter still moves too.
+        assert metrics.counter("fallbacks").value == 1
     def test_ris_file_round_trip(self, net, decay, ris_index, tmp_path):
         path = tmp_path / "ris.npz"
         save_ris_index(ris_index, path)

@@ -69,6 +69,75 @@ class TestHistogram:
             m.histogram("x_ms").quantile(1.5)
 
 
+class TestHistogramEdgeCases:
+    def test_empty_histogram_all_quantiles_zero(self):
+        m = MetricsRegistry()
+        h = m.histogram("empty_ms")
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert h.quantile(q) == 0.0
+        assert h.count == 0
+        assert h.mean == 0.0
+
+    def test_single_observation(self):
+        m = MetricsRegistry()
+        h = m.histogram("one_ms", buckets=(1.0, 10.0))
+        h.observe(3.0)
+        assert h.count == 1
+        assert h.min == h.max == 3.0
+        assert h.mean == pytest.approx(3.0)
+        # Every quantile of a single sample brackets that sample's bucket.
+        for q in (0.0, 0.5, 1.0):
+            assert 1.0 <= h.quantile(q) <= 10.0
+
+    def test_overflow_bucket_observations(self):
+        m = MetricsRegistry()
+        h = m.histogram("over_ms", buckets=(1.0, 2.0))
+        h.observe(1e9)
+        h.observe(2e9)
+        # Both land in +inf; counts has one slot per finite bucket + 1.
+        assert h.counts == [0, 0, 2]
+        assert h.max == 2e9
+        # Quantiles from the overflow bucket stay finite (interpolation
+        # is clamped by the observed max, not the infinite edge).
+        for q in (0.5, 0.99, 1.0):
+            value = h.quantile(q)
+            assert value == value and value != float("inf")
+        assert h.quantile(1.0) == pytest.approx(2e9)
+
+    def test_dump_prometheus_round_trip(self):
+        from repro.obs.prom import parse_prometheus, render_prometheus
+
+        m = MetricsRegistry()
+        m.inc("queries_total", 2)
+        for v in (0.5, 5.0, 500.0):
+            m.observe("latency_ms", v)
+        dump = m.dump()
+        parsed = parse_prometheus(render_prometheus(m))
+        # The counter and histogram aggregates survive the text format.
+        assert parsed.value("repro_queries_total") == dump["counters"][
+            "queries_total"
+        ]
+        hist = dump["histograms"]["latency_ms"]
+        assert parsed.value("repro_latency_ms_count") == hist["count"]
+        assert parsed.value("repro_latency_ms_sum") == pytest.approx(
+            hist["sum"]
+        )
+        assert parsed.value("repro_latency_ms_min") == hist["min"]
+        assert parsed.value("repro_latency_ms_max") == hist["max"]
+        # Cumulative bucket counts match the per-bucket dump, accumulated.
+        cumulative = 0
+        for bucket in hist["buckets"]:
+            cumulative += bucket["count"]
+            le = "+Inf" if bucket["le"] == float("inf") else (
+                str(int(bucket["le"]))
+                if bucket["le"] == int(bucket["le"])
+                else repr(bucket["le"])
+            )
+            assert parsed.value("repro_latency_ms_bucket", le=le) == (
+                cumulative
+            )
+
+
 class TestDumpAndReport:
     def test_dump_structure(self):
         m = MetricsRegistry()

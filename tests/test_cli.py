@@ -280,3 +280,131 @@ class TestServeBatch:
             "--index", str(index_path), "--queries", str(empty),
         ])
         assert rc == 2
+
+
+class TestInfo:
+    def test_info_prints_runtime_snapshot(self, capsys):
+        import json
+
+        rc = main(["info"])
+        assert rc == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["python"]
+        assert info["numpy"]
+        assert info["cpu_count"] >= 1
+
+
+class TestObservabilityFlags:
+    def _build_ris(self, tmp_path, capsys, extra=()):
+        index_path = tmp_path / "idx.npz"
+        rc = main([
+            "build-ris", "--dataset", "brightkite", "--scale", "0.1",
+            "--out", str(index_path), "--k-max", "5", "--pivots", "6",
+            "--epsilon-pivot", "0.4", "--max-samples", "5000", *extra,
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        return index_path
+
+    def _write_queries(self, tmp_path, count=4, k=3):
+        import json
+
+        path = tmp_path / "queries.jsonl"
+        lines = [
+            json.dumps({"x": 10.0 * i, "y": 20.0, "k": k})
+            for i in range(count)
+        ]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path
+
+    def test_build_trace_out_writes_trace(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "build-trace.json"
+        self._build_ris(
+            tmp_path, capsys, extra=["--trace-out", str(trace_path)]
+        )
+        doc = json.loads(trace_path.read_text())
+        names = {s["name"] for s in doc["spans"]}
+        assert {"ris.build", "ris.pivot_phase", "ris.voronoi_sizing"} <= names
+        assert doc["environment"]["python"]
+
+    def test_build_log_json_emits_events(self, tmp_path, capsys):
+        import json
+
+        self._build_ris(tmp_path, capsys, extra=["--log-json"])
+        # _build_ris drained capsys; rebuild to capture stderr this time.
+        rc = main([
+            "build-mia", "--dataset", "brightkite", "--scale", "0.1",
+            "--out", str(tmp_path / "mia.npz"), "--anchors", "8",
+            "--tau", "16", "--log-json",
+        ])
+        assert rc == 0
+        err = capsys.readouterr().err
+        events = [json.loads(line) for line in err.splitlines() if line]
+        names = [e["event"] for e in events]
+        assert "build_start" in names and "build_end" in names
+
+    def test_serve_batch_rows_carry_trace_ids(self, tmp_path, capsys):
+        import json
+
+        index_path = self._build_ris(tmp_path, capsys)
+        queries = self._write_queries(tmp_path)
+        out_path = tmp_path / "results.jsonl"
+        trace_path = tmp_path / "serve-trace.json"
+        rc = main([
+            "serve-batch", "--dataset", "brightkite", "--scale", "0.1",
+            "--index", str(index_path), "--queries", str(queries),
+            "--out", str(out_path), "--trace-out", str(trace_path),
+        ])
+        assert rc == 0
+        rows = [
+            json.loads(line)
+            for line in out_path.read_text().splitlines() if line
+        ]
+        doc = json.loads(trace_path.read_text())
+        traced_ids = {s["trace_id"] for s in doc["spans"]}
+        for row in rows:
+            assert row["fallback"] is False
+            assert row["fallback_reason"] is None
+            assert "estimate" in row and "heuristic_score" not in row
+            assert row["trace_id"] in traced_ids
+
+    def test_serve_batch_slow_query_log(self, tmp_path, capsys):
+        import json
+
+        index_path = self._build_ris(tmp_path, capsys)
+        queries = self._write_queries(tmp_path, count=3)
+        slow_path = tmp_path / "slow.jsonl"
+        rc = main([
+            "serve-batch", "--dataset", "brightkite", "--scale", "0.1",
+            "--index", str(index_path), "--queries", str(queries),
+            "--out", str(tmp_path / "r.jsonl"), "--cache-size", "0",
+            "--slow-query-ms", "0", "--slow-query-out", str(slow_path),
+        ])
+        assert rc == 0
+        rows = [
+            json.loads(line)
+            for line in slow_path.read_text().splitlines() if line
+        ]
+        assert len(rows) == 3
+        for row in rows:
+            assert row["span_tree"], "slow row must embed the span tree"
+            assert row["diagnostics"]
+        assert "slow queries" in capsys.readouterr().out
+
+    def test_serve_batch_prometheus_export(self, tmp_path, capsys):
+        from repro.obs.prom import parse_prometheus
+
+        index_path = self._build_ris(tmp_path, capsys)
+        queries = self._write_queries(tmp_path, count=2)
+        prom_path = tmp_path / "metrics.prom"
+        rc = main([
+            "serve-batch", "--dataset", "brightkite", "--scale", "0.1",
+            "--index", str(index_path), "--queries", str(queries),
+            "--out", str(tmp_path / "r.jsonl"),
+            "--metrics-prom", str(prom_path),
+        ])
+        assert rc == 0
+        parsed = parse_prometheus(prom_path.read_text())
+        assert parsed.value("repro_queries_total") == 2
