@@ -1,4 +1,4 @@
-"""Online query-serving throughput: warm cache vs cold cache.
+"""Online query-serving throughput: warm vs cold cache, and process scaling.
 
 The serving engine's result cache keys on (index fingerprint, quantized
 query cell, k), so replaying a workload — or serving a workload with hot
@@ -7,10 +7,21 @@ RIS-DA index, persists it, serves a 64-query batch through
 :class:`repro.serve.QueryEngine` twice, and reports cold vs warm rows
 plus the engine's metrics report (latency histogram, cache hit/miss).
 
-The acceptance bar: warm-cache throughput at least 3x cold-cache.
+The multi-process section serves the same workload through a
+:class:`repro.serve.ServePool` (pre-forked workers attached zero-copy to
+the saved index) at 1 and 2 processes with result caching off, and
+reports aggregate q/s plus tail latency (p50/p99 from the pool's
+per-query latency histogram) into ``BENCH_query_kernels.json``.
+
+Acceptance bars: warm-cache throughput at least 3x cold-cache; on a
+machine with >= 2 cores (and a full-size run), 2 worker processes at
+least 2x one.  ``REPRO_BENCH_TINY=1`` shrinks the workload for CI smoke
+runs — scaling asserts are skipped there, numbers are report-only.
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.bench.reporting import format_table
 from repro.bench.workloads import random_queries, serve_throughput
@@ -19,22 +30,34 @@ from repro.core.ris_da import RisDaConfig, RisDaIndex
 from repro.geo.weights import DistanceDecay
 from repro.network.datasets import load_dataset
 from repro.serve.engine import QueryEngine, ServeConfig
+from repro.serve.pool import ServePool
 
 from .conftest import DEFAULT_ALPHA, emit, emit_json
 
-N_QUERIES = 64
+TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+
+N_QUERIES = 32 if TINY else 64
 K = 10
 
 
-def test_query_throughput(tmp_path):
-    network = load_dataset("brightkite", scale=0.5)
+SCALE = 0.15 if TINY else 0.5
+MAX_SAMPLES = 10_000 if TINY else 30_000
+
+
+def _build_index(tmp_path):
+    network = load_dataset("brightkite", scale=SCALE)
     decay = DistanceDecay(c=1.0, alpha=DEFAULT_ALPHA)
     cfg = RisDaConfig(
-        k_max=K, n_pivots=8, epsilon_pivot=0.4, max_index_samples=30_000,
+        k_max=K, n_pivots=8, epsilon_pivot=0.4, max_index_samples=MAX_SAMPLES,
         seed=3,
     )
     index_path = tmp_path / "serve-bench-ris.npz"
     save_ris_index(RisDaIndex(network, decay, cfg), index_path)
+    return network, index_path
+
+
+def test_query_throughput(tmp_path):
+    network, index_path = _build_index(tmp_path)
 
     engine = QueryEngine.from_path(
         index_path, network,
@@ -63,7 +86,7 @@ def test_query_throughput(tmp_path):
     }
     emit_json("query_throughput", {
         "workload": {
-            "dataset": "brightkite", "scale": 0.5, "n_queries": N_QUERIES,
+            "dataset": "brightkite", "scale": SCALE, "n_queries": N_QUERIES,
             "k": K, "rounds": len(rows),
         },
         "cold": cold.as_row(),
@@ -85,3 +108,85 @@ def test_query_throughput(tmp_path):
     assert "result_cache.hits" in report
     assert "result_cache.misses" in report
     assert "latency_ms" in report
+
+
+def test_multiprocess_throughput(tmp_path):
+    """Aggregate q/s and tail latency: 1 vs 2 pre-forked worker processes.
+
+    Result caching is off so every round measures real selection work;
+    the single-process baseline uses the identical config (1 serving
+    thread), so the comparison isolates process scaling.  Each setup
+    serves a warmup round (JIT-free here, but it faults the shared pages
+    in) and then a measured round.
+    """
+    import time
+
+    network, index_path = _build_index(tmp_path)
+    queries = random_queries(network, N_QUERIES, seed=19)
+    config = ServeConfig(n_threads=1, result_cache_size=0)
+
+    engine = QueryEngine.from_path(index_path, network, config=config)
+    engine.serve_batch(queries, k=K)  # warmup
+    t0 = time.perf_counter()
+    base = engine.serve_batch(queries, k=K)
+    single_seconds = time.perf_counter() - t0
+    single_qps = N_QUERIES / single_seconds
+
+    rows = []
+    pool_results = {}
+    for procs in (1, 2):
+        with ServePool(
+            index_path, network, n_workers=procs, config=config
+        ) as pool:
+            pool.serve_batch(queries, k=K)  # warmup
+            t0 = time.perf_counter()
+            pool_results[procs] = pool.serve_batch(queries, k=K)
+            elapsed = time.perf_counter() - t0
+            latency = pool.metrics.histogram("latency_ms")
+            rows.append({
+                "processes": procs,
+                "queries": N_QUERIES,
+                "sec": round(elapsed, 4),
+                "q/s": int(N_QUERIES / elapsed),
+                "p50_ms": round(latency.quantile(0.5), 3),
+                "p99_ms": round(latency.quantile(0.99), 3),
+                "vs_single": round(single_seconds / elapsed, 2),
+            })
+
+    # The pool must be a faithful distribution layer: same seeds as the
+    # in-process engine for every query, at any worker count.
+    for procs, served in pool_results.items():
+        assert all(s.ok for s in served), f"errors with {procs} processes"
+        assert (
+            [s.result.seeds for s in served] == [s.result.seeds for s in base]
+        ), f"seed mismatch with {procs} processes"
+
+    text = format_table(
+        list(rows[0]),
+        [list(r.values()) for r in rows],
+        title=(
+            f"multi-process serving ({N_QUERIES}-query batch, caching off; "
+            f"single-process baseline {single_qps:.0f} q/s)"
+        ),
+    )
+    emit("serve_pool_throughput", text)
+    emit_json("serve_pool", {
+        "workload": {
+            "dataset": "brightkite", "scale": SCALE, "n_queries": N_QUERIES,
+            "k": K, "tiny": TINY,
+        },
+        "single_process": {
+            "q/s": int(single_qps), "sec": round(single_seconds, 4),
+        },
+        "pool": rows,
+        "cpu_count": os.cpu_count(),
+    })
+
+    two = rows[-1]
+    assert two["processes"] == 2
+    if not TINY and (os.cpu_count() or 1) >= 2:
+        one = rows[0]
+        assert two["q/s"] >= 2 * one["q/s"], (
+            f"2 workers should at least double 1-worker throughput on a "
+            f">=2-core machine: {one['q/s']} -> {two['q/s']} q/s"
+        )

@@ -15,10 +15,13 @@ query
     (indexed or ad-hoc), or a heuristic.
 serve-batch
     Answer a JSONL batch of queries against a prebuilt index through the
-    serving engine (result cache, thread pool, timeouts, metrics).
+    serving engine (result cache, thread pool, timeouts, metrics).  With
+    ``--processes N`` the batch is sharded across N pre-forked worker
+    processes that attach the index zero-copy via shared memory.
 serve-http
     Expose a prebuilt index over HTTP: ``/query``, ``/metrics``
-    (Prometheus text format) and ``/healthz``.
+    (Prometheus text format) and ``/healthz``; also accepts
+    ``--processes N``.
 info
     Print the runtime-environment snapshot (python/numpy/BLAS/CPU).
 
@@ -33,6 +36,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import signal
 import sys
 import time
 from typing import Optional, Sequence
@@ -59,6 +63,7 @@ from repro.obs.slowlog import SlowQueryLog
 from repro.obs.trace import NULL_TRACER, Tracer, use_tracer
 from repro.ris.adhoc import adhoc_ris_query
 from repro.serve.engine import QueryEngine, ServeConfig
+from repro.serve.pool import ServePool
 
 
 def _add_network_args(p: argparse.ArgumentParser) -> None:
@@ -289,13 +294,26 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         slow_log = SlowQueryLog(args.slow_query_out, args.slow_query_ms)
     with contextlib.ExitStack() as stack:
         tracer = _activate_obs(args, stack)
-        engine = QueryEngine.from_path(
-            args.index, network, kind=args.method, config=config,
-            slow_log=slow_log,
-        )
+        if args.processes > 0:
+            # Sharded multi-process serving over shared index arrays;
+            # the slow-query sink is an in-process feature (worker
+            # engines run without one).
+            engine = stack.enter_context(ServePool(
+                args.index, network, n_workers=args.processes,
+                kind=args.method, config=config, backing=args.backing,
+            ))
+        else:
+            engine = QueryEngine.from_path(
+                args.index, network, kind=args.method, config=config,
+                slow_log=slow_log,
+            )
         start = time.perf_counter()
         served = engine.serve_batch(queries)
         wall = time.perf_counter() - start
+        if args.processes > 0:
+            # Fold worker-side counters/histograms into the report and
+            # the Prometheus rendering below before workers stop.
+            engine.collect_worker_metrics()
         _export_trace(args, tracer)
 
     lines = [json.dumps(_served_row(q, sr)) for q, sr in zip(queries, served)]
@@ -342,20 +360,33 @@ def cmd_serve_http(args: argparse.Namespace) -> int:
         slow_log = SlowQueryLog(args.slow_query_out, args.slow_query_ms)
     with contextlib.ExitStack() as stack:
         tracer = _activate_obs(args, stack)
-        engine = QueryEngine.from_path(
-            args.index, network, kind=args.method, config=config,
-            slow_log=slow_log,
-        )
+        if args.processes > 0:
+            engine = stack.enter_context(ServePool(
+                args.index, network, n_workers=args.processes,
+                kind=args.method, config=config, backing=args.backing,
+            ))
+        else:
+            engine = QueryEngine.from_path(
+                args.index, network, kind=args.method, config=config,
+                slow_log=slow_log,
+            )
         server = ObsHttpServer(
             engine=engine, host=args.host, port=args.port, default_k=args.k,
         )
         print(f"serving on http://{server.host}:{server.port} "
               f"(/query /metrics /healthz), Ctrl-C to stop", file=sys.stderr)
+        # SIGTERM (docker stop, systemd, kill) must unwind the ExitStack
+        # like Ctrl-C does — with --processes that is what stops the
+        # workers and unlinks the shared index segments.
+        def _on_sigterm(signum, frame):
+            raise KeyboardInterrupt
+        previous = signal.signal(signal.SIGTERM, _on_sigterm)
         try:
             server.serve_forever()
         except KeyboardInterrupt:
             pass
         finally:
+            signal.signal(signal.SIGTERM, previous)
             server.stop()
             _export_trace(args, tracer)
     return 0
@@ -467,7 +498,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="require this index kind (default: serve whatever "
                         "the file holds)")
     p.add_argument("--threads", type=int, default=4,
-                   help="serving thread-pool size")
+                   help="serving thread-pool size (per process)")
+    p.add_argument("--processes", type=int, default=0,
+                   help="serve through N pre-forked worker processes "
+                        "sharing the index zero-copy, sharded by query "
+                        "location (0 = in-process serving)")
+    p.add_argument("--backing", choices=("shm", "mmap"), default="shm",
+                   help="shared-index storage for --processes: POSIX "
+                        "shared memory, or memory-mapped .npy spill "
+                        "files (kernel-evictable; for indexes larger "
+                        "than RAM)")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-query deadline in seconds; on expiry the "
                         "degree-discount fallback answers instead")
@@ -508,7 +548,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="require this index kind (default: serve whatever "
                         "the file holds)")
     p.add_argument("--threads", type=int, default=4,
-                   help="serving thread-pool size")
+                   help="serving thread-pool size (per process)")
+    p.add_argument("--processes", type=int, default=0,
+                   help="answer /query through N pre-forked worker "
+                        "processes sharing the index zero-copy "
+                        "(0 = in-process serving)")
+    p.add_argument("--backing", choices=("shm", "mmap"), default="shm",
+                   help="shared-index storage for --processes")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-query deadline in seconds; on expiry the "
                         "degree-discount fallback answers instead")

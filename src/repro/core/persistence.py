@@ -14,13 +14,23 @@ The network itself is *not* stored (persist it with
 :func:`repro.network.io.write_network`); loading validates that the
 supplied network matches the saved index by node/edge counts, and each
 loader rejects the other's files by the ``kind`` tag in the metadata.
+
+Reading and assembly are deliberately split: :func:`read_index_arrays`
+returns the raw ``(kind, meta, arrays)`` triple, and
+:func:`assemble_ris_index` / :func:`assemble_mia_index` (dispatched by
+:func:`assemble_index`) rebuild a queryable index around *any* mapping
+of flat arrays — freshly decompressed, ``np.memmap``'d, or views over
+:mod:`multiprocessing.shared_memory` segments.  The multi-process
+serving pool relies on this: each pre-forked worker attaches to the
+parent's shared segments and assembles its index zero-copy, instead of
+deserialising the ``.npz`` once per process.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Dict, Mapping, Tuple, Union
 
 import numpy as np
 
@@ -72,21 +82,54 @@ def peek_index_kind(path: PathLike) -> str:
     return meta.get("kind", "ris")
 
 
+def read_index_arrays(
+    path: PathLike,
+) -> Tuple[str, dict, Dict[str, np.ndarray]]:
+    """The raw content of a saved index: ``(kind, meta, arrays)``.
+
+    ``arrays`` maps every non-``meta`` member of the ``.npz`` to its
+    fully materialised array.  This is the read half of loading; pair it
+    with :func:`assemble_index` to get a queryable index, or hand the
+    arrays to the serving pool's shared-memory layer so many processes
+    can assemble against one copy.
+    """
+    path = _with_npz_suffix(path)
+    with np.load(path) as data:
+        if "meta" not in data:
+            raise DataFormatError(f"{path} is not a repro index file")
+        meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
+        arrays = {name: data[name] for name in data.files if name != "meta"}
+    return meta.get("kind", "ris"), meta, arrays
+
+
+def assemble_index(
+    kind: str,
+    network: GeoSocialNetwork,
+    meta: dict,
+    arrays: Mapping[str, np.ndarray],
+    source: str = "index arrays",
+) -> Union[RisDaIndex, MiaDaIndex]:
+    """Rebuild an index of ``kind`` from its meta + flat arrays."""
+    if kind == "ris":
+        return assemble_ris_index(network, meta, arrays, source)
+    if kind == "mia":
+        return assemble_mia_index(network, meta, arrays, source)
+    raise DataFormatError(f"{source} holds an unknown index kind {kind!r}")
+
+
 def load_index(
     path: PathLike, network: GeoSocialNetwork
 ) -> tuple[str, Union[RisDaIndex, MiaDaIndex]]:
     """Load a saved index of either kind; returns ``(kind, index)``.
 
-    Dispatches on the file's ``kind`` tag to :func:`load_ris_index` or
-    :func:`load_mia_index`, so callers that accept both (the query engine,
-    ``serve-batch``) need no a-priori knowledge of what was saved.
+    Dispatches on the file's ``kind`` tag, so callers that accept both
+    (the query engine, ``serve-batch``) need no a-priori knowledge of
+    what was saved.  The file is read once (no separate peek pass).
     """
-    kind = peek_index_kind(path)
-    if kind == "ris":
-        return kind, load_ris_index(path, network)
-    if kind == "mia":
-        return kind, load_mia_index(path, network)
-    raise DataFormatError(f"{path} holds an unknown index kind {kind!r}")
+    kind, meta, arrays = read_index_arrays(path)
+    return kind, assemble_index(
+        kind, network, meta, arrays, source=str(_with_npz_suffix(path))
+    )
 
 
 def save_ris_index(index: RisDaIndex, path: PathLike) -> None:
@@ -151,29 +194,45 @@ def load_ris_index(path: PathLike, network: GeoSocialNetwork) -> RisDaIndex:
     sampler state is fresh), which only matters if the caller mutates it.
     """
     path = _with_npz_suffix(path)
-    with np.load(path) as data:
-        meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
-        # Pre-"kind" files are all RIS indexes, hence the default.
-        if meta.get("kind", "ris") != "ris":
-            raise DataFormatError(
-                f"{path} holds a {meta['kind']!r} index, not a RIS-DA one "
-                f"(use the matching loader)"
-            )
-        if meta.get("format_version") != _FORMAT_VERSION:
-            raise DataFormatError(
-                f"unsupported index format {meta.get('format_version')!r}"
-            )
-        if meta["n_nodes"] != network.n or meta["n_edges"] != network.m:
-            raise DataFormatError(
-                f"index was built over a graph with {meta['n_nodes']} nodes "
-                f"/ {meta['n_edges']} edges; got {network.n} / {network.m}"
-            )
-        pivots = data["pivots"]
-        pivot_estimates = data["pivot_estimates"]
-        pivot_lower_bounds = data["pivot_lower_bounds"]
-        roots = data["corpus_roots"]
-        flat = data["corpus_flat"]
-        offsets = data["corpus_offsets"]
+    _, meta, arrays = read_index_arrays(path)
+    return assemble_ris_index(network, meta, arrays, source=str(path))
+
+
+def assemble_ris_index(
+    network: GeoSocialNetwork,
+    meta: dict,
+    arrays: Mapping[str, np.ndarray],
+    source: str = "index arrays",
+) -> RisDaIndex:
+    """Rebuild a RIS-DA index from its meta dict and flat arrays.
+
+    ``arrays`` holds the members :func:`save_ris_index` writes; they are
+    wrapped, not copied, so memmap'd or shared-memory-backed arrays stay
+    zero-copy (the corpus keeps views into ``corpus_flat``).  Derived
+    structures (pivot k-d tree, inverted corpus index) are rebuilt
+    per process — they are not part of the stored layout.
+    """
+    # Pre-"kind" files are all RIS indexes, hence the default.
+    if meta.get("kind", "ris") != "ris":
+        raise DataFormatError(
+            f"{source} holds a {meta['kind']!r} index, not a RIS-DA one "
+            f"(use the matching loader)"
+        )
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise DataFormatError(
+            f"unsupported index format {meta.get('format_version')!r}"
+        )
+    if meta["n_nodes"] != network.n or meta["n_edges"] != network.m:
+        raise DataFormatError(
+            f"index was built over a graph with {meta['n_nodes']} nodes "
+            f"/ {meta['n_edges']} edges; got {network.n} / {network.m}"
+        )
+    pivots = arrays["pivots"]
+    pivot_estimates = arrays["pivot_estimates"]
+    pivot_lower_bounds = arrays["pivot_lower_bounds"]
+    roots = arrays["corpus_roots"]
+    flat = arrays["corpus_flat"]
+    offsets = arrays["corpus_offsets"]
 
     decay = DistanceDecay(
         c=float(meta["decay"]["c"]),
@@ -286,36 +345,51 @@ def load_mia_index(path: PathLike, network: GeoSocialNetwork) -> MiaDaIndex:
     reassembled from the stored arrays without re-running any Dijkstra.
     """
     path = _with_npz_suffix(path)
-    with np.load(path) as data:
-        meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
-        if meta.get("kind", "ris") != "mia":
-            raise DataFormatError(
-                f"{path} holds a {meta.get('kind', 'ris')!r} index, not a "
-                f"MIA-DA one (use the matching loader)"
-            )
-        if meta.get("format_version") != _MIA_FORMAT_VERSION:
-            raise DataFormatError(
-                f"unsupported MIA index format {meta.get('format_version')!r}"
-            )
-        if meta["n_nodes"] != network.n or meta["n_edges"] != network.m:
-            raise DataFormatError(
-                f"index was built over a graph with {meta['n_nodes']} nodes "
-                f"/ {meta['n_edges']} edges; got {network.n} / {network.m}"
-            )
-        flat = (
-            data["tree_members"],
-            data["tree_parents"],
-            data["tree_edge_probs"],
-            data["tree_path_probs"],
-            data["tree_offsets"],
+    _, meta, arrays = read_index_arrays(path)
+    return assemble_mia_index(network, meta, arrays, source=str(path))
+
+
+def assemble_mia_index(
+    network: GeoSocialNetwork,
+    meta: dict,
+    arrays: Mapping[str, np.ndarray],
+    source: str = "index arrays",
+) -> MiaDaIndex:
+    """Rebuild a MIA-DA index from its meta dict and flat arrays.
+
+    The arborescences, anchor structures, and region bounds are all
+    views over the supplied arrays (no copies, no Dijkstra re-runs), so
+    shared-memory or memmap'd arrays serve many processes from one
+    physical copy.  Only the anchor k-d tree is rebuilt per process.
+    """
+    if meta.get("kind", "ris") != "mia":
+        raise DataFormatError(
+            f"{source} holds a {meta.get('kind', 'ris')!r} index, not a "
+            f"MIA-DA one (use the matching loader)"
         )
-        anchors = data["anchors"]
-        anchor_influence = data["anchor_influence"]
-        anchor_mass = data["anchor_mass"]
-        region_nodes = data["region_nodes"]
-        region_cells = data["region_cells"]
-        region_masses = data["region_masses"]
-        region_offsets = data["region_offsets"]
+    if meta.get("format_version") != _MIA_FORMAT_VERSION:
+        raise DataFormatError(
+            f"unsupported MIA index format {meta.get('format_version')!r}"
+        )
+    if meta["n_nodes"] != network.n or meta["n_edges"] != network.m:
+        raise DataFormatError(
+            f"index was built over a graph with {meta['n_nodes']} nodes "
+            f"/ {meta['n_edges']} edges; got {network.n} / {network.m}"
+        )
+    flat = (
+        arrays["tree_members"],
+        arrays["tree_parents"],
+        arrays["tree_edge_probs"],
+        arrays["tree_path_probs"],
+        arrays["tree_offsets"],
+    )
+    anchors = arrays["anchors"]
+    anchor_influence = arrays["anchor_influence"]
+    anchor_mass = arrays["anchor_mass"]
+    region_nodes = arrays["region_nodes"]
+    region_cells = arrays["region_cells"]
+    region_masses = arrays["region_masses"]
+    region_offsets = arrays["region_offsets"]
 
     decay = DistanceDecay(
         c=float(meta["decay"]["c"]),

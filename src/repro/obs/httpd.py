@@ -40,13 +40,16 @@ class ObsHttpServer:
 
     Pass an ``engine`` to expose ``/query`` as well; with only a
     ``metrics`` registry the server is a pure exposition sidecar.
-    ``port=0`` binds an ephemeral port (see :attr:`port` after
-    :meth:`start`).
+    ``engine`` may be a :class:`QueryEngine` or anything with the same
+    ``query``/``metrics`` surface — notably a
+    :class:`~repro.serve.pool.ServePool`, which fans ``/query`` requests
+    to its sharded workers.  ``port=0`` binds an ephemeral port (see
+    :attr:`port` after :meth:`start`).
     """
 
     def __init__(
         self,
-        engine: Optional[QueryEngine] = None,
+        engine: Optional["QueryEngine"] = None,
         metrics: Optional[MetricsRegistry] = None,
         host: str = "127.0.0.1",
         port: int = 0,
@@ -125,7 +128,16 @@ class ObsHttpServer:
             "uptime_s": round(time.time() - self.started_at, 3),
         }
         if self.engine is not None:
-            payload["index_kind"] = type(self.engine.index).__name__
+            # An in-process engine exposes the index object; a ServePool
+            # only knows the kind tag (its indexes live in the workers).
+            index = getattr(self.engine, "index", None)
+            payload["index_kind"] = (
+                type(index).__name__ if index is not None
+                else str(getattr(self.engine, "index_kind", "unknown"))
+            )
+            n_workers = getattr(self.engine, "n_workers", None)
+            if n_workers is not None:
+                payload["workers"] = int(n_workers)
             payload["queries_total"] = (
                 self.metrics.counter("queries_total").value
             )

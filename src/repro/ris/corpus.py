@@ -50,6 +50,12 @@ class RRCorpus:
 
         ``flat`` / ``offsets`` must follow the :meth:`flat` layout; the
         sampler is kept so the corpus can keep growing afterwards.
+
+        The members are *views* into ``flat`` (matching
+        :meth:`append_flat`), and the flat/roots caches are seeded with
+        the supplied arrays directly — so a corpus restored over a
+        memmap or shared-memory buffer stays zero-copy: the selection
+        kernels read :meth:`flat` straight out of the shared pages.
         """
         roots = np.asarray(roots, dtype=np.int64)
         flat = np.asarray(flat, dtype=np.int64)
@@ -59,8 +65,10 @@ class RRCorpus:
         corpus = cls(sampler)
         corpus._roots = [int(r) for r in roots]
         corpus._members = [
-            flat[offsets[i]: offsets[i + 1]].copy() for i in range(len(roots))
+            flat[offsets[i]: offsets[i + 1]] for i in range(len(roots))
         ]
+        corpus._flat_cache = (flat, offsets)
+        corpus._roots_cache = roots
         return corpus
 
     @property

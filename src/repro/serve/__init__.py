@@ -1,14 +1,22 @@
-"""Online query serving: engine, caches, metrics.
+"""Online query serving: engine, caches, metrics, worker pool.
 
 The offline phases build indexes; this package answers *many* online
 queries against them — the "heavy traffic" side of the system.  See
 :mod:`repro.serve.engine` for the serving semantics (caching, timeouts,
-fallback) and :mod:`repro.serve.metrics` for the observability layer.
+fallback), :mod:`repro.serve.pool` for sharded multi-process serving
+over a zero-copy shared index, and :mod:`repro.serve.metrics` for the
+observability layer.
 """
 
 from repro.serve.cache import IndexCache, ResultCache
 from repro.serve.engine import QueryEngine, ServeConfig, ServedResult
 from repro.serve.metrics import Counter, Histogram, MetricsRegistry
+from repro.serve.pool import ServePool, ShardRouter
+from repro.serve.shared import (
+    SharedIndexArrays,
+    SharedIndexManifest,
+    attach_index,
+)
 
 __all__ = [
     "Counter",
@@ -18,5 +26,10 @@ __all__ = [
     "QueryEngine",
     "ResultCache",
     "ServeConfig",
+    "ServePool",
     "ServedResult",
+    "ShardRouter",
+    "SharedIndexArrays",
+    "SharedIndexManifest",
+    "attach_index",
 ]

@@ -11,6 +11,10 @@ Two caches with different lifetimes and keys:
   dropped.  Entries are tagged with the file's ``kind`` (``"ris"`` /
   ``"mia"``), and a caller that requires one kind gets a clear
   :class:`~repro.exceptions.ServeError` when pointed at the other.
+  Cold loads run *outside* the cache lock behind a per-key future
+  (double-checked locking): concurrent misses on the same key coalesce
+  into one load, and a slow load never blocks hits or misses on other
+  keys.
 
 * :class:`ResultCache` — an LRU of query *results*, keyed by
   ``(index fingerprint, quantized query cell, k)``.  Nearby queries
@@ -26,8 +30,9 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from concurrent.futures import Future
 from pathlib import Path
-from typing import Hashable, Optional, Tuple, Union
+from typing import Dict, Hashable, Optional, Tuple, Union
 
 from repro.core.mia_da import MiaDaIndex
 from repro.core.persistence import PathLike, load_index
@@ -61,6 +66,9 @@ class IndexCache:
         self._entries: "OrderedDict[Tuple[str, int], Tuple[str, AnyIndex]]" = (
             OrderedDict()
         )
+        # One in-flight load per key; the lock only guards the maps, the
+        # deserialisation itself runs lock-free behind the future.
+        self._loads: Dict[Tuple[str, int], "Future[Tuple[str, AnyIndex]]"] = {}
 
     @staticmethod
     def _key(path: PathLike) -> Tuple[str, int]:
@@ -99,6 +107,12 @@ class IndexCache:
         instead of handing a MIA index to a RIS engine (or vice versa).
         A file modified since it was cached is reloaded (the mtime is
         part of the key) and the stale entry is dropped.
+
+        A miss deserialises *outside* the lock: the first thread to miss
+        a key becomes its loader and publishes through a per-key future;
+        concurrent misses on the same key wait on that future (counted
+        as ``index_cache.coalesced``) instead of loading again, and
+        threads after other keys — cached or not — proceed unblocked.
         """
         if kind is not None and kind not in ("ris", "mia"):
             raise ServeError(f"kind must be 'ris' or 'mia', got {kind!r}")
@@ -111,11 +125,31 @@ class IndexCache:
                     self.metrics.inc("index_cache.hits")
                 self._check_kind(path, entry[0], kind)
                 return entry
+            pending = self._loads.get(key)
+            if pending is None:
+                pending = self._loads[key] = Future()
+                loader = True
+                if self.metrics is not None:
+                    self.metrics.inc("index_cache.misses")
+            else:
+                loader = False
+                if self.metrics is not None:
+                    self.metrics.inc("index_cache.coalesced")
 
-            if self.metrics is not None:
-                self.metrics.inc("index_cache.misses")
-            loaded_kind, index = load_index(path, network)
+        if not loader:
+            loaded_kind, index = pending.result()
             self._check_kind(path, loaded_kind, kind)
+            return loaded_kind, index
+
+        try:
+            loaded_kind, index = load_index(path, network)
+        except BaseException as exc:
+            with self._lock:
+                self._loads.pop(key, None)  # a later get may retry
+            pending.set_exception(exc)
+            raise
+        with self._lock:
+            self._loads.pop(key, None)
             # Drop stale versions of the same file before inserting the
             # fresh one; capacity then evicts true LRU entries only.
             for stale in [k for k in self._entries if k[0] == key[0]]:
@@ -125,7 +159,9 @@ class IndexCache:
                 self._entries.popitem(last=False)
                 if self.metrics is not None:
                     self.metrics.inc("index_cache.evictions")
-            return loaded_kind, index
+        pending.set_result((loaded_kind, index))
+        self._check_kind(path, loaded_kind, kind)
+        return loaded_kind, index
 
     @staticmethod
     def _check_kind(path: PathLike, actual: str, expected: Optional[str]) -> None:

@@ -31,15 +31,21 @@ and turns it into a serving component:
   JSONL sink.  All three default to no-ops costing roughly one branch
   each on the hot path.
 
-Timeout semantics: the deadline is enforced at *collection* — the worker
-thread itself is not interrupted (Python threads cannot be killed), so an
-abandoned computation may still complete in the background; its result is
-discarded and its pool slot frees up when it finishes.  The fallback is
-computed synchronously by the collecting thread.
+Timeout semantics: every query's deadline is anchored at *submission*
+(``deadline_i = submit_time + timeout``); the collector walks futures in
+input order but only ever grants each one the time left until its own
+deadline, so a slow early query cannot stretch a later query's budget.
+The worker thread itself is not interrupted (Python threads cannot be
+killed): an abandoned computation may still complete in the background,
+where a per-query cancellation token stops it from touching the latency
+histograms or the result cache — the run is counted under
+``abandoned_queries_total`` instead, and its result is discarded.  The
+fallback is computed synchronously by the collecting thread.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -120,8 +126,12 @@ class ServedResult:
     ``fallback_reason`` (e.g. ``"timeout"``) marks answers produced by
     the fallback heuristic rather than the index — a fallback's
     ``result.estimate`` is a heuristic score, *not* an Eq. 9 spread
-    estimate.  ``trace_id`` identifies the query in traces, logs, and
-    the slow-query sink (always set, even with tracing disabled).
+    estimate.  ``abandoned`` marks a computation whose caller already
+    timed out and was answered by the fallback; such results never reach
+    callers (the batch slot holds the fallback) and are excluded from
+    latency metrics and the result cache.  ``trace_id`` identifies the
+    query in traces, logs, and the slow-query sink (always set, even
+    with tracing disabled).
     """
 
     result: Optional[SeedResult]
@@ -130,6 +140,7 @@ class ServedResult:
     fallback_reason: Optional[str] = None
     error: Optional[str] = None
     trace_id: Optional[str] = None
+    abandoned: bool = False
 
     @property
     def ok(self) -> bool:
@@ -261,11 +272,25 @@ class QueryEngine:
             max_workers=cfg.n_threads, thread_name_prefix="repro-serve"
         )
         try:
-            futures = [pool.submit(self._serve, loc, kk) for loc, kk in items]
+            tokens = [threading.Event() for _ in items]
+            futures = []
+            deadlines: List[float] = []
+            for (loc, kk), token in zip(items, tokens):
+                futures.append(pool.submit(self._serve, loc, kk, token))
+                # The deadline is anchored at submission: collecting
+                # earlier results must not stretch later queries' budgets.
+                deadlines.append(time.monotonic() + (cfg.timeout or 0.0))
             for i, future in enumerate(futures):
                 try:
-                    out[i] = future.result(timeout=cfg.timeout)
+                    if cfg.timeout is None:
+                        out[i] = future.result()
+                    else:
+                        remaining = deadlines[i] - time.monotonic()
+                        out[i] = future.result(timeout=max(0.0, remaining))
                 except FutureTimeoutError:
+                    # Tell the (possibly still running) worker its caller
+                    # is gone, so it stays out of the metrics and cache.
+                    tokens[i].set()
                     future.cancel()
                     loc, kk = items[i]
                     out[i] = self._fallback(loc, kk, "timeout")
@@ -292,17 +317,33 @@ class QueryEngine:
     def _unpack(
         self, q: QueryLike, k: int | None
     ) -> Tuple[Tuple[float, float], int]:
+        # Both forms normalise through as_point, so a DaimQuery and the
+        # equivalent bare location quantize identically and share one
+        # result-cache entry regardless of the caller's coordinate types.
         if isinstance(q, DaimQuery):
-            return q.location, q.k
+            return as_point(q.location), q.k
         if k is None:
             raise ServeError("k is required when passing a bare location")
         return as_point(q), int(k)
 
-    def _serve(self, location: Tuple[float, float], k: int) -> ServedResult:
+    def _serve(
+        self,
+        location: Tuple[float, float],
+        k: int,
+        cancel: Optional[threading.Event] = None,
+    ) -> ServedResult:
         start = time.perf_counter()
         trace_id = new_trace_id()
         log = self.logger
         self.metrics.inc("queries_total")
+        if cancel is not None and cancel.is_set():
+            # The collector gave up on this query before the pool even
+            # started it; don't burn a core computing a discarded answer.
+            self.metrics.inc("abandoned_queries_total")
+            return ServedResult(
+                result=None, elapsed=0.0, error="abandoned after timeout",
+                trace_id=trace_id, abandoned=True,
+            )
         if log.enabled:
             log.event(
                 "query_start", trace_id=trace_id,
@@ -314,16 +355,19 @@ class QueryEngine:
             trace_id=trace_id,
         ) as span:
             served, diag = self._serve_in_span(
-                location, k, start, trace_id, span
+                location, k, start, trace_id, span, cancel
             )
         if log.enabled:
             log.event(
                 "query_end", trace_id=trace_id,
                 elapsed_ms=round(served.elapsed * 1e3, 3),
                 cached=served.cached, fallback=served.fallback,
-                error=served.error,
+                error=served.error, abandoned=served.abandoned,
             )
-        self._maybe_record_slow(location, k, served, diag)
+        if not served.abandoned:
+            # The collector records the timed-out query against its
+            # deadline; a second slow-log row here would double-count it.
+            self._maybe_record_slow(location, k, served, diag)
         return served
 
     def _serve_in_span(
@@ -333,6 +377,7 @@ class QueryEngine:
         start: float,
         trace_id: str,
         span,
+        cancel: Optional[threading.Event] = None,
     ) -> Tuple[ServedResult, object]:
         """The serve body; runs inside the query's root span."""
         m = self.metrics
@@ -361,6 +406,18 @@ class QueryEngine:
                     location, k, return_diagnostics=True
                 )
         except ReproError as exc:
+            if cancel is not None and cancel.is_set():
+                # The caller already got the fallback; an abandoned run's
+                # failure is not a serving error.
+                m.inc("abandoned_queries_total")
+                span.set_attribute("abandoned", True)
+                return ServedResult(
+                    result=None,
+                    elapsed=time.perf_counter() - start,
+                    error=str(exc),
+                    trace_id=trace_id,
+                    abandoned=True,
+                ), None
             m.inc("errors")
             span.set_attribute("error", str(exc))
             if self.logger.enabled:
@@ -373,6 +430,20 @@ class QueryEngine:
                 error=str(exc),
                 trace_id=trace_id,
             ), None
+        if cancel is not None and cancel.is_set():
+            # Timed out while computing: the collector has already
+            # recorded the fallback for this logical query, so recording
+            # latency/stages here (or caching a result the caller never
+            # saw) would count it twice.  The check sits before every
+            # metrics/cache write; a token set later races harmlessly.
+            m.inc("abandoned_queries_total")
+            span.set_attribute("abandoned", True)
+            return ServedResult(
+                result=result,
+                elapsed=time.perf_counter() - start,
+                trace_id=trace_id,
+                abandoned=True,
+            ), diag
         if result.samples_used is not None:
             m.observe("samples_used", result.samples_used)
         if result.evaluations is not None:

@@ -171,6 +171,42 @@ class MetricsRegistry:
         for stage, seconds in stages.items():
             self.observe(f"{prefix}{stage}_ms", float(seconds) * 1e3)
 
+    def merge_dump(self, dump: Mapping, prefix: str = "") -> None:
+        """Fold another registry's :meth:`dump` into this one.
+
+        The multi-process serving pool collects each worker's registry as
+        a plain dump (registries hold locks and cannot cross process
+        boundaries) and merges them here, optionally under a ``prefix``
+        (e.g. ``"worker."``) so pooled totals stay distinguishable from
+        the parent's own instruments.  Counters add; histograms merge
+        bucket-by-bucket, which requires both sides to use the same
+        bounds — guaranteed when the name maps to the same default bucket
+        family on both sides, and checked otherwise.
+        """
+        for name, value in dump.get("counters", {}).items():
+            self.inc(prefix + name, int(value))
+        for name, h in dump.get("histograms", {}).items():
+            bounds = [
+                float(b["le"]) for b in h["buckets"]
+                if b["le"] != float("inf")
+            ]
+            target = self.histogram(prefix + name, buckets=bounds or None)
+            if list(target.buckets) != bounds:
+                raise ValueError(
+                    f"cannot merge histogram {name!r}: bucket bounds "
+                    f"{bounds} != existing {list(target.buckets)}"
+                )
+            counts = [int(b["count"]) for b in h["buckets"]]
+            with target._lock:
+                for i, c in enumerate(counts):
+                    target.counts[i] += c
+                target.count += int(h["count"])
+                target.total += float(h["sum"])
+                if h.get("min") is not None:
+                    target.min = min(target.min, float(h["min"]))
+                if h.get("max") is not None:
+                    target.max = max(target.max, float(h["max"]))
+
     # Output ----------------------------------------------------------------
 
     def dump(self) -> dict:

@@ -1,0 +1,457 @@
+"""Sharded multi-process serving over a zero-copy shared index.
+
+One Python process cannot scale index serving past a point: the
+selection kernels release the GIL inside NumPy, but cache bookkeeping,
+fallbacks, and per-query orchestration are interpreter-bound, and a
+single process is a single failure domain.  :class:`ServePool` runs N
+pre-forked worker processes, each holding a full
+:class:`~repro.serve.engine.QueryEngine` over the *same* physical index
+arrays (attached zero-copy via :mod:`repro.serve.shared`), and routes
+each query to a worker by its spatial shard.
+
+Sharding — :class:`ShardRouter` quantizes the query location to a
+:class:`~repro.geo.grid.UniformGrid` cell and maps
+``cell % n_shards -> worker``.  The assignment is a pure function of the
+network bounding box and the shard count, so it is identical across
+restarts and across processes; a given query neighbourhood always lands
+on the same worker, which keeps that worker's result cache hot for its
+own territory instead of every worker caching everything.
+
+Fault tolerance — the router detects a dead worker (crash, OOM-kill)
+while collecting, respawns it against the same shared arrays, and
+resubmits that worker's outstanding sub-batches under fresh task ids;
+late replies from a previous incarnation are dropped by task-id.  A
+batch therefore completes (with at-least-once execution of the affected
+sub-batches) as long as the parent survives.
+
+Observability — the parent records routing metrics
+(``shard<i>_queries_total``, ``worker_restarts_total``) and the
+end-to-end ``latency_ms`` of every served query; each worker's own
+registry (cache hits, fallbacks, stage timings...) is merged into the
+parent's under the ``worker.`` prefix on :meth:`ServePool.close`.  With
+a tracer attached, each worker returns a ``pool.worker`` span dict per
+sub-batch that the parent re-parents under its ``pool.serve_batch``
+span via :meth:`~repro.obs.trace.Tracer.adopt`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import time
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.query import DaimQuery
+from repro.exceptions import ServeError
+from repro.geo.grid import UniformGrid
+from repro.geo.point import BoundingBox, PointLike, as_point
+from repro.network.graph import GeoSocialNetwork
+from repro.obs.log import get_logger
+from repro.obs.trace import get_tracer, span_context, worker_span
+from repro.serve.engine import QueryEngine, ServeConfig, ServedResult
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.shared import SharedIndexArrays, SharedIndexManifest, attach_index
+
+#: How long the collector waits on the result queue before checking
+#: worker liveness.  Small enough to notice a crash promptly, large
+#: enough to not busy-poll.
+_POLL_SECONDS = 0.1
+
+#: How long close() waits for a worker to drain its stop message before
+#: escalating to terminate().
+_JOIN_SECONDS = 5.0
+
+#: How often an idle worker wakes from its task-queue wait to check
+#: whether its parent is still alive.  A worker whose parent was killed
+#: (SIGKILL skips any parent-side cleanup) would otherwise block on the
+#: queue forever, keeping the shared segments pinned.
+_ORPHAN_POLL_SECONDS = 1.0
+
+
+class ShardRouter:
+    """Deterministic location -> shard assignment via grid cells.
+
+    ``shard_of`` is a pure function of the bounding box, the cell
+    budget, and ``n_shards`` — no randomness, no per-process state — so
+    every process (and every restart) routes identically.  Using grid
+    cells rather than raw coordinates means queries that would share a
+    result-cache entry (same cell) always share a worker.
+    """
+
+    def __init__(self, box: BoundingBox, n_shards: int, cells: int = 1024):
+        if n_shards < 1:
+            raise ServeError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+        self.grid = UniformGrid.with_cell_budget(box, max(cells, n_shards))
+
+    def shard_of(self, location: PointLike) -> int:
+        return self.grid.cell_of(location) % self.n_shards
+
+
+def _worker_main(
+    worker_id: int,
+    manifest: SharedIndexManifest,
+    network: GeoSocialNetwork,
+    config: ServeConfig,
+    task_q: "mp.Queue",
+    result_q: "mp.Queue",
+    untrack_shm: bool,
+) -> None:
+    """Worker loop: attach the shared index, serve sub-batches forever.
+
+    Messages: ``("serve", task_id, [(idx, loc, k), ...], span_ctx)`` is
+    answered with ``(worker_id, task_id, "ok", [(idx, ServedResult),
+    ...], [span_dict...])``; ``("stats", task_id)`` with ``(worker_id,
+    task_id, "stats", metrics_dump, None)``; ``("stop",)`` exits.  A
+    failure inside a serve is reported as ``"err"`` with the traceback —
+    the worker itself stays up.
+
+    The wait on the task queue is a timed poll: if the parent process
+    disappears (its pid is re-parented away), the worker exits on its
+    own rather than lingering as an orphan pinning the shm segments —
+    once the last attachment closes, the shared resource tracker
+    reclaims them.
+    """
+    parent_pid = os.getppid()
+    handle, index = attach_index(manifest, network, untrack=untrack_shm)
+    engine = QueryEngine(
+        index, config=config, fingerprint=manifest.fingerprint
+    )
+    try:
+        while True:
+            try:
+                msg = task_q.get(timeout=_ORPHAN_POLL_SECONDS)
+            except queue_mod.Empty:
+                if os.getppid() != parent_pid:  # orphaned
+                    break
+                continue
+            except (EOFError, OSError):  # parent died; nothing to serve
+                break
+            if msg[0] == "stop":
+                break
+            if msg[0] == "stats":
+                result_q.put(
+                    (worker_id, msg[1], "stats", engine.metrics.dump(), None)
+                )
+                continue
+            _, task_id, sub, ctx = msg
+            start_unix = time.time()
+            t0 = time.perf_counter()
+            try:
+                served = engine.serve_batch(
+                    [DaimQuery(location=loc, k=kk) for _, loc, kk in sub]
+                )
+                span = worker_span(
+                    "pool.worker",
+                    ctx,
+                    start_unix,
+                    (time.perf_counter() - t0) * 1e3,
+                    {"worker_id": worker_id, "queries": len(sub)},
+                )
+                result_q.put((
+                    worker_id, task_id, "ok",
+                    [(idx, res) for (idx, _, _), res in zip(sub, served)],
+                    [span] if span else None,
+                ))
+            except BaseException:
+                result_q.put((
+                    worker_id, task_id, "err",
+                    traceback.format_exc(limit=8), None,
+                ))
+    finally:
+        handle.close()
+
+
+class ServePool:
+    """N pre-forked workers serving one shared index, sharded by space.
+
+    Construct from a *saved* index path — the parent reads the ``.npz``
+    once, publishes the arrays (``backing="shm"`` or ``"mmap"``), and
+    forks workers that attach without copying.  The pool mirrors the
+    single-process engine's surface where it matters: ``serve_batch``
+    returns :class:`ServedResult` in input order, ``query`` serves one.
+    Always :meth:`close` (or use as a context manager) — it is what
+    releases the shared segments.
+    """
+
+    def __init__(
+        self,
+        path,
+        network: GeoSocialNetwork,
+        n_workers: int = 2,
+        kind: Optional[str] = None,
+        config: Optional[ServeConfig] = None,
+        backing: str = "shm",
+        shard_cells: int = 1024,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
+        logger=None,
+    ):
+        if n_workers < 1:
+            raise ServeError(f"n_workers must be >= 1, got {n_workers}")
+        self.network = network
+        self.config = config if config is not None else ServeConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.logger = logger if logger is not None else get_logger()
+        # Workers inherit copy-on-write pages under fork, but the index
+        # arrays specifically must be the *published* ones: fork keeps
+        # pages shared only until anything in them is written, while the
+        # shm/mmap backing is shared by construction and survives other
+        # start methods.
+        self._shared = SharedIndexArrays.create(path, backing=backing)
+        if kind is not None and self._shared.manifest.kind != kind:
+            self._shared.unlink()
+            raise ServeError(
+                f"{path} holds a {self._shared.manifest.kind.upper()}-DA "
+                f"index but this pool serves {kind.upper()}-DA queries"
+            )
+        self.index_kind = self._shared.manifest.kind
+        self.fingerprint = self._shared.manifest.fingerprint
+        self.router = ShardRouter(
+            network.bounding_box(), n_workers, cells=shard_cells
+        )
+        start_methods = mp.get_all_start_methods()
+        self._ctx = mp.get_context(
+            "fork" if "fork" in start_methods else "spawn"
+        )
+        self._result_q: "mp.Queue" = self._ctx.Queue()
+        self._workers: List[Optional[mp.process.BaseProcess]] = [None] * n_workers
+        self._task_qs: List[Optional["mp.Queue"]] = [None] * n_workers
+        self._task_seq = 0
+        self._closed = False
+        self._metrics_merged = False
+        try:
+            for wid in range(n_workers):
+                self._spawn(wid)
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _spawn(self, worker_id: int) -> None:
+        task_q: "mp.Queue" = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id, self._shared.manifest, self.network,
+                self.config, task_q, self._result_q,
+                # Spawn children own a private resource tracker that must
+                # not adopt (and later destroy) the parent's segments;
+                # fork children share the parent's tracker and must not
+                # strip its registrations.
+                self._ctx.get_start_method() != "fork",
+            ),
+            name=f"repro-serve-{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        self._workers[worker_id] = proc
+        self._task_qs[worker_id] = task_q
+
+    def _next_task_id(self) -> int:
+        self._task_seq += 1
+        return self._task_seq
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def query(self, q, k: Optional[int] = None) -> ServedResult:
+        """Serve one query through its shard's worker."""
+        return self.serve_batch([q], k)[0]
+
+    def serve_batch(
+        self, queries: Sequence, k: Optional[int] = None
+    ) -> List[ServedResult]:
+        """Serve a batch across the pool, results in input order.
+
+        Queries are grouped by shard, each group goes to its worker as
+        one sub-batch (the worker applies the usual per-query deadlines
+        and fallbacks), and replies are aggregated by original position.
+        A worker that dies mid-batch is restarted and its sub-batches
+        resubmitted, so the batch still completes.
+        """
+        if self._closed:
+            raise ServeError("pool is closed")
+        self._metrics_merged = False
+        items = [self._unpack(q, k) for q in queries]
+        if not items:
+            return []
+        log = self.logger
+        if log.enabled:
+            log.event(
+                "pool_serve_start", queries=len(items),
+                workers=self.n_workers,
+            )
+        by_worker: Dict[int, List[Tuple[int, Tuple[float, float], int]]] = {}
+        for i, (loc, kk) in enumerate(items):
+            shard = self.router.shard_of(loc)
+            self.metrics.inc(f"shard{shard}_queries_total")
+            by_worker.setdefault(shard, []).append((i, loc, kk))
+
+        out: List[Optional[ServedResult]] = [None] * len(items)
+        with self.tracer.span(
+            "pool.serve_batch",
+            {"queries": len(items), "workers": self.n_workers},
+        ) as span:
+            ctx = span_context(span)
+            pending: Dict[int, Tuple[int, list]] = {}
+            for wid, sub in by_worker.items():
+                self._submit(wid, sub, ctx, pending)
+            while pending:
+                try:
+                    reply = self._result_q.get(timeout=_POLL_SECONDS)
+                except queue_mod.Empty:
+                    self._revive_dead(pending, ctx)
+                    continue
+                wid, task_id, status, payload, spans = reply
+                if task_id not in pending:
+                    # A resubmitted task's original reply arriving late
+                    # (the first incarnation answered before dying).
+                    continue
+                _, sub = pending.pop(task_id)
+                if spans:
+                    self.tracer.adopt(spans)
+                if status == "err":
+                    self.metrics.inc("worker_errors_total")
+                    for idx, _loc, _kk in sub:
+                        out[idx] = ServedResult(
+                            result=None, elapsed=0.0,
+                            error=f"worker {wid} failed: {payload}",
+                        )
+                    continue
+                for idx, served in payload:
+                    out[idx] = served
+                    self.metrics.inc("queries_total")
+                    self.metrics.observe("latency_ms", served.elapsed * 1e3)
+        if log.enabled:
+            log.event(
+                "pool_serve_end", queries=len(items),
+                errors=sum(1 for s in out if s is not None and not s.ok),
+            )
+        return out  # type: ignore[return-value]
+
+    def _submit(self, worker_id: int, sub, ctx, pending) -> None:
+        task_id = self._next_task_id()
+        pending[task_id] = (worker_id, sub)
+        task_q = self._task_qs[worker_id]
+        assert task_q is not None
+        task_q.put(("serve", task_id, sub, ctx))
+
+    def _revive_dead(self, pending, ctx) -> None:
+        """Restart crashed workers and resubmit their outstanding tasks."""
+        dead = {
+            wid for wid, proc in enumerate(self._workers)
+            if proc is not None and not proc.is_alive()
+        }
+        if not dead:
+            return
+        stranded = [
+            (task_id, wid, sub)
+            for task_id, (wid, sub) in pending.items()
+            if wid in dead
+        ]
+        for wid in dead:
+            proc = self._workers[wid]
+            if proc is not None:
+                proc.join(timeout=0)
+            old_q = self._task_qs[wid]
+            if old_q is not None:
+                old_q.close()
+            self.metrics.inc("worker_restarts_total")
+            if self.logger.enabled:
+                self.logger.event("worker_restart", worker=wid)
+            self._spawn(wid)
+        for task_id, wid, sub in stranded:
+            del pending[task_id]
+            self._submit(wid, sub, ctx, pending)
+
+    def _unpack(self, q, k) -> Tuple[Tuple[float, float], int]:
+        if isinstance(q, DaimQuery):
+            return as_point(q.location), q.k
+        if k is None:
+            raise ServeError("k is required when passing a bare location")
+        return as_point(q), int(k)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+
+    def collect_worker_metrics(self, timeout: float = _JOIN_SECONDS) -> int:
+        """Merge each live worker's registry under ``worker.``; returns
+        how many workers answered within ``timeout`` seconds total.
+
+        Merging is cumulative — each call adds the workers' *lifetime*
+        totals again — so call it once per reporting point.  ``close``
+        collects automatically unless this was already called after the
+        last batch.
+        """
+        self._metrics_merged = True
+        expect = {}
+        for wid, proc in enumerate(self._workers):
+            task_q = self._task_qs[wid]
+            if proc is None or task_q is None or not proc.is_alive():
+                continue
+            task_id = self._next_task_id()
+            expect[task_id] = wid
+            task_q.put(("stats", task_id))
+        merged = 0
+        deadline = time.monotonic() + timeout
+        while expect and time.monotonic() < deadline:
+            try:
+                reply = self._result_q.get(
+                    timeout=max(0.01, deadline - time.monotonic())
+                )
+            except queue_mod.Empty:
+                break
+            wid, task_id, status, payload, _ = reply
+            if task_id in expect and status == "stats":
+                del expect[task_id]
+                self.metrics.merge_dump(payload, prefix="worker.")
+                merged += 1
+        return merged
+
+    def close(self) -> None:
+        """Stop workers, merge their metrics, release the shared index."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._metrics_merged:
+            self.collect_worker_metrics()
+        for task_q in self._task_qs:
+            if task_q is not None:
+                try:
+                    task_q.put(("stop",))
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
+        for wid, proc in enumerate(self._workers):
+            if proc is None:
+                continue
+            proc.join(timeout=_JOIN_SECONDS)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+            self._workers[wid] = None
+        for wid, task_q in enumerate(self._task_qs):
+            if task_q is not None:
+                task_q.close()
+                self._task_qs[wid] = None
+        self._result_q.close()
+        self._shared.unlink()
+
+    def __enter__(self) -> "ServePool":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False

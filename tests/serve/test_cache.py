@@ -1,6 +1,8 @@
 """Tests for repro.serve.cache (index LRU + result LRU)."""
 
 import os
+import threading
+import time
 
 import pytest
 
@@ -167,3 +169,102 @@ class TestResultCache:
     def test_bad_capacity(self):
         with pytest.raises(ServeError):
             ResultCache(capacity=0)
+
+
+class TestIndexCacheConcurrency:
+    """Regressions for loads blocking the cache lock (double-checked
+    locking with per-key load futures)."""
+
+    def test_concurrent_misses_coalesce_into_one_load(
+        self, net, ris_path, monkeypatch
+    ):
+        import repro.serve.cache as cache_mod
+
+        metrics = MetricsRegistry()
+        cache = IndexCache(capacity=4, metrics=metrics)
+        real_load = cache_mod.load_index
+        calls = []
+
+        def slow_load(path, network):
+            calls.append(path)
+            time.sleep(0.15)
+            return real_load(path, network)
+
+        monkeypatch.setattr(cache_mod, "load_index", slow_load)
+        results = []
+
+        def worker():
+            results.append(cache.get(ris_path, net))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
+        assert len(results) == 6
+        assert all(r[1] is results[0][1] for r in results)
+        assert metrics.counter("index_cache.misses").value == 1
+        assert metrics.counter("index_cache.coalesced").value == 5
+
+    def test_slow_load_does_not_block_other_keys(
+        self, net, ris_path, mia_path, monkeypatch
+    ):
+        import repro.serve.cache as cache_mod
+
+        cache = IndexCache(capacity=4)
+        cache.get(mia_path, net)  # warm the other key
+        real_load = cache_mod.load_index
+        gate = threading.Event()
+        load_started = threading.Event()
+
+        def gated_load(path, network):
+            load_started.set()
+            assert gate.wait(10.0)
+            return real_load(path, network)
+
+        monkeypatch.setattr(cache_mod, "load_index", gated_load)
+        loader = threading.Thread(target=lambda: cache.get(ris_path, net))
+        loader.start()
+        try:
+            assert load_started.wait(10.0)
+            # While that load is parked, a hit on the cached key must
+            # return promptly — the lock only guards the maps.
+            hit_done = threading.Event()
+
+            def hit():
+                kind, _ = cache.get(mia_path, net)
+                assert kind == "mia"
+                hit_done.set()
+
+            threading.Thread(target=hit).start()
+            assert hit_done.wait(2.0), (
+                "cached hit blocked behind an unrelated in-flight load"
+            )
+        finally:
+            gate.set()
+            loader.join(10.0)
+        assert not loader.is_alive()
+        assert len(cache) == 2
+
+    def test_failed_load_propagates_and_later_get_retries(
+        self, net, ris_path, monkeypatch
+    ):
+        import repro.serve.cache as cache_mod
+
+        real_load = cache_mod.load_index
+        calls = []
+
+        def flaky_load(path, network):
+            calls.append(1)
+            if len(calls) == 1:
+                raise OSError("disk hiccup")
+            return real_load(path, network)
+
+        monkeypatch.setattr(cache_mod, "load_index", flaky_load)
+        cache = IndexCache()
+        with pytest.raises(OSError, match="disk hiccup"):
+            cache.get(ris_path, net)
+        kind, _ = cache.get(ris_path, net)  # the failed future was dropped
+        assert kind == "ris"
+        assert len(calls) == 2

@@ -412,3 +412,113 @@ class TestFallbackTagging:
         assert metrics.counter("index_cache.hits").value == 1
         # Same file, same fingerprint: the engines share result-cache keys.
         assert e1.fingerprint == e2.fingerprint
+
+
+class TestDeadlineAnchoring:
+    """Regressions for the batch-timeout drift and abandonment fixes."""
+
+    def _delayed_engine(self, ris_index, monkeypatch, delays, **cfg_kwargs):
+        """An engine whose index sleeps ``delays[k]`` seconds per query."""
+        metrics = MetricsRegistry()
+        engine = QueryEngine(
+            ris_index,
+            config=ServeConfig(n_threads=2, **cfg_kwargs),
+            metrics=metrics,
+        )
+        real_query = ris_index.query
+
+        def slow_query(q, k=None, **kwargs):
+            time.sleep(delays.get(k, 0.0))
+            return real_query(q, k, **kwargs)
+
+        monkeypatch.setattr(ris_index, "query", slow_query)
+        return engine, metrics
+
+    def test_deadline_anchored_at_submission_not_collection(
+        self, ris_index, monkeypatch
+    ):
+        # The collector used to grant each query a *fresh* timeout when
+        # it reached it: with timeout=0.25s, waiting 0.25s on a 0.6s
+        # first query stretched the second query's effective deadline to
+        # ~0.5s, so a 0.4s query wrongly met its SLO.  Anchored at
+        # submission, both must time out.
+        engine, metrics = self._delayed_engine(
+            ris_index, monkeypatch, {4: 0.6, 5: 0.4},
+            timeout=0.25, result_cache_size=0,
+        )
+        batch = engine.serve_batch(
+            [DaimQuery((50.0, 50.0), 4), DaimQuery((20.0, 80.0), 5)]
+        )
+        assert batch[0].fallback_reason == "timeout"
+        assert batch[1].fallback_reason == "timeout"
+        assert metrics.counter("timeouts").value == 2
+
+    def test_abandoned_run_stays_out_of_metrics_and_cache(
+        self, ris_index, monkeypatch
+    ):
+        engine, metrics = self._delayed_engine(
+            ris_index, monkeypatch, {4: 0.3},
+            timeout=0.05, result_cache_size=64,
+        )
+        batch = engine.serve_batch([(50.0, 50.0)], k=4)
+        assert batch[0].fallback_reason == "timeout"
+        # The worker thread is still computing the discarded answer;
+        # wait for it to notice its cancellation token.
+        deadline = time.monotonic() + 5.0
+        while (
+            metrics.counter("abandoned_queries_total").value < 1
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.02)
+        assert metrics.counter("abandoned_queries_total").value == 1
+        # The abandoned completion must not have recorded a latency (its
+        # caller already got the fallback) nor cached its result.
+        assert metrics.histogram("latency_ms").count == 0
+        served = engine.query((50.0, 50.0), k=4)
+        assert not served.cached
+
+    def test_queued_query_never_runs_after_cancellation(
+        self, ris_index, monkeypatch
+    ):
+        # Three slow queries, two threads: the third is still queued
+        # when its deadline passes, so it is cancelled outright and must
+        # never reach the index; the two in-flight runs are abandoned.
+        metrics = MetricsRegistry()
+        engine = QueryEngine(
+            ris_index,
+            config=ServeConfig(n_threads=2, timeout=0.1, result_cache_size=0),
+            metrics=metrics,
+        )
+        real_query = ris_index.query
+        calls = []
+
+        def slow_query(q, k=None, **kwargs):
+            calls.append(q)
+            time.sleep(0.4)
+            return real_query(q, k, **kwargs)
+
+        monkeypatch.setattr(ris_index, "query", slow_query)
+        batch = engine.serve_batch(
+            [(50.0, 50.0), (20.0, 80.0), (70.0, 30.0)], k=4
+        )
+        assert all(s.fallback_reason == "timeout" for s in batch)
+        deadline = time.monotonic() + 5.0
+        while (
+            metrics.counter("abandoned_queries_total").value < 2
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.02)
+        assert metrics.counter("abandoned_queries_total").value == 2
+        assert len(calls) == 2  # the queued third query never started
+
+
+class TestCacheKeyNormalisation:
+    def test_daim_query_and_bare_location_share_cache_entry(self, ris_index):
+        engine = QueryEngine(ris_index, config=ServeConfig(n_threads=1))
+        first = engine.query(DaimQuery((50.0, 50.0), 4))
+        assert not first.cached
+        # The same point as a bare tuple of ints must normalise to the
+        # same quantized cache key as the DaimQuery form.
+        second = engine.query((50, 50), k=4)
+        assert second.cached
+        assert second.result.seeds == first.result.seeds

@@ -188,3 +188,46 @@ class TestThreadSafety:
             t.join()
         assert m.counter("n").value == 8 * rounds
         assert m.histogram("v_ms").count == 8 * rounds
+
+
+class TestMergeDump:
+    def test_counters_add_and_histograms_combine(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("queries_total", 3)
+        a.observe("latency_ms", 2.0)
+        b.inc("queries_total", 2)
+        b.inc("fallbacks")
+        b.observe("latency_ms", 40.0)
+        b.observe("latency_ms", 1.0)
+        a.merge_dump(b.dump())
+        assert a.counter("queries_total").value == 5
+        assert a.counter("fallbacks").value == 1
+        h = a.histogram("latency_ms")
+        assert h.count == 3
+        assert h.min == 1.0 and h.max == 40.0
+        assert abs(h.total - 43.0) < 1e-9
+        assert sum(h.counts) == 3
+
+    def test_prefix_keeps_sources_apart(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.inc("queries_total", 10)
+        worker.inc("queries_total", 4)
+        worker.observe("latency_ms", 3.0)
+        parent.merge_dump(worker.dump(), prefix="worker.")
+        assert parent.counter("queries_total").value == 10
+        assert parent.counter("worker.queries_total").value == 4
+        assert parent.histogram("worker.latency_ms").count == 1
+
+    def test_repeated_merge_accumulates(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        worker.inc("queries_total", 2)
+        parent.merge_dump(worker.dump())
+        parent.merge_dump(worker.dump())
+        assert parent.counter("queries_total").value == 4
+
+    def test_mismatched_buckets_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("x", buckets=[1.0, 2.0])
+        b.observe("x", 0.5, buckets=[5.0])
+        with pytest.raises(ValueError, match="bucket bounds"):
+            a.merge_dump(b.dump())
