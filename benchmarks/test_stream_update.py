@@ -1,0 +1,145 @@
+"""Streaming update vs full rebuild: the incremental-maintenance payoff.
+
+An ``update()`` over a coupled (keyed) corpus regenerates only the RR
+samples whose replay actually changes — the slots containing a changed
+edge's head *and* whose hashed coin for that edge flips liveness (see
+``repro.ris.coupled``) — so its cost scales with the delta, not the
+corpus, and it skips the pivot phase entirely.  This benchmark measures
+both paths over the same delta and asserts the update restores rebuild
+parity at least ``SPEEDUP_BAR``x faster (report-only under
+``REPRO_BENCH_TINY=1``, where builds are too small for a stable ratio;
+the parity assertion always holds).  Results land in
+``stream_update.txt`` and the ``stream_update`` section of
+``BENCH_query_kernels.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro.bench.workloads import random_queries
+from repro.core.ris_da import RisDaConfig, RisDaIndex
+from repro.geo.weights import DistanceDecay
+from repro.network.datasets import load_dataset
+from repro.stream.delta import GraphDelta, apply_delta
+
+from .conftest import DEFAULT_ALPHA, emit, emit_json
+
+TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+
+SCALE = 0.1 if TINY else 0.4
+N_PIVOTS = 4 if TINY else 16
+MAX_SAMPLES = 3_000 if TINY else 40_000
+K = 4 if TINY else 10
+N_QUERIES = 2 if TINY else 4
+REPS = 1 if TINY else 2
+
+SPEEDUP_BAR = 5.0
+PARITY_BAR = 0.3  # mean relative estimate gap, update vs rebuild
+
+
+def _delta_for(network, rng) -> GraphDelta:
+    """A realistic streaming batch: a few new edges + moved check-ins."""
+    edges, seen = [], set()
+    while len(edges) < 6:
+        u, v = (int(z) for z in rng.integers(0, network.n, size=2))
+        if u != v and (u, v) not in seen:
+            seen.add((u, v))
+            edges.append((u, v))
+    probs = rng.uniform(0.02, 0.15, size=len(edges))
+    moved = rng.choice(network.n, size=3, replace=False)
+    checkins = [
+        (int(m),
+         float(network.coords[m, 0] + rng.normal(0, 2.0)),
+         float(network.coords[m, 1] + rng.normal(0, 2.0)))
+        for m in moved
+    ]
+    return GraphDelta.make(edges=edges, probabilities=probs,
+                           checkins=checkins)
+
+
+def test_stream_update_speedup():
+    network = load_dataset("gowalla", scale=SCALE)
+    decay = DistanceDecay(c=1.0, alpha=DEFAULT_ALPHA)
+    cfg = RisDaConfig(
+        k_max=K, n_pivots=N_PIVOTS, epsilon_pivot=0.4,
+        max_index_samples=MAX_SAMPLES, seed=5,
+    )
+    rng = np.random.default_rng(77)
+    delta = _delta_for(network, rng)
+    final = apply_delta(network, delta).network
+
+    update_times, updated = [], None
+    stats = None
+    for _ in range(REPS):
+        base = RisDaIndex(network, decay, cfg)
+        t0 = time.perf_counter()
+        stats = base.update(delta=delta)
+        update_times.append(time.perf_counter() - t0)
+        updated = base
+
+    rebuild_times, rebuilt = [], None
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        rebuilt = RisDaIndex(final, decay, cfg)
+        rebuild_times.append(time.perf_counter() - t0)
+
+    t_update = statistics.median(update_times)
+    t_rebuild = statistics.median(rebuild_times)
+    speedup = t_rebuild / t_update if t_update > 0 else float("inf")
+
+    # Parity: the updated index must answer like the rebuilt one.  Seeds
+    # can differ under sampling noise, so compare the Eq. 9 estimates.
+    queries = random_queries(final, N_QUERIES, seed=41)
+    gaps = []
+    for q in queries:
+        a = updated.query(q, K)
+        b = rebuilt.query(q, K)
+        gaps.append(abs(a.estimate - b.estimate) / max(abs(b.estimate), 1e-9))
+    parity_gap = float(np.mean(gaps))
+    assert parity_gap < PARITY_BAR, (
+        f"update diverged from rebuild: mean relative estimate gap "
+        f"{parity_gap:.3f} over {len(queries)} queries"
+    )
+
+    rows = [
+        ("rebuild", f"{t_rebuild * 1e3:.1f} ms", "1.0x"),
+        ("update", f"{t_update * 1e3:.1f} ms", f"{speedup:.1f}x"),
+    ]
+    emit(
+        "stream_update",
+        format_table(
+            ("path", "median time", "speedup"), rows,
+        ) + (
+            f"\nretired {stats.samples_retired} / added "
+            f"{stats.samples_added} samples, dirty fraction "
+            f"{stats.dirty_fraction:.3%}, parity gap {parity_gap:.3f}"
+            + (" [tiny]" if TINY else "")
+        ),
+    )
+    emit_json("stream_update", {
+        "scale": SCALE,
+        "n_pivots": N_PIVOTS,
+        "max_samples": MAX_SAMPLES,
+        "reps": REPS,
+        "tiny": TINY,
+        "update_seconds": t_update,
+        "rebuild_seconds": t_rebuild,
+        "speedup": speedup,
+        "parity_gap": parity_gap,
+        "samples_retired": stats.samples_retired,
+        "samples_added": stats.samples_added,
+        "dirty_fraction": stats.dirty_fraction,
+        "generation": stats.generation,
+    })
+
+    if not TINY:
+        assert speedup >= SPEEDUP_BAR, (
+            f"streaming update is only {speedup:.1f}x faster than a full "
+            f"rebuild (bar: {SPEEDUP_BAR}x)"
+        )

@@ -10,6 +10,10 @@ build-ris
     Build a RIS-DA index over a dataset and save it to ``.npz``.
 build-mia
     Build a MIA-DA index over a dataset and save it to ``.npz``.
+update
+    Apply a JSONL stream of edge/check-in deltas to a saved index —
+    incremental maintenance instead of a rebuild — and save the updated
+    index plus the post-update network files.
 query
     Answer a DAIM query with MIA-DA (indexed or built on the fly), RIS-DA
     (indexed or ad-hoc), or a heuristic.
@@ -20,7 +24,8 @@ serve-batch
     processes that attach the index zero-copy via shared memory.
 serve-http
     Expose a prebuilt index over HTTP: ``/query``, ``/metrics``
-    (Prometheus text format) and ``/healthz``; also accepts
+    (Prometheus text format), ``/healthz`` and ``POST /admin/update``
+    (streaming deltas against the live index); also accepts
     ``--processes N``.
 info
     Print the runtime-environment snapshot (python/numpy/BLAS/CPU).
@@ -44,6 +49,7 @@ from typing import Optional, Sequence
 from repro.core.heuristics import degree_discount, top_weighted_degree
 from repro.core.mia_da import MiaDaConfig, MiaDaIndex
 from repro.core.persistence import (
+    load_index,
     load_mia_index,
     load_ris_index,
     save_mia_index,
@@ -64,6 +70,7 @@ from repro.obs.trace import NULL_TRACER, Tracer, use_tracer
 from repro.ris.adhoc import adhoc_ris_query
 from repro.serve.engine import QueryEngine, ServeConfig
 from repro.serve.pool import ServePool
+from repro.stream.delta import GraphDelta
 
 
 def _add_network_args(p: argparse.ArgumentParser) -> None:
@@ -194,6 +201,59 @@ def cmd_build_mia(args: argparse.Namespace) -> int:
         f"{len(index.anchor_bounds.anchors)} anchors, "
         f"{len(index.region_bounds.nodes)} heavy nodes, "
         f"saved to {args.out}"
+    )
+    return 0
+
+
+def _read_delta_events(path: str) -> list[dict]:
+    """Parse a JSONL delta file: one event object per line."""
+    events: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError as exc:
+                raise DataFormatError(
+                    f"{path}:{lineno}: bad delta line ({exc}); expected "
+                    'one JSON event per line, e.g. '
+                    '{"op": "edge", "u": 0, "v": 1, "p": 0.1}'
+                )
+    if not events:
+        raise DataFormatError(f"{path} holds no delta events")
+    return events
+
+
+def cmd_update(args: argparse.Namespace) -> int:
+    network = _resolve_network(args)
+    kind, index = load_index(args.index, network)
+    if args.method is not None and kind != args.method:
+        raise ReproError(
+            f"{args.index} holds a {kind.upper()}-DA index but "
+            f"--method {args.method} was required"
+        )
+    delta = GraphDelta.from_events(_read_delta_events(args.deltas))
+    with contextlib.ExitStack() as stack:
+        tracer = _activate_obs(args, stack)
+        stats = index.update(delta=delta)
+        _export_trace(args, tracer)
+    out = args.out if args.out else args.index
+    if kind == "ris":
+        save_ris_index(index, out)
+    else:
+        save_mia_index(index, out)
+    # The updated index validates against the *post-update* graph on
+    # load, so the network files must be saved alongside it.
+    write_network(index.network, args.out_edges, args.out_checkins)
+    print(
+        f"updated {kind.upper()}-DA index to generation {stats.generation}: "
+        f"{stats.dirty_nodes} dirty nodes ({stats.dirty_fraction:.1%}), "
+        f"{stats.samples_retired} samples retired / "
+        f"{stats.samples_added} added, {stats.trees_rebuilt} trees rebuilt, "
+        f"{stats.moved_nodes} check-ins, in {stats.seconds:.2f}s; "
+        f"saved to {out} (+ {args.out_edges}, {args.out_checkins})"
     )
     return 0
 
@@ -374,7 +434,8 @@ def cmd_serve_http(args: argparse.Namespace) -> int:
             engine=engine, host=args.host, port=args.port, default_k=args.k,
         )
         print(f"serving on http://{server.host}:{server.port} "
-              f"(/query /metrics /healthz), Ctrl-C to stop", file=sys.stderr)
+              f"(/query /metrics /healthz, POST /admin/update), "
+              f"Ctrl-C to stop", file=sys.stderr)
         # SIGTERM (docker stop, systemd, kill) must unwind the ExitStack
         # like Ctrl-C does — with --processes that is what stops the
         # workers and unlinks the shared index segments.
@@ -461,6 +522,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_args(p)
     p.set_defaults(func=cmd_build_mia)
+
+    p = sub.add_parser(
+        "update",
+        help="apply streaming edge/check-in deltas to a saved index",
+    )
+    _add_network_args(p)
+    p.add_argument("--index", required=True,
+                   help="saved index (.npz) from build-ris or build-mia")
+    p.add_argument(
+        "--deltas", required=True,
+        help='JSONL delta events, one per line: '
+             '{"op": "edge", "u":, "v":, "p":} upserts an edge, '
+             '{"op": "drop_edge", "u":, "v":} removes one, '
+             '{"op": "checkin", "node":, "x":, "y":} moves a node',
+    )
+    p.add_argument("--out",
+                   help="output .npz path (default: overwrite --index)")
+    p.add_argument("--out-edges", required=True,
+                   help="write the post-update edge list here (the "
+                        "updated index only loads against it)")
+    p.add_argument("--out-checkins", required=True,
+                   help="write the post-update check-in file here")
+    p.add_argument("--method", choices=("ris", "mia"), default=None,
+                   help="require this index kind (default: update "
+                        "whatever the file holds)")
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_update)
 
     p = sub.add_parser("query", help="answer a DAIM query")
     _add_network_args(p)

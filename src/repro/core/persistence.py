@@ -44,6 +44,7 @@ from repro.geo.weights import DistanceDecay
 from repro.mia.pmia import MiaModel
 from repro.network.graph import GeoSocialNetwork
 from repro.ris.corpus import RRCorpus
+from repro.ris.coupled import CoupledRRSampler
 from repro.ris.rrset import RRSampler
 
 PathLike = Union[str, Path]
@@ -132,15 +133,32 @@ def load_index(
     )
 
 
-def save_ris_index(index: RisDaIndex, path: PathLike) -> None:
-    """Serialise a built RIS-DA index to ``path`` (``.npz``).
+def index_arrays(
+    index: Union[RisDaIndex, MiaDaIndex],
+) -> Tuple[str, dict, Dict[str, np.ndarray]]:
+    """An in-memory index as its ``(kind, meta, arrays)`` triple.
 
-    A missing ``.npz`` suffix is appended, matching what
-    :func:`numpy.savez_compressed` writes; :func:`load_ris_index` applies
-    the same normalisation, so save/load agree on the file name either
-    way.
+    The same flat layout the savers write and :func:`assemble_index`
+    reads — without touching disk.  The streaming serving pool uses this
+    to republish an updated in-memory index into shared memory (and to
+    diff which arrays actually changed, so untouched segments are
+    reused).
     """
-    path = _with_npz_suffix(path)
+    if isinstance(index, RisDaIndex):
+        meta, arrays = ris_index_arrays(index)
+        return "ris", meta, arrays
+    if isinstance(index, MiaDaIndex):
+        meta, arrays = mia_index_arrays(index)
+        return "mia", meta, arrays
+    raise DataFormatError(
+        f"cannot serialise index of type {type(index).__name__}"
+    )
+
+
+def ris_index_arrays(
+    index: RisDaIndex,
+) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """The ``(meta, arrays)`` of a RIS-DA index (shared save/publish path)."""
     flat, offsets = index.corpus.flat()
     meta = {
         "format_version": _FORMAT_VERSION,
@@ -150,6 +168,7 @@ def save_ris_index(index: RisDaIndex, path: PathLike) -> None:
         "k_max": index.k_max,
         "truncated": bool(index.truncated),
         "index_samples_required": int(index.index_samples_required),
+        "generation": int(getattr(index, "generation", 0)),
         "decay": {
             "c": index.decay.c,
             "alpha": index.decay.alpha,
@@ -173,15 +192,37 @@ def save_ris_index(index: RisDaIndex, path: PathLike) -> None:
             "selection": index.config.selection,
         },
     }
+    arrays = {
+        "pivots": index.pivots,
+        "pivot_estimates": index.pivot_estimates,
+        "pivot_lower_bounds": index.pivot_lower_bounds,
+        "corpus_roots": index.corpus.roots,
+        "corpus_flat": flat,
+        "corpus_offsets": offsets,
+    }
+    keys = index.corpus.keys
+    if keys is not None:
+        # Per-slot randomness keys of a coupled corpus: without them a
+        # restored index loses the cheap regeneration-based update path
+        # (it would fall back to rejection refresh).
+        arrays["corpus_keys"] = keys
+    return meta, arrays
+
+
+def save_ris_index(index: RisDaIndex, path: PathLike) -> None:
+    """Serialise a built RIS-DA index to ``path`` (``.npz``).
+
+    A missing ``.npz`` suffix is appended, matching what
+    :func:`numpy.savez_compressed` writes; :func:`load_ris_index` applies
+    the same normalisation, so save/load agree on the file name either
+    way.
+    """
+    path = _with_npz_suffix(path)
+    meta, arrays = ris_index_arrays(index)
     np.savez_compressed(
         path,
         meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
-        pivots=index.pivots,
-        pivot_estimates=index.pivot_estimates,
-        pivot_lower_bounds=index.pivot_lower_bounds,
-        corpus_roots=index.corpus.roots,
-        corpus_flat=flat,
-        corpus_offsets=offsets,
+        **arrays,
     )
 
 
@@ -190,8 +231,11 @@ def load_ris_index(path: PathLike, network: GeoSocialNetwork) -> RisDaIndex:
 
     ``network`` must be the same graph the index was built over (checked
     by node/edge counts).  The returned index answers queries exactly as
-    the original did; it can NOT grow its corpus deterministically (the
-    sampler state is fresh), which only matters if the caller mutates it.
+    the original did.  Keyed (coupled-sampler) corpora also grow and
+    regenerate deterministically after the round-trip — the stored slot
+    keys plus the config seed reconstruct every slot's randomness;
+    keyless corpora get a fresh sequential sampler, which only matters
+    if the caller mutates them.
     """
     path = _with_npz_suffix(path)
     _, meta, arrays = read_index_arrays(path)
@@ -264,8 +308,18 @@ def assemble_ris_index(
     index.config = config
     index.pivots = pivots
     index._pivot_tree = KDTree(pivots)
-    index.sampler = RRSampler(network, seed=config.seed, diffusion=config.diffusion)
-    index.corpus = RRCorpus.from_arrays(index.sampler, roots, flat, offsets)
+    if "corpus_keys" in arrays:
+        # Keyed corpora restore with a coupled sampler so streaming
+        # updates keep the regeneration path after a round-trip.
+        index.sampler = CoupledRRSampler(network, seed=config.seed)
+        index.corpus = RRCorpus.from_arrays(
+            index.sampler, roots, flat, offsets, keys=arrays["corpus_keys"]
+        )
+    else:
+        index.sampler = RRSampler(
+            network, seed=config.seed, diffusion=config.diffusion
+        )
+        index.corpus = RRCorpus.from_arrays(index.sampler, roots, flat, offsets)
     index.corpus.inverted()  # pay the inverted-index cost at load time
     index.pivot_estimates = pivot_estimates
     index.pivot_lower_bounds = pivot_lower_bounds
@@ -273,22 +327,17 @@ def assemble_ris_index(
     index.truncated = bool(meta["truncated"])
     index.index_samples_required = int(meta["index_samples_required"])
     index.voronoi = None  # only needed during construction
+    index.generation = int(meta.get("generation", 0))
     index.pivot_seconds = 0.0
     index.voronoi_seconds = 0.0
     index.build_seconds = 0.0
     return index
 
 
-def save_mia_index(index: MiaDaIndex, path: PathLike) -> None:
-    """Serialise a built MIA-DA index to ``path`` (``.npz``).
-
-    Stores the :class:`~repro.mia.pmia.MiaModel` arborescences as flat
-    CSR arrays, the anchor locations with their influence matrix and mass
-    vector, and the per-heavy-node region ``(cells, masses)`` lists.  A
-    missing ``.npz`` suffix is appended, matching the RIS path's
-    normalisation.
-    """
-    path = _with_npz_suffix(path)
+def mia_index_arrays(
+    index: MiaDaIndex,
+) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """The ``(meta, arrays)`` of a MIA-DA index (shared save/publish path)."""
     members, parents, edge_probs, path_probs, offsets = index.model.flat_trees()
     region = index.region_bounds
     region_sizes = np.asarray([len(c) for c in region._cells], dtype=np.int64)
@@ -299,6 +348,7 @@ def save_mia_index(index: MiaDaIndex, path: PathLike) -> None:
         "kind": "mia",
         "n_nodes": index.network.n,
         "n_edges": index.network.m,
+        "generation": int(getattr(index, "generation", 0)),
         "decay": {
             "c": index.decay.c,
             "alpha": index.decay.alpha,
@@ -318,21 +368,42 @@ def save_mia_index(index: MiaDaIndex, path: PathLike) -> None:
     }
     empty_i = np.empty(0, dtype=np.int64)
     empty_f = np.empty(0, dtype=float)
+    arrays = {
+        "tree_members": members,
+        "tree_parents": parents,
+        "tree_edge_probs": edge_probs,
+        "tree_path_probs": path_probs,
+        "tree_offsets": offsets,
+        "anchors": index.anchor_bounds.anchors,
+        "anchor_influence": index.anchor_bounds.influence,
+        "anchor_mass": index.anchor_bounds.mass,
+        "region_nodes": region.nodes,
+        "region_cells": (
+            np.concatenate(region._cells) if region._cells else empty_i
+        ),
+        "region_masses": (
+            np.concatenate(region._masses) if region._masses else empty_f
+        ),
+        "region_offsets": region_offsets,
+    }
+    return meta, arrays
+
+
+def save_mia_index(index: MiaDaIndex, path: PathLike) -> None:
+    """Serialise a built MIA-DA index to ``path`` (``.npz``).
+
+    Stores the :class:`~repro.mia.pmia.MiaModel` arborescences as flat
+    CSR arrays, the anchor locations with their influence matrix and mass
+    vector, and the per-heavy-node region ``(cells, masses)`` lists.  A
+    missing ``.npz`` suffix is appended, matching the RIS path's
+    normalisation.
+    """
+    path = _with_npz_suffix(path)
+    meta, arrays = mia_index_arrays(index)
     np.savez_compressed(
         path,
         meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
-        tree_members=members,
-        tree_parents=parents,
-        tree_edge_probs=edge_probs,
-        tree_path_probs=path_probs,
-        tree_offsets=offsets,
-        anchors=index.anchor_bounds.anchors,
-        anchor_influence=index.anchor_bounds.influence,
-        anchor_mass=index.anchor_bounds.mass,
-        region_nodes=region.nodes,
-        region_cells=np.concatenate(region._cells) if region._cells else empty_i,
-        region_masses=np.concatenate(region._masses) if region._masses else empty_f,
-        region_offsets=region_offsets,
+        **arrays,
     )
 
 
@@ -441,5 +512,6 @@ def assemble_mia_index(
     index.model = model
     index.anchor_bounds = anchor_bounds
     index.region_bounds = region_bounds
+    index.generation = int(meta.get("generation", 0))
     index.build_seconds = 0.0
     return index

@@ -52,6 +52,7 @@ from repro.obs.log import get_logger
 from repro.obs.progress import Heartbeat
 from repro.obs.trace import get_tracer
 from repro.ris.corpus import RRCorpus
+from repro.ris.coupled import CoupledRRSampler, quantize_probability
 from repro.ris.coverage import weighted_greedy_cover
 from repro.ris.lower_bound import lb_est, lb_est_lt
 from repro.ris.parallel import ParallelRRSampler
@@ -194,6 +195,9 @@ class RisDaIndex:
         self.network = network
         self.decay = decay if decay is not None else DistanceDecay()
         self.config = config if config is not None else RisDaConfig()
+        #: Bumped by :meth:`update`; serving folds it into cache keys so
+        #: result-cache entries die when the in-memory index changes.
+        self.generation = 0
         self._build()
 
     # ------------------------------------------------------------------
@@ -253,10 +257,18 @@ class RisDaIndex:
         self._pivot_tree = KDTree(pivots)
 
         if cfg.n_workers > 1:
-            self.sampler: RRSampler | ParallelRRSampler = ParallelRRSampler(
-                net, seed=rng, diffusion=cfg.diffusion,
-                n_workers=cfg.n_workers,
+            self.sampler: RRSampler | ParallelRRSampler | CoupledRRSampler = (
+                ParallelRRSampler(
+                    net, seed=rng, diffusion=cfg.diffusion,
+                    n_workers=cfg.n_workers,
+                )
             )
+        elif cfg.diffusion == "ic":
+            # Counter-based sampler: every slot is a pure function of
+            # (seed, key, graph), which is what lets update() regenerate
+            # only the dirty slots instead of resampling a corpus-sized
+            # pass (see repro.ris.coupled).
+            self.sampler = CoupledRRSampler(net, seed=cfg.seed)
         else:
             self.sampler = RRSampler(net, seed=rng, diffusion=cfg.diffusion)
         self.corpus = RRCorpus(self.sampler)
@@ -365,6 +377,213 @@ class RisDaIndex:
                 last = max(last, values[k])
             curve[k - 1] = last
         return curve
+
+    # ------------------------------------------------------------------
+    # Streaming maintenance
+    # ------------------------------------------------------------------
+
+    def update(
+        self,
+        edges=None,
+        probabilities=None,
+        removed=None,
+        checkins=None,
+        *,
+        delta=None,
+    ) -> "UpdateStats":
+        """Fold a graph delta into the index without a full rebuild.
+
+        Reservoir-style corpus refresh, coupled path (keyed corpora —
+        the default for serially built IC indexes): each sample slot's
+        randomness is a pure function of ``(seed, key)`` with per-edge
+        coins keyed by edge *endpoints* (:mod:`repro.ris.coupled`).
+        Only slots whose reverse-reach set contains the **head** of a
+        changed edge are located via the inverted index and re-run in
+        place against the new network — a reverse traversal flips coins
+        only on the in-edge rows of nodes it reached, and a delta only
+        rewrites the in-edge rows of changed-edge heads, so every other
+        slot replays bit-identically and needs no work.  Re-run slots
+        are exact fresh RR sets of the new graph, slots stay i.i.d., no
+        shuffle is needed, and the cost scales with the dirty fraction
+        instead of the corpus size.  Growth to the Algorithm 5
+        worst-case size (Lemmas 5–7) then appends slots under fresh
+        keys.
+
+        Keyless corpora (parallel-built, LT diffusion, or restored from
+        pre-key save files) fall back to retire-and-resample: samples
+        touching any dirty endpoint are retired, replacements are drawn
+        *conditioned on touching a dirty node* (the survivors are
+        exactly the dirty-avoiding draws, so unconditioned refills would
+        skew the pool; :meth:`RRCorpus.extend_touching` restores the
+        exact RR-set law), and a shuffle restores slot exchangeability
+        for prefix reads.  Moved check-ins require no sample work on
+        either path: distance-decay weights are evaluated at query time
+        from ``self.network.coords``.
+
+        Pivot estimates are *not* recomputed — they remain the build's
+        Algorithm 4 snapshot, so after heavy drift the Lemma 8 transfer
+        degrades gracefully (the bound loosens, sample prefixes grow)
+        rather than breaking; rebuild when staleness accumulates.
+
+        Accepts either loose arguments (``edges``/``probabilities``/
+        ``removed``/``checkins`` as in
+        :meth:`repro.stream.GraphDelta.make`) or a prepared ``delta``.
+        Returns :class:`repro.stream.UpdateStats`; bumps
+        :attr:`generation` so serving caches invalidate.
+        """
+        from repro.stream.delta import GraphDelta, UpdateStats, apply_delta
+
+        start = time.perf_counter()
+        if delta is None:
+            delta = GraphDelta.make(
+                edges=edges, probabilities=probabilities,
+                removed=removed, checkins=checkins,
+            )
+        applied = apply_delta(self.network, delta)
+        cfg = self.config
+        prior = len(self.corpus)
+        if self.corpus.keyed:
+            retired, added = self._refresh_coupled(applied, delta, prior)
+        else:
+            retired, added = self._refresh_rejection(applied, prior)
+        # Rebuild the inverted index eagerly, mirroring _build_phases:
+        # the next update's dirty-sample query (and first query's prefix
+        # cuts) should not pay for it inline.
+        self.corpus.inverted()
+        self.generation += 1
+        stats = UpdateStats(
+            generation=self.generation,
+            dirty_nodes=int(len(applied.dirty_nodes)),
+            dirty_fraction=float(len(applied.dirty_nodes)) / self.network.n,
+            moved_nodes=int(len(applied.moved_nodes)),
+            samples_retired=int(retired),
+            samples_added=int(added),
+            trees_rebuilt=0,
+            seconds=time.perf_counter() - start,
+            updated_unix=time.time(),
+        )
+        logger = get_logger()
+        if logger.enabled:
+            logger.event(
+                "index_update", kind="ris",
+                generation=stats.generation,
+                dirty_nodes=stats.dirty_nodes,
+                samples_retired=stats.samples_retired,
+                samples_added=stats.samples_added,
+                seconds=round(stats.seconds, 4),
+            )
+        return stats
+
+    def _refresh_coupled(self, applied, delta, prior: int) -> tuple[int, int]:
+        """Keyed-corpus refresh: regenerate dirty slots in place.
+
+        Returns ``(slots regenerated, slots regenerated + slots grown)``
+        for the stats accounting — regenerated slots are fresh draws, so
+        they count on both sides.
+        """
+        cfg = self.config
+        dirty = self._flipped_slots(delta)
+        self.network = applied.network
+        sampler = CoupledRRSampler(applied.network, seed=cfg.seed)
+        self.sampler = sampler
+        self.corpus.replace_sampler(sampler)
+        retired = self.corpus.regenerate(dirty)
+        target = self._capped(max(self.index_samples_required, prior))
+        grown = max(0, target - prior)
+        self.corpus.ensure(target)
+        return retired, retired + grown
+
+    def _flipped_slots(self, delta) -> np.ndarray:
+        """Slot ids whose replay changes under ``delta`` (coupled path).
+
+        Two exact filters stack.  First, only slots whose stored set
+        contains a changed edge's *head* can change — a reverse
+        traversal flips coins only on the in-edge rows of nodes it
+        reached, and a delta rewrites exactly the heads' rows.  Second,
+        among those candidates only the slots whose hashed coin for that
+        edge flips liveness (lands between the old and new probability)
+        replay differently: every other coin in the row is
+        endpoint-keyed and untouched, so the traversal reaches the same
+        set regardless of the row's new layout.  Must run against the
+        *old* network (it reads the old probabilities).
+        """
+        corpus = self.corpus
+        old = self.network
+        keys = corpus.keys
+        # Last-wins change resolution, mirroring apply_delta.
+        final: dict = {}
+        for (u, v), p in zip(delta.edges, delta.probabilities):
+            final[(int(u), int(v))] = float(p)
+        for u, v in delta.removed:
+            final[(int(u), int(v))] = 0.0
+        flipped = []
+        for (u, v), p_new in final.items():
+            lo = int(old.in_offsets[v])
+            hi = int(old.in_offsets[v + 1])
+            at = np.flatnonzero(old.in_sources[lo:hi] == u)
+            p_old = float(old.in_probs[lo + int(at[0])]) if len(at) else 0.0
+            if p_old == p_new:
+                continue
+            cand = corpus.samples_touching(np.asarray([v]))
+            if not len(cand):
+                continue
+            bits = self.sampler.edge_coin_bits(keys[cand], u, v)
+            t_lo = quantize_probability(min(p_old, p_new))
+            t_hi = quantize_probability(max(p_old, p_new))
+            flips = cand[(bits >= t_lo) & (bits < t_hi)]
+            if len(flips):
+                flipped.append(flips)
+        if not flipped:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(flipped))
+
+    def _refresh_rejection(self, applied, prior: int) -> tuple[int, int]:
+        """Keyless-corpus fallback: retire, resample conditioned, shuffle.
+
+        Returns ``(samples retired, samples drawn)`` — replacements plus
+        growth to the Lemma 5–7 target.
+        """
+        cfg = self.config
+        retired = 0
+        if len(applied.dirty_nodes):
+            retired = self.corpus.retire(
+                self.corpus.samples_touching(applied.dirty_nodes)
+            )
+        self.network = applied.network
+        # A fresh sampler over the new graph, deterministically seeded per
+        # (config seed, generation) so replayed update sequences reproduce.
+        rng = np.random.default_rng([cfg.seed, self.generation + 1])
+        if cfg.n_workers > 1:
+            sampler: RRSampler | ParallelRRSampler = ParallelRRSampler(
+                applied.network, seed=rng, diffusion=cfg.diffusion,
+                n_workers=cfg.n_workers,
+            )
+        else:
+            sampler = RRSampler(
+                applied.network, seed=rng, diffusion=cfg.diffusion
+            )
+        self.sampler = sampler
+        self.corpus.replace_sampler(sampler)
+        target = self._capped(max(self.index_samples_required, prior))
+        added = max(0, target - len(self.corpus))
+        if retired:
+            # Replacements must touch a dirty node: retirement keeps
+            # exactly the dirty-avoiding samples, so unconditioned
+            # refills would bias the pool toward them (see
+            # RRCorpus.extend_touching for the exact argument).
+            self.corpus.extend_touching(
+                min(retired, added), applied.dirty_nodes
+            )
+        # Any growth beyond the replaced slots restores the Lemma 5-7
+        # worst-case size with ordinary unconditioned draws.
+        self.corpus.ensure(target)
+        # Queries read corpus *prefixes*; survivors sit at the head and
+        # conditioned replacements at the tail, so restore slot
+        # exchangeability (see RRCorpus.shuffle).
+        self.corpus.shuffle(rng)
+        if isinstance(sampler, ParallelRRSampler):
+            sampler.close()
+        return retired, added
 
     # ------------------------------------------------------------------
     # Online phase

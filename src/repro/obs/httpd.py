@@ -12,9 +12,16 @@ handler is all a scrape endpoint needs.  Endpoints:
 ``GET /query?x=..&y=..&k=..``
     One DAIM query through the :class:`~repro.serve.QueryEngine` (result
     cache, metrics, tracing all apply); JSON answer with the trace id.
+``POST /admin/update``
+    Apply a streaming graph delta — JSONL events in the request body,
+    the same format the ``update`` CLI reads — through the engine's
+    ``apply_update`` surface (in-process engine or serving pool alike);
+    answers with the resulting update stats.  404 when the attached
+    engine has no streaming surface.
 
-The server is deliberately read-only (GET only) and binds loopback by
-default; it is an operational sidecar, not a public API gateway.
+Query serving is read-only (GET); the single mutating route is the
+admin update above.  The server binds loopback by default; it is an
+operational sidecar, not a public API gateway.
 """
 
 from __future__ import annotations
@@ -71,9 +78,7 @@ class ObsHttpServer:
         class Handler(BaseHTTPRequestHandler):
             protocol_version = "HTTP/1.1"
 
-            def do_GET(self) -> None:  # noqa: N802 (http.server API)
-                t0 = time.perf_counter()
-                status, body, content_type = outer._route(self.path)
+            def _respond(self, status, body, content_type, t0) -> None:
                 self.send_response(status)
                 self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
@@ -89,6 +94,16 @@ class ObsHttpServer:
                         ),
                     )
 
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                t0 = time.perf_counter()
+                self._respond(*outer._route(self.path), t0)
+
+            def do_POST(self) -> None:  # noqa: N802 (http.server API)
+                t0 = time.perf_counter()
+                length = int(self.headers.get("Content-Length") or 0)
+                raw = self.rfile.read(length) if length else b""
+                self._respond(*outer._route_post(self.path, raw), t0)
+
             def log_message(self, format, *args):  # noqa: A002
                 pass  # request logging goes through the structured logger
 
@@ -103,6 +118,11 @@ class ObsHttpServer:
         route = split.path.rstrip("/") or "/"
         try:
             if route == "/metrics":
+                # Age staleness_seconds_since_refresh at scrape time so
+                # the gauge keeps moving between updates.
+                refresh = getattr(self.engine, "refresh_staleness", None)
+                if refresh is not None:
+                    refresh()
                 text = render_prometheus(self.metrics, self.namespace)
                 return 200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE
             if route == "/healthz":
@@ -116,6 +136,43 @@ class ObsHttpServer:
             )
         except Exception as exc:  # never kill the scrape loop
             return self._json(500, {"error": str(exc)})
+
+    def _route_post(self, path: str, raw: bytes) -> tuple:
+        route = urlsplit(path).path.rstrip("/") or "/"
+        try:
+            if route == "/admin/update":
+                return self._admin_update(raw)
+            return self._json(
+                404,
+                {"error": f"no POST route {route}",
+                 "routes": ["/admin/update"]},
+            )
+        except Exception as exc:  # never kill the serve loop
+            return self._json(500, {"error": str(exc)})
+
+    def _admin_update(self, raw: bytes) -> tuple:
+        apply_update = getattr(self.engine, "apply_update", None)
+        if apply_update is None:
+            return self._json(
+                404,
+                {"error": "attached engine has no streaming update surface"},
+            )
+        from repro.stream.delta import GraphDelta
+
+        try:
+            events = [
+                json.loads(line)
+                for line in raw.decode("utf-8").splitlines()
+                if line.strip()
+            ]
+            delta = GraphDelta.from_events(events)
+        except (ValueError, ReproError) as exc:
+            return self._json(400, {"error": f"bad delta body: {exc}"})
+        try:
+            stats = apply_update(delta)
+        except ReproError as exc:
+            return self._json(400, {"error": str(exc)})
+        return self._json(200, dict(stats.as_dict(), status="ok"))
 
     @staticmethod
     def _json(status: int, payload: Dict[str, Any]) -> tuple:

@@ -23,6 +23,9 @@ Event schema (``event`` -> fields; all optional unless noted):
     ``phase``, ``trace_id``; ``build_end`` adds ``seconds``
 ``build_progress``
     ``phase``, ``done``, ``total``, ``unit``, ``rate_per_s``, ``eta_s``
+``index_update``
+    ``kind``, ``generation``, ``dirty_nodes``, ``samples_retired``,
+    ``samples_added``, ``trees_rebuilt``, ``seconds``
 ``serve_start`` / ``serve_end``
     server/batch lifecycle (``endpoint``/counts)
 ``http_request``
@@ -47,7 +50,7 @@ from typing import IO, Optional
 #: The stable event vocabulary (see module docstring for fields).
 EVENTS = frozenset({
     "query_start", "query_end", "cache_hit", "fallback", "slow_query",
-    "build_start", "build_progress", "build_end",
+    "build_start", "build_progress", "build_end", "index_update",
     "serve_start", "serve_end", "http_request", "error",
 })
 

@@ -4,6 +4,8 @@
 into the Prometheus text exposition format (version 0.0.4):
 
 * counters -> ``<ns>_<name>`` with ``# TYPE ... counter``;
+* gauges -> ``<ns>_<name>`` with ``# TYPE ... gauge`` (used by the
+  streaming-update staleness levels);
 * histograms -> the conventional triplet ``_bucket{le="..."}`` /
   ``_sum`` / ``_count`` with **cumulative** bucket counts (the registry
   stores per-bucket counts; the renderer accumulates), plus gauges
@@ -68,6 +70,10 @@ def render_prometheus(
     for name, value in dump["counters"].items():
         full = f"{namespace}_{sanitize_metric_name(name)}"
         lines.append(f"# TYPE {full} counter")
+        lines.append(f"{full} {_fmt(float(value))}")
+    for name, value in dump.get("gauges", {}).items():
+        full = f"{namespace}_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {full} gauge")
         lines.append(f"{full} {_fmt(float(value))}")
     for name, h in dump["histograms"].items():
         full = f"{namespace}_{sanitize_metric_name(name)}"

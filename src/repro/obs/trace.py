@@ -18,9 +18,11 @@ Design constraints, in order:
   objects, so a parent serialises a :func:`span_context` (trace id +
   span id), ships it with the task, and the worker returns a plain span
   *dict* built by :func:`worker_span` that the parent re-parents with
-  :meth:`Tracer.adopt`.  Worker clocks are wall-clock (``time.time``),
-  so adopted spans line up with the parent's timeline to within clock
-  skew on one machine;
+  :meth:`Tracer.adopt`.  Span timestamps come from :func:`wall_now` — a
+  wall-clock anchor taken once at import plus a monotonic
+  (``perf_counter``) offset — so an NTP step mid-batch cannot skew span
+  durations or scramble the ordering of adopted worker spans against the
+  parent's timeline;
 * **thread-safe collection** — the serving engine traces from pool
   threads; the finished-span list takes a lock per append.
 
@@ -52,6 +54,23 @@ _current_span: contextvars.ContextVar[Optional["Span"]] = (
 _current_tracer: contextvars.ContextVar[Optional["Tracer"]] = (
     contextvars.ContextVar("repro_current_tracer", default=None)
 )
+
+
+# Wall-clock anchor taken once at import; timestamps derive from it via
+# monotonic perf_counter offsets so a clock step (NTP, manual set) after
+# import cannot skew durations or reorder spans recorded in one process.
+_ANCHOR_UNIX = time.time()
+_ANCHOR_PERF = time.perf_counter()
+
+
+def wall_now() -> float:
+    """Monotonic-derived wall-clock seconds (anchor + perf_counter offset).
+
+    Use this instead of ``time.time()`` for span timestamps: successive
+    calls never go backwards, and durations computed from two calls are
+    exactly ``perf_counter`` differences.
+    """
+    return _ANCHOR_UNIX + (time.perf_counter() - _ANCHOR_PERF)
 
 
 def new_id(n_bytes: int = 8) -> str:
@@ -90,7 +109,7 @@ class Span:
         self.span_id = new_id()
         self.parent_id = parent_id
         self.attributes: Dict[str, Any] = dict(attributes or {})
-        self.start_unix = time.time()
+        self.start_unix = wall_now()
         self.duration_ms: Optional[float] = None
         self._t0 = time.perf_counter()
         self._tracer = tracer

@@ -3,6 +3,9 @@
 * :mod:`repro.ris.rrset` — random reverse-reachable set sampling, with a
   binomial fast path for uniform per-node in-edge probabilities (weighted
   cascade);
+* :mod:`repro.ris.coupled` — counter-based RR sampling with per-slot,
+  edge-keyed coins, enabling exact in-place slot regeneration for
+  streaming graph updates;
 * :mod:`repro.ris.parallel` — the same sampling fanned out over a
   multiprocessing worker pool with deterministic per-chunk RNG streams;
 * :mod:`repro.ris.corpus` — a growable RR-set corpus with flat storage and
@@ -18,6 +21,7 @@
 from repro.ris.adhoc import adhoc_ris_query
 from repro.ris.certify import Certificate, certify_seed_set
 from repro.ris.corpus import RRCorpus
+from repro.ris.coupled import CoupledRRSampler, quantize_probability
 from repro.ris.coverage import (
     CoverageResult,
     SelectionTimings,
@@ -36,6 +40,7 @@ from repro.ris.sample_size import (
 
 __all__ = [
     "Certificate",
+    "CoupledRRSampler",
     "CoverageResult",
     "SelectionTimings",
     "certify_seed_set",
@@ -46,6 +51,7 @@ __all__ = [
     "RRSampler",
     "adhoc_ris_query",
     "epsilon_one",
+    "quantize_probability",
     "lb_est",
     "lb_est_lt",
     "log_binomial",

@@ -1,0 +1,244 @@
+"""Counter-based RR sampling for coupled streaming regeneration.
+
+The sequential :class:`~repro.ris.rrset.RRSampler` draws every sample
+from one RNG stream — perfect for builds, hostile to streaming
+maintenance: after a graph delta there is no way to re-derive the
+randomness a stored sample consumed, so an update must retire the
+samples touching the dirty set and resample *conditioned on touching
+it* (see :meth:`repro.ris.corpus.RRCorpus.extend_touching`).  The
+rejection pass costs ``count / P(touch)`` draws, and with
+``count ≈ |corpus| · P(touch)`` that is one corpus-sized sampling
+sweep no matter how small the delta — the update can never beat a
+rebuild by much.
+
+This sampler removes the sequential stream entirely.  Each sample slot
+carries an integer **key**, and the slot is a *pure function* of
+``(seed, key, graph)``:
+
+* the root is a hash of ``(seed, key)``;
+* the coin of in-edge ``u -> x`` is a hash of ``(seed, key, u, x)`` —
+  keyed by the edge's *endpoints*, not its storage position, so the
+  coin survives CSR re-layout when unrelated edges are upserted.
+
+Two properties follow.  **Independence**: distinct keys share no
+randomness, so the corpus is an i.i.d. RR-set pool — replacements need
+no conditioning and the post-update shuffle disappears.  **Coupling**
+(common random numbers): re-running a slot on an updated graph reuses
+the identical coin for every unchanged edge.  A reverse traversal only
+examines the in-edge row of nodes it has already reached, and a delta
+only rewrites the in-edge rows of changed-edge *heads* — so a slot
+whose stored set contains no dirty head replays bit-for-bit, while a
+touching slot's re-run is exactly one fresh RR set of the new graph.
+The streaming update therefore regenerates only the touching slots:
+cost proportional to the dirty fraction, not to the corpus size.
+
+Hashing uses the SplitMix64 finalizer (wrapping ``uint64`` arithmetic,
+vectorised over each in-edge row), whose avalanche quality is the
+standard choice for counter-based ("stateless") sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.network.graph import GeoSocialNetwork
+
+_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_M2 = np.uint64(0x94D049BB133111EB)
+#: Odd constants decorrelating the per-purpose hash domains.
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_ROOT_SALT = np.uint64(0xD1B54A32D192ED03)
+_U64_SHIFT_30 = np.uint64(30)
+_U64_SHIFT_27 = np.uint64(27)
+_U64_SHIFT_31 = np.uint64(31)
+_U64_SHIFT_11 = np.uint64(11)
+def _mix64(z):
+    """SplitMix64 finalizer over ``uint64`` scalars or arrays.
+
+    Wrapping multiplication is intentional; callers run under
+    ``np.errstate(over="ignore")`` so scalar overflow stays silent.
+    """
+    z = (z ^ (z >> _U64_SHIFT_30)) * _M1
+    z = (z ^ (z >> _U64_SHIFT_27)) * _M2
+    return z ^ (z >> _U64_SHIFT_31)
+
+
+def quantize_probability(p: float) -> np.uint64:
+    """``p`` as a 53-bit liveness threshold: a coin is live iff its top
+    53 hash bits are below this.  One quantisation, used by both the
+    traversal and the streaming flip filter, so the two always agree on
+    every coin (a float-vs-integer mismatch on a boundary coin would
+    silently skip a slot whose replay actually changed)."""
+    return np.uint64(min(float(p), 1.0) * float(1 << 53))
+
+
+class CoupledRRSampler:
+    """RR sampling with per-slot, edge-keyed randomness (IC model only).
+
+    Drop-in for the sequential sampler in the corpus-growth paths (via
+    :meth:`sample_batch`), plus :meth:`regenerate` for the streaming
+    update.  The LT model is out of scope: its reverse walk consumes a
+    single *cumulative* draw per node, which has no per-edge identity
+    to key a coin on — LT indexes keep the sequential sampler and the
+    rejection-based refresh.
+
+    Parameters
+    ----------
+    network:
+        The network to sample from.
+    seed:
+        Integer seed.  Together with a slot key it fixes the slot's
+        root and every coin, so corpora built from the same ``(seed,
+        keys, graph)`` are bit-identical regardless of draw order.
+    """
+
+    #: Marks the per-slot contract for :class:`~repro.ris.corpus.RRCorpus`.
+    coupled = True
+    diffusion = "ic"
+
+    def __init__(self, network: GeoSocialNetwork, seed: int = 0):
+        if not isinstance(seed, (int, np.integer)):
+            raise GraphError(
+                f"coupled sampling needs an integer seed, got {type(seed).__name__}"
+            )
+        self.network = network
+        self.seed = int(seed)
+        #: Next unused slot key; advanced by the drawing methods.
+        self.draw_count = 0
+        with np.errstate(over="ignore"):
+            self._seed64 = _mix64(np.uint64(self.seed & 0xFFFFFFFFFFFFFFFF))
+            # Endpoint-keyed edge ids, premixed once: aligned with
+            # in_sources, so a traversal hashes each examined row with
+            # one xor + one finalizer.
+            targets = np.repeat(
+                np.arange(network.n, dtype=np.uint64),
+                np.diff(network.in_offsets),
+            )
+            edge_ids = (
+                network.in_sources.astype(np.uint64) * np.uint64(network.n)
+                + targets
+            )
+            self._edge_mix = _mix64(edge_ids)
+            # Probabilities pre-quantised to 53-bit integer thresholds
+            # (see quantize_probability): the traversal compares hash
+            # bits against these directly, skipping a float conversion
+            # per examined row, and the Bernoulli law is p to within
+            # one part in 2^53.
+            self._thresholds = (
+                np.minimum(network.in_probs, 1.0) * float(1 << 53)
+            ).astype(np.uint64)
+
+    # -- drawing -------------------------------------------------------
+
+    def sample(self) -> tuple[int, np.ndarray]:
+        """One RR set ``(root, members)`` at the next unused key."""
+        key = self.draw_count
+        self.draw_count += 1
+        return self.regenerate(key)
+
+    def sample_batch(
+        self, count: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``count`` RR sets as ``(keys, roots, flat_members, offsets)``.
+
+        The keyed analogue of ``sample_many_flat``: consecutive keys
+        starting at :attr:`draw_count`, members concatenated in the
+        :meth:`RRCorpus.flat` layout.
+        """
+        if count < 0:
+            raise GraphError(f"count must be non-negative, got {count}")
+        keys = np.arange(
+            self.draw_count, self.draw_count + count, dtype=np.int64
+        )
+        self.draw_count += count
+        roots = np.empty(count, dtype=np.int64)
+        offsets = np.zeros(count + 1, dtype=np.int64)
+        buf = np.empty(max(1024, 4 * count), dtype=np.int64)
+        total = 0
+        for i in range(count):
+            root, mem = self.regenerate(int(keys[i]))
+            roots[i] = root
+            size = len(mem)
+            if total + size > len(buf):
+                grown = np.empty(
+                    max(2 * len(buf), total + size), dtype=np.int64
+                )
+                grown[:total] = buf[:total]
+                buf = grown
+            buf[total : total + size] = mem
+            total += size
+            offsets[i + 1] = total
+        flat = buf[:total].copy() if 2 * total < len(buf) else buf[:total]
+        return keys, roots, flat, offsets
+
+    def edge_coin_bits(self, keys, u: int, v: int) -> np.ndarray:
+        """The 53-bit coin of in-edge ``u -> v`` per slot key, vectorised.
+
+        This is how the streaming update avoids re-running most
+        head-touching slots: a slot that examined a changed edge's row
+        replays to a *different* set only if that edge's own coin flips
+        liveness under the probability change — every other coin in the
+        row is endpoint-keyed and unchanged.  Evaluating the coin
+        directly (a few hashes per candidate slot) is orders of
+        magnitude cheaper than a reverse traversal.  Returned in the
+        integer domain so callers compare against
+        :func:`quantize_probability` with exactly the traversal's
+        liveness rule (``bits < threshold``).
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        n = self.network.n
+        if not (0 <= u < n and 0 <= v < n):
+            raise GraphError(
+                f"edge endpoints must be in [0, {n}), got ({u}, {v})"
+            )
+        with np.errstate(over="ignore"):
+            slots = _mix64(self._seed64 ^ (keys.astype(np.uint64) * _GOLDEN))
+            edge = _mix64(np.uint64(u) * np.uint64(n) + np.uint64(v))
+            return _mix64(slots ^ edge) >> _U64_SHIFT_11
+
+    def regenerate(self, key: int) -> tuple[int, np.ndarray]:
+        """The RR set of slot ``key`` — pure in ``(seed, key, graph)``.
+
+        Does not advance :attr:`draw_count`: the streaming update calls
+        this for stored keys against the *new* network, and coupling
+        makes the result a fresh exact RR set of that network.
+        """
+        if key < 0:
+            raise GraphError(f"slot keys are non-negative, got {key}")
+        net = self.network
+        if net.n == 0:
+            raise GraphError("cannot sample from an empty network")
+        with np.errstate(over="ignore"):
+            slot = _mix64(self._seed64 ^ (np.uint64(key) * _GOLDEN))
+            root = int(_mix64(slot ^ _ROOT_SALT) % np.uint64(net.n))
+            return root, self._reverse_reach(slot, root)
+
+    # ------------------------------------------------------------------
+
+    def _reverse_reach(self, slot: np.uint64, root: int) -> np.ndarray:
+        """IC reverse traversal with hashed coins (LIFO, like the
+        sequential sampler — any order samples the same distribution
+        because each in-edge's coin is read exactly once, and here the
+        coin value itself is order-independent)."""
+        net = self.network
+        edge_mix = self._edge_mix
+        in_offsets = net.in_offsets
+        in_sources = net.in_sources
+        thresholds = self._thresholds
+        visited = {root}
+        stack = [root]
+        while stack:
+            x = stack.pop()
+            lo = int(in_offsets[x])
+            hi = int(in_offsets[x + 1])
+            if hi == lo:
+                continue
+            coins = _mix64(slot ^ edge_mix[lo:hi]) >> _U64_SHIFT_11
+            live = np.flatnonzero(coins < thresholds[lo:hi])
+            for j in live:
+                u = int(in_sources[lo + int(j)])
+                if u not in visited:
+                    visited.add(u)
+                    stack.append(u)
+        return np.asarray(sorted(visited), dtype=np.int64)

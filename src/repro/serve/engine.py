@@ -5,9 +5,10 @@ expose the same ``query(location, k) -> SeedResult`` online interface)
 and turns it into a serving component:
 
 * **result caching** — answers are cached by
-  ``(index fingerprint, quantized query cell, k)`` (see
-  :mod:`repro.serve.cache`), so hot query neighbourhoods are answered
-  from memory;
+  ``(index fingerprint, index generation, quantized query cell, k)``
+  (see :mod:`repro.serve.cache`), so hot query neighbourhoods are
+  answered from memory and an in-memory ``index.update()`` — which bumps
+  the generation — invalidates every stale entry at once;
 * **concurrent batches** — :meth:`QueryEngine.serve_batch` fans a batch
   over a thread pool.  Both indexes are read-only after construction
   (corpus, inverted index, arborescences, k-d trees), so concurrent
@@ -64,7 +65,7 @@ from repro.obs.log import get_logger
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.trace import Tracer, get_tracer, new_trace_id
 from repro.serve.cache import IndexCache, ResultCache
-from repro.serve.metrics import MetricsRegistry
+from repro.serve.metrics import MetricsRegistry, record_staleness
 
 AnyIndex = Union[RisDaIndex, MiaDaIndex]
 QueryLike = Union[DaimQuery, PointLike]
@@ -199,6 +200,46 @@ class QueryEngine:
         corpus = getattr(index, "corpus", None)
         if corpus is not None:
             corpus.inverted()
+        #: The last :class:`repro.stream.UpdateStats` applied through
+        #: :meth:`apply_update` (None until the first update).
+        self.last_update = None
+
+    # ------------------------------------------------------------------
+    # Streaming maintenance
+    # ------------------------------------------------------------------
+
+    def apply_update(self, delta) -> "object":
+        """Apply a :class:`repro.stream.GraphDelta` to the served index.
+
+        Delegates to ``index.update()`` (both families implement it),
+        refreshes the engine's network reference, and records the
+        staleness gauges.  Result-cache entries need no explicit flush:
+        the update bumps ``index.generation``, which is part of every
+        cache key.  The quantization grid keeps the build-time bounding
+        box — keys only need to be internally consistent, and reusing
+        the grid keeps pre-update and post-update keys from colliding
+        only through the generation, which is the point.
+        """
+        update = getattr(self.index, "update", None)
+        if update is None:
+            raise ServeError(
+                f"index of type {type(self.index).__name__} does not "
+                "support streaming updates"
+            )
+        stats = update(delta=delta)
+        self.network = self.index.network
+        self.last_update = stats
+        record_staleness(self.metrics, stats)
+        return stats
+
+    def refresh_staleness(self) -> None:
+        """Re-record the staleness gauges so the age gauge keeps ticking.
+
+        Called by metrics exporters right before a scrape; a no-op until
+        the first update.
+        """
+        if self.last_update is not None:
+            record_staleness(self.metrics, self.last_update)
 
     @classmethod
     def from_path(
@@ -384,7 +425,15 @@ class QueryEngine:
         tracer = self.tracer
         key = None
         if self._results is not None:
-            key = (self.fingerprint, self._grid.cell_of(location), k)
+            # The index generation is part of the key: an in-memory
+            # update() bumps it, so entries computed against the previous
+            # graph die immediately (an mtime-based fingerprint alone
+            # cannot see in-memory mutations).
+            key = (
+                self.fingerprint,
+                getattr(self.index, "generation", 0),
+                self._grid.cell_of(location), k,
+            )
             hit = self._results.get(key)
             if hit is not None:
                 elapsed = time.perf_counter() - start

@@ -1,13 +1,18 @@
-"""Lightweight serving metrics: counters and fixed-bucket histograms.
+"""Lightweight serving metrics: counters, gauges and fixed-bucket histograms.
 
 The online engine needs visibility into where latency goes — cache hit
 rates, the latency distribution, how many samples/evaluations each query
 actually consumed — without dragging in a metrics dependency.  This module
-is the minimal registry that covers those needs: named :class:`Counter`
-and :class:`Histogram` instruments created on first use, a structured
-:meth:`MetricsRegistry.dump` for programmatic consumers, and a
+is the minimal registry that covers those needs: named :class:`Counter`,
+:class:`Gauge` and :class:`Histogram` instruments created on first use, a
+structured :meth:`MetricsRegistry.dump` for programmatic consumers, and a
 :meth:`MetricsRegistry.report` text format for humans (printed by the
 ``serve-batch`` CLI and persisted by the throughput benchmark).
+
+Gauges carry point-in-time levels rather than event counts — the streaming
+update path uses them for index *staleness* (dirty-node fraction, retired
+samples, seconds since the last refresh), where a counter's monotonicity
+would be wrong.
 
 All instruments are thread-safe: the engine serves batches from a thread
 pool, so counters and histograms take a registry-wide lock per update
@@ -17,6 +22,7 @@ pool, so counters and histograms take a registry-wide lock per update
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 #: Default latency buckets, in milliseconds (upper bounds; +inf implicit).
@@ -28,6 +34,25 @@ LATENCY_BUCKETS_MS: Tuple[float, ...] = (
 #: Default buckets for count-valued distributions (samples used,
 #: marginal evaluations): powers of four cover 1 .. ~1e6 in 10 buckets.
 COUNT_BUCKETS: Tuple[float, ...] = tuple(float(4 ** i) for i in range(11))
+
+
+def record_staleness(metrics: "MetricsRegistry", stats,
+                     now: Optional[float] = None) -> None:
+    """Set the ``staleness_*`` gauges from one update's
+    :class:`repro.stream.UpdateStats`.
+
+    Called right after an ``update()`` and again at scrape time (so
+    ``staleness_seconds_since_refresh`` ages between updates).
+    """
+    now = time.time() if now is None else now
+    metrics.set_gauge("staleness_dirty_fraction", stats.dirty_fraction)
+    metrics.set_gauge("staleness_samples_retired",
+                      float(stats.samples_retired))
+    metrics.set_gauge("staleness_samples_added", float(stats.samples_added))
+    metrics.set_gauge("staleness_trees_rebuilt", float(stats.trees_rebuilt))
+    metrics.set_gauge("staleness_generation", float(stats.generation))
+    metrics.set_gauge("staleness_seconds_since_refresh",
+                      max(0.0, now - stats.updated_unix))
 
 
 class Counter:
@@ -46,6 +71,29 @@ class Counter:
 
     @property
     def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A named value that can go up and down (a level, not a count)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += float(delta)
+
+    @property
+    def value(self) -> float:
         return self._value
 
 
@@ -125,6 +173,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
@@ -133,6 +182,13 @@ class MetricsRegistry:
             if c is None:
                 c = self._counters[name] = Counter(name, self._lock)
         return c
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                g = self._gauges[name] = Gauge(name, self._lock)
+        return g
 
     def histogram(
         self, name: str, buckets: Optional[Sequence[float]] = None
@@ -153,6 +209,9 @@ class MetricsRegistry:
 
     def inc(self, name: str, n: int = 1) -> None:
         self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
 
     def observe(self, name: str, value: float,
                 buckets: Optional[Sequence[float]] = None) -> None:
@@ -185,6 +244,10 @@ class MetricsRegistry:
         """
         for name, value in dump.get("counters", {}).items():
             self.inc(prefix + name, int(value))
+        # Gauges are levels, not counts: the merged-in snapshot replaces
+        # whatever this registry held under the prefixed name.
+        for name, value in dump.get("gauges", {}).items():
+            self.set_gauge(prefix + name, float(value))
         for name, h in dump.get("histograms", {}).items():
             bounds = [
                 float(b["le"]) for b in h["buckets"]
@@ -210,9 +273,10 @@ class MetricsRegistry:
     # Output ----------------------------------------------------------------
 
     def dump(self) -> dict:
-        """Structured snapshot: ``{"counters": ..., "histograms": ...}``."""
+        """Structured snapshot: counters, gauges and histograms by name."""
         with self._lock:
             counters = {n: c._value for n, c in sorted(self._counters.items())}
+            gauges = {n: g._value for n, g in sorted(self._gauges.items())}
             histograms = {
                 n: {
                     "count": h.count,
@@ -227,7 +291,8 @@ class MetricsRegistry:
                 }
                 for n, h in sorted(self._histograms.items())
             }
-        return {"counters": counters, "histograms": histograms}
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
 
     def report(self) -> str:
         """Human-readable text report of every instrument."""
@@ -238,6 +303,12 @@ class MetricsRegistry:
             for name in sorted(self._counters):
                 c = self._counters[name]
                 lines.append(f"  {name:<{width}}  {c.value}")
+        if self._gauges:
+            lines.append("gauges:")
+            width = max(len(n) for n in self._gauges)
+            for name in sorted(self._gauges):
+                g = self._gauges[name]
+                lines.append(f"  {name:<{width}}  {g.value:g}")
         if self._histograms:
             lines.append("histograms:")
             for name in sorted(self._histograms):

@@ -24,6 +24,12 @@ late replies from a previous incarnation are dropped by task-id.  A
 batch therefore completes (with at-least-once execution of the affected
 sub-batches) as long as the parent survives.
 
+Streaming — :meth:`ServePool.apply_update` applies a
+:class:`~repro.stream.GraphDelta` to a parent-side copy of the index,
+republishes only the shared segments the update touched, and rotates
+workers one at a time onto the new generation; old workers drain their
+queued tasks before stopping, so no request fails during a rotation.
+
 Observability — the parent records routing metrics
 (``shard<i>_queries_total``, ``worker_restarts_total``) and the
 end-to-end ``latency_ms`` of every served query; each worker's own
@@ -39,19 +45,21 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import queue as queue_mod
+import threading
 import time
 import traceback
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.persistence import assemble_index, index_arrays
 from repro.core.query import DaimQuery
 from repro.exceptions import ServeError
 from repro.geo.grid import UniformGrid
 from repro.geo.point import BoundingBox, PointLike, as_point
 from repro.network.graph import GeoSocialNetwork
 from repro.obs.log import get_logger
-from repro.obs.trace import get_tracer, span_context, worker_span
+from repro.obs.trace import get_tracer, span_context, wall_now, worker_span
 from repro.serve.engine import QueryEngine, ServeConfig, ServedResult
-from repro.serve.metrics import MetricsRegistry
+from repro.serve.metrics import MetricsRegistry, record_staleness
 from repro.serve.shared import SharedIndexArrays, SharedIndexManifest, attach_index
 
 #: How long the collector waits on the result queue before checking
@@ -98,6 +106,7 @@ def _worker_main(
     task_q: "mp.Queue",
     result_q: "mp.Queue",
     untrack_shm: bool,
+    parent_pid: int,
 ) -> None:
     """Worker loop: attach the shared index, serve sub-batches forever.
 
@@ -114,7 +123,12 @@ def _worker_main(
     once the last attachment closes, the shared resource tracker
     reclaims them.
     """
-    parent_pid = os.getppid()
+    # parent_pid comes from the parent itself: reading os.getppid() here
+    # races with parent death — a worker first scheduled after the
+    # parent is gone would record the re-parented pid (1) and never
+    # detect the orphaning.
+    if os.getppid() != parent_pid:  # orphaned before first running
+        return
     handle, index = attach_index(manifest, network, untrack=untrack_shm)
     engine = QueryEngine(
         index, config=config, fingerprint=manifest.fingerprint
@@ -137,7 +151,11 @@ def _worker_main(
                 )
                 continue
             _, task_id, sub, ctx = msg
-            start_unix = time.time()
+            # wall_now() anchors to one wall-clock reading taken at
+            # import and advances by perf_counter, so a clock step while
+            # a batch is in flight cannot skew the span against the
+            # parent's monotonic deadlines.
+            start_unix = wall_now()
             t0 = time.perf_counter()
             try:
                 served = engine.serve_batch(
@@ -223,6 +241,14 @@ class ServePool:
         self._task_seq = 0
         self._closed = False
         self._metrics_merged = False
+        # Guards worker-slot mutation (rotation, revival) against
+        # concurrent submission.  Reentrant because _revive_dead
+        # resubmits through _submit while already holding it.
+        self._lock = threading.RLock()
+        self._update_lock = threading.Lock()
+        self._parent_index = None
+        self.last_update = None
+        self._base_fingerprint = self.fingerprint.split("#g", 1)[0]
         try:
             for wid in range(n_workers):
                 self._spawn(wid)
@@ -250,6 +276,7 @@ class ServePool:
                 # fork children share the parent's tracker and must not
                 # strip its registrations.
                 self._ctx.get_start_method() != "fork",
+                os.getpid(),
             ),
             name=f"repro-serve-{worker_id}",
             daemon=True,
@@ -342,39 +369,41 @@ class ServePool:
         return out  # type: ignore[return-value]
 
     def _submit(self, worker_id: int, sub, ctx, pending) -> None:
-        task_id = self._next_task_id()
-        pending[task_id] = (worker_id, sub)
-        task_q = self._task_qs[worker_id]
-        assert task_q is not None
-        task_q.put(("serve", task_id, sub, ctx))
+        with self._lock:
+            task_id = self._next_task_id()
+            pending[task_id] = (worker_id, sub)
+            task_q = self._task_qs[worker_id]
+            assert task_q is not None
+            task_q.put(("serve", task_id, sub, ctx))
 
     def _revive_dead(self, pending, ctx) -> None:
         """Restart crashed workers and resubmit their outstanding tasks."""
-        dead = {
-            wid for wid, proc in enumerate(self._workers)
-            if proc is not None and not proc.is_alive()
-        }
-        if not dead:
-            return
-        stranded = [
-            (task_id, wid, sub)
-            for task_id, (wid, sub) in pending.items()
-            if wid in dead
-        ]
-        for wid in dead:
-            proc = self._workers[wid]
-            if proc is not None:
-                proc.join(timeout=0)
-            old_q = self._task_qs[wid]
-            if old_q is not None:
-                old_q.close()
-            self.metrics.inc("worker_restarts_total")
-            if self.logger.enabled:
-                self.logger.event("worker_restart", worker=wid)
-            self._spawn(wid)
-        for task_id, wid, sub in stranded:
-            del pending[task_id]
-            self._submit(wid, sub, ctx, pending)
+        with self._lock:
+            dead = {
+                wid for wid, proc in enumerate(self._workers)
+                if proc is not None and not proc.is_alive()
+            }
+            if not dead:
+                return
+            stranded = [
+                (task_id, wid, sub)
+                for task_id, (wid, sub) in pending.items()
+                if wid in dead
+            ]
+            for wid in dead:
+                proc = self._workers[wid]
+                if proc is not None:
+                    proc.join(timeout=0)
+                old_q = self._task_qs[wid]
+                if old_q is not None:
+                    old_q.close()
+                self.metrics.inc("worker_restarts_total")
+                if self.logger.enabled:
+                    self.logger.event("worker_restart", worker=wid)
+                self._spawn(wid)
+            for task_id, wid, sub in stranded:
+                del pending[task_id]
+                self._submit(wid, sub, ctx, pending)
 
     def _unpack(self, q, k) -> Tuple[Tuple[float, float], int]:
         if isinstance(q, DaimQuery):
@@ -382,6 +411,99 @@ class ServePool:
         if k is None:
             raise ServeError("k is required when passing a bare location")
         return as_point(q), int(k)
+
+    # ------------------------------------------------------------------
+    # Streaming maintenance
+    # ------------------------------------------------------------------
+
+    def apply_update(self, delta):
+        """Apply a :class:`~repro.stream.GraphDelta` and rotate workers.
+
+        The parent keeps its own assembled index over the shared views
+        (built lazily on the first update), runs the index family's
+        ``update()`` on it, republishes only the arrays the update
+        actually changed (:meth:`SharedIndexArrays.republish`) under a
+        generation-suffixed fingerprint, and rotates workers one at a
+        time.  Each replacement is spawned against the successor
+        segments *before* its predecessor is told to stop, and a
+        stopping worker drains every task already queued to it first —
+        so a batch in flight during rotation completes with no failed
+        requests and serving never pauses pool-wide.  The replaced
+        segments are unlinked only after every old worker has exited.
+
+        The engine-side counters of rotated-out workers are not merged
+        (collecting them would race a concurrent batch on the shared
+        reply queue); parent-side routing metrics are unaffected.  The
+        shard router keeps the original bounding box — out-of-box query
+        locations clamp to edge cells, so routing stays deterministic
+        even when check-ins grow the network's extent.
+
+        Returns the family's :class:`~repro.stream.UpdateStats`.
+        """
+        if self._closed:
+            raise ServeError("pool is closed")
+        with self._update_lock:
+            if self._parent_index is None:
+                manifest = self._shared.manifest
+                self._parent_index = assemble_index(
+                    manifest.kind, self.network, manifest.meta,
+                    self._shared.arrays,
+                    source=f"shared index {manifest.fingerprint}",
+                )
+            stats = self._parent_index.update(delta=delta)
+            self.network = self._parent_index.network
+            kind, meta, arrays = index_arrays(self._parent_index)
+            fingerprint = f"{self._base_fingerprint}#g{stats.generation}"
+            successor, retired = self._shared.republish(
+                kind, meta, arrays, fingerprint
+            )
+            self._shared = successor
+            self.fingerprint = fingerprint
+            # Re-anchor the parent index onto the successor's views: the
+            # update left it holding views into the replaced segments
+            # (surviving RR members, unchanged trees), which must not
+            # outlive retired.unlink() — and private update-grown arrays
+            # would otherwise accumulate in the parent across updates.
+            self._parent_index = assemble_index(
+                kind, self.network, successor.manifest.meta,
+                successor.arrays, source=f"shared index {fingerprint}",
+            )
+            rotated: List[Tuple[Optional[mp.process.BaseProcess],
+                                Optional["mp.Queue"]]] = []
+            for wid in range(self.n_workers):
+                with self._lock:
+                    old_proc = self._workers[wid]
+                    old_q = self._task_qs[wid]
+                    self._spawn(wid)  # attaches the successor manifest
+                    if old_q is not None:
+                        # Queued behind any in-flight tasks: the old
+                        # worker answers them all before it sees this.
+                        try:
+                            old_q.put(("stop",))
+                        except (OSError, ValueError):  # pragma: no cover
+                            pass
+                rotated.append((old_proc, old_q))
+            for proc, _q in rotated:
+                if proc is None:
+                    continue
+                proc.join(timeout=_JOIN_SECONDS)
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+            for _proc, q in rotated:
+                if q is not None:
+                    q.close()
+            retired.unlink()
+            record_staleness(self.metrics, stats)
+            self.last_update = stats
+        return stats
+
+    def refresh_staleness(self) -> None:
+        """Re-record the staleness gauges from the last update so
+        ``staleness_seconds_since_refresh`` ages between scrapes
+        (mirrors :meth:`QueryEngine.refresh_staleness`)."""
+        if self.last_update is not None:
+            record_staleness(self.metrics, self.last_update)
 
     # ------------------------------------------------------------------
     # Teardown

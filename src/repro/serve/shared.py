@@ -32,6 +32,7 @@ Ownership: the *creating* process unlinks the segments / spill files
 
 from __future__ import annotations
 
+import itertools
 import json
 import tempfile
 from dataclasses import dataclass
@@ -45,6 +46,9 @@ from repro.core.persistence import PathLike, read_index_arrays
 from repro.exceptions import ServeError
 
 BACKINGS = ("shm", "mmap")
+
+#: Distinguishes successive republished spill files of one array name.
+_REPUBLISH_SEQ = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -199,6 +203,135 @@ class SharedIndexArrays:
             specs=tuple(specs),
         )
         return cls(manifest, arrays, segments, owner=True, spill_dir=spill)
+
+    def republish(
+        self,
+        kind: str,
+        meta: dict,
+        arrays: Dict[str, np.ndarray],
+        fingerprint: str,
+    ) -> Tuple["SharedIndexArrays", "SharedIndexArrays"]:
+        """A successor publication that reuses every unchanged segment.
+
+        For each array, the existing storage is kept when the new array
+        is the published view itself (zero-copy pass-through, detected by
+        ``np.shares_memory``) or byte-identical to it; only genuinely
+        changed arrays get fresh segments / spill files.  This is what
+        lets a streaming update republish an index while touching only
+        the corpus or tree segments, leaving pivot/anchor storage — and
+        the workers' mappings of it — alone.
+
+        Returns ``(successor, retired)``.  ``successor`` owns all live
+        storage (reused + new) and carries the new manifest; ``retired``
+        owns only the *replaced* storage and must be kept until every
+        worker attached to the old manifest has stopped, then
+        ``retired.unlink()``.  ``self`` is consumed: its resources have
+        been transferred and it is left closed and ownerless.
+        """
+        if not self._owner:
+            raise ServeError("only the owning publication can republish")
+        if self._closed:
+            raise ServeError("cannot republish a closed publication")
+        backing = self.manifest.backing
+        old_specs = {s.name: s for s in self.manifest.specs}
+        seq = next(_REPUBLISH_SEQ)
+        new_specs = []
+        new_arrays: Dict[str, np.ndarray] = {}
+        new_segments: Dict[str, shared_memory.SharedMemory] = {}
+        reused: set = set()
+        try:
+            for name, arr in arrays.items():
+                arr = np.ascontiguousarray(arr)
+                old_view = self.arrays.get(name)
+                spec = old_specs.get(name)
+                if (
+                    spec is not None
+                    and old_view is not None
+                    and tuple(arr.shape) == tuple(spec.shape)
+                    and arr.dtype.str == spec.dtype
+                    and (
+                        np.shares_memory(arr, old_view)
+                        or np.array_equal(arr, old_view)
+                    )
+                ):
+                    reused.add(name)
+                    new_specs.append(spec)
+                    new_arrays[name] = old_view
+                    if backing == "shm":
+                        new_segments[name] = self._segments[name]
+                    continue
+                if backing == "shm":
+                    seg = shared_memory.SharedMemory(
+                        create=True, size=max(arr.nbytes, 1)
+                    )
+                    view = np.ndarray(
+                        arr.shape, dtype=arr.dtype, buffer=seg.buf
+                    )
+                    view[...] = arr
+                    view.flags.writeable = False
+                    new_segments[name] = seg
+                    new_arrays[name] = view
+                    new_specs.append(SharedArraySpec(
+                        name=name, shape=tuple(arr.shape),
+                        dtype=arr.dtype.str, shm_name=seg.name,
+                    ))
+                else:
+                    assert self._spill_dir is not None
+                    npy = self._spill_dir / f"{name}.r{seq}.npy"
+                    np.save(npy, arr)
+                    new_arrays[name] = np.load(npy, mmap_mode="r")
+                    new_specs.append(SharedArraySpec(
+                        name=name, shape=tuple(arr.shape),
+                        dtype=arr.dtype.str, path=str(npy),
+                    ))
+        except BaseException:
+            for name, seg in new_segments.items():
+                if name not in reused:
+                    seg.close()
+                    seg.unlink()
+            raise
+        successor = SharedIndexArrays(
+            SharedIndexManifest(
+                kind=kind,
+                meta=json.loads(json.dumps(meta)),
+                fingerprint=fingerprint,
+                backing=backing,
+                specs=tuple(new_specs),
+            ),
+            new_arrays,
+            new_segments,
+            owner=True,
+            spill_dir=self._spill_dir,
+        )
+        retired = SharedIndexArrays(
+            SharedIndexManifest(
+                kind=self.manifest.kind,
+                meta=self.manifest.meta,
+                fingerprint=self.manifest.fingerprint,
+                backing=backing,
+                specs=tuple(
+                    s for n, s in old_specs.items() if n not in reused
+                ),
+            ),
+            {},
+            {
+                n: seg for n, seg in self._segments.items()
+                if n not in reused
+            },
+            owner=True,
+            # Spec-listed spill files are deleted on unlink; the spill
+            # directory itself now belongs to the successor (the rmdir
+            # attempt on a non-empty dir is a tolerated no-op).
+            spill_dir=self._spill_dir,
+        )
+        # self is consumed: everything it owned now lives in successor or
+        # retired, and double-close/unlink must not touch either.
+        self.arrays = {}
+        self._segments = {}
+        self._owner = False
+        self._spill_dir = None
+        self._closed = True
+        return successor, retired
 
     # -- worker side ---------------------------------------------------
 

@@ -1,0 +1,24 @@
+"""Streaming graph maintenance for evolving geo-social networks.
+
+Check-in workloads evolve continuously — new friendships, re-weighted
+edges, users moving — and a rebuild-only index turns every change into a
+stop-the-world event.  This package is the delta layer underneath the
+``update()`` methods on both index families:
+
+* :class:`~repro.stream.delta.GraphDelta` — a validated batch of edge
+  upserts, edge removals, and check-in moves (parsed from JSONL events
+  by :meth:`GraphDelta.from_events`);
+* :func:`~repro.stream.delta.apply_delta` — applies a delta to an
+  immutable :class:`~repro.network.graph.GeoSocialNetwork`, producing a
+  *new* network plus the dirty-node set that tells the index update
+  paths which samples / arborescences the change can possibly touch.
+"""
+
+from repro.stream.delta import (
+    DeltaResult,
+    GraphDelta,
+    UpdateStats,
+    apply_delta,
+)
+
+__all__ = ["DeltaResult", "GraphDelta", "UpdateStats", "apply_delta"]

@@ -1,0 +1,114 @@
+"""Boundary regressions for :meth:`UniformGrid.cell_of` / :meth:`cells_of`.
+
+Points sitting exactly on the box boundary (or outside it — streaming
+check-ins can move users out of the original extent) must land in a valid
+cell, never index out of range.  Zero-extent boxes (every user at one
+coordinate) get a tiny pad in ``__init__`` and must behave the same way.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geo.grid import UniformGrid
+from repro.geo.point import BoundingBox
+
+
+@pytest.fixture
+def grid():
+    return UniformGrid(BoundingBox(0.0, 0.0, 10.0, 8.0), rows=4, cols=5)
+
+
+class TestCellOfBoundaries:
+    def test_corners_land_in_corner_cells(self, grid):
+        assert grid.cell_of((0.0, 0.0)) == 0
+        assert grid.cell_of((10.0, 0.0)) == grid.cols - 1
+        assert grid.cell_of((0.0, 8.0)) == (grid.rows - 1) * grid.cols
+        assert grid.cell_of((10.0, 8.0)) == grid.n_cells - 1
+
+    def test_max_edges_clamp_to_last_row_col(self, grid):
+        # x == xmax would naively index col == cols; must clamp.
+        cell = grid.cell_of((10.0, 4.0))
+        assert cell % grid.cols == grid.cols - 1
+        cell = grid.cell_of((5.0, 8.0))
+        assert cell // grid.cols == grid.rows - 1
+
+    def test_min_edges_stay_in_first_row_col(self, grid):
+        assert grid.cell_of((0.0, 3.0)) % grid.cols == 0
+        assert grid.cell_of((7.0, 0.0)) // grid.cols == 0
+
+    def test_outside_points_clamp(self, grid):
+        assert grid.cell_of((-5.0, -5.0)) == 0
+        assert grid.cell_of((100.0, 100.0)) == grid.n_cells - 1
+        assert grid.cell_of((5.0, -1.0)) // grid.cols == 0
+        assert grid.cell_of((11.0, 4.5)) % grid.cols == grid.cols - 1
+
+    def test_all_cells_reachable_and_valid(self, grid):
+        rng = np.random.default_rng(1)
+        pts = np.column_stack([
+            rng.uniform(-2.0, 12.0, size=500),
+            rng.uniform(-2.0, 10.0, size=500),
+        ])
+        cells = [grid.cell_of(p) for p in pts]
+        assert min(cells) >= 0
+        assert max(cells) < grid.n_cells
+
+
+class TestCellsOfMatchesCellOf:
+    def test_vectorized_agrees_scalar_on_boundaries(self, grid):
+        pts = np.array([
+            [0.0, 0.0], [10.0, 0.0], [0.0, 8.0], [10.0, 8.0],
+            [10.0, 4.0], [5.0, 8.0], [-1.0, 4.0], [11.0, 9.0],
+            [2.5, 2.0], [7.5, 6.0],
+        ])
+        vec = grid.cells_of(pts)
+        scalar = np.array([grid.cell_of(p) for p in pts])
+        assert np.array_equal(vec, scalar)
+
+    def test_random_points_agree(self, grid):
+        rng = np.random.default_rng(2)
+        pts = np.column_stack([
+            rng.uniform(-2.0, 12.0, size=200),
+            rng.uniform(-2.0, 10.0, size=200),
+        ])
+        assert np.array_equal(
+            grid.cells_of(pts), [grid.cell_of(p) for p in pts]
+        )
+
+
+class TestZeroExtentBoxes:
+    """All-identical coordinates produce a degenerate box; the grid pads it."""
+
+    def test_point_box_is_padded(self):
+        box = BoundingBox.of_points(np.array([[3.0, 4.0], [3.0, 4.0]]))
+        grid = UniformGrid(box, rows=3, cols=3)
+        assert grid.box.width > 0
+        assert grid.box.height > 0
+
+    def test_cell_of_on_the_degenerate_point(self):
+        box = BoundingBox.of_points(np.full((5, 2), 7.0))
+        grid = UniformGrid(box, rows=2, cols=2)
+        cell = grid.cell_of((7.0, 7.0))
+        assert 0 <= cell < grid.n_cells
+
+    def test_cells_of_on_the_degenerate_point(self):
+        box = BoundingBox.of_points(np.full((5, 2), -1.5))
+        grid = UniformGrid(box, rows=4, cols=4)
+        cells = grid.cells_of(np.full((5, 2), -1.5))
+        assert np.all((cells >= 0) & (cells < grid.n_cells))
+
+    def test_zero_width_only(self):
+        # Collinear vertical points: width 0, height positive.
+        coords = np.array([[2.0, 0.0], [2.0, 5.0], [2.0, 10.0]])
+        box = BoundingBox.of_points(coords)
+        grid = UniformGrid(box, rows=3, cols=3)
+        cells = grid.cells_of(coords)
+        assert np.all((cells >= 0) & (cells < grid.n_cells))
+        assert len(np.unique(cells // grid.cols)) == 3
+
+    def test_cell_boxes_tile_padded_box(self):
+        box = BoundingBox.of_points(np.full((2, 2), 1.0))
+        grid = UniformGrid(box, rows=2, cols=2)
+        for cell in range(grid.n_cells):
+            cb = grid.cell_box(cell)
+            assert cb.width > 0
+            assert cb.height > 0

@@ -40,7 +40,7 @@ class TestJsonLogger:
         # the vocabulary itself is what the docs promise.
         assert {"query_start", "query_end", "cache_hit", "fallback",
                 "slow_query", "build_start", "build_progress", "build_end",
-                "serve_start", "serve_end", "http_request",
+                "index_update", "serve_start", "serve_end", "http_request",
                 "error"} == EVENTS
 
     def test_unserialisable_values_degrade_to_repr(self):

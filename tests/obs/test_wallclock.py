@@ -1,0 +1,52 @@
+"""Monotonic-anchored wall-clock timestamps (span staleness regression).
+
+Span timestamps used to mix ``time.time()`` (for ``start_unix``) with
+``perf_counter`` (for duration), so a wall-clock step — NTP slew, manual
+clock set — could make successive span starts go backwards.  ``wall_now``
+derives every timestamp from one wall-clock anchor plus ``perf_counter``
+offsets, so ordering and arithmetic are monotone by construction.
+"""
+
+import time
+
+from repro.obs.trace import Span, Tracer, wall_now
+
+
+class TestWallNow:
+    def test_close_to_system_clock(self):
+        assert abs(wall_now() - time.time()) < 5.0
+
+    def test_never_goes_backwards(self):
+        samples = [wall_now() for _ in range(1000)]
+        assert all(b >= a for a, b in zip(samples, samples[1:]))
+
+    def test_differences_match_perf_counter(self):
+        w0, p0 = wall_now(), time.perf_counter()
+        time.sleep(0.01)
+        w1, p1 = wall_now(), time.perf_counter()
+        assert abs((w1 - w0) - (p1 - p0)) < 1e-3
+
+
+class TestSpanTimestamps:
+    def test_start_unix_uses_wall_now(self):
+        tracer = Tracer()
+        before = wall_now()
+        with tracer.span("op") as span:
+            pass
+        after = wall_now()
+        assert before <= span.start_unix <= after
+
+    def test_sibling_spans_ordered(self):
+        tracer = Tracer()
+        starts = []
+        for _ in range(50):
+            with tracer.span("op") as span:
+                starts.append(span.start_unix)
+        assert all(b >= a for a, b in zip(starts, starts[1:]))
+
+    def test_duration_non_negative(self):
+        tracer = Tracer()
+        with tracer.span("op") as span:
+            time.sleep(0.001)
+        assert span.duration_ms is not None
+        assert span.duration_ms >= 1.0

@@ -1,0 +1,201 @@
+"""Streaming-maintenance behaviour of :class:`RRCorpus`.
+
+Covers the retirement path (``samples_touching`` / ``retire``), the
+conditioned replacement draws (``extend_touching``), slot re-randomization
+(``shuffle``), and — the regression this file exists for — that growth
+after :meth:`RRCorpus.from_arrays` invalidates *all three* caches
+together.  A corpus restored from persistence seeds its flat/roots caches
+with the supplied arrays; if ``append_flat`` missed one of them, queries
+after a streaming top-up would silently read a stale pool.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SamplingError
+from repro.ris.corpus import RRCorpus
+from repro.ris.rrset import RRSampler
+
+
+@pytest.fixture
+def corpus(small_net) -> RRCorpus:
+    c = RRCorpus(RRSampler(small_net, seed=4))
+    c.ensure(200)
+    return c
+
+
+def restored_copy(corpus, net, seed=4):
+    """Round-trip the corpus through its flat form, as persistence does."""
+    flat, offsets = corpus.flat()
+    return RRCorpus.from_arrays(
+        RRSampler(net, seed=seed), corpus.roots.copy(),
+        flat.copy(), offsets.copy(),
+    )
+
+
+class TestCacheInvalidationAfterRestore:
+    """Regression: growth after ``from_arrays`` must drop every cache."""
+
+    def test_flat_reflects_growth(self, corpus, small_net):
+        c = restored_copy(corpus, small_net)
+        flat_before, offsets_before = c.flat()
+        c.ensure(len(c) + 50)
+        flat_after, offsets_after = c.flat()
+        assert len(offsets_after) == len(c) + 1
+        assert offsets_after[-1] == len(flat_after)
+        # The restored prefix is preserved verbatim.
+        assert np.array_equal(flat_after[: len(flat_before)], flat_before)
+        assert np.array_equal(
+            offsets_after[: len(offsets_before)], offsets_before
+        )
+
+    def test_roots_reflect_growth(self, corpus, small_net):
+        c = restored_copy(corpus, small_net)
+        roots_before = c.roots.copy()
+        c.ensure(len(c) + 50)
+        assert len(c.roots) == len(c)
+        assert np.array_equal(c.roots[: len(roots_before)], roots_before)
+
+    def test_inverted_reflects_growth(self, corpus, small_net):
+        c = restored_copy(corpus, small_net)
+        c.inverted()  # populate the cache over the restored arrays
+        before = len(c)
+        c.ensure(before + 50)
+        inv_samples, inv_offsets = c.inverted()
+        assert inv_offsets[-1] == c.total_entries()
+        assert inv_samples.max() == len(c) - 1
+        # Every member entry of every new sample is routed in the index.
+        for i in range(before, len(c)):
+            for u in c.members(i):
+                window = inv_samples[inv_offsets[u]: inv_offsets[u + 1]]
+                assert i in window
+
+    def test_restored_flat_is_zero_copy(self, corpus, small_net):
+        flat, offsets = corpus.flat()
+        c = RRCorpus.from_arrays(
+            RRSampler(small_net, seed=4), corpus.roots, flat, offsets
+        )
+        flat2, offsets2 = c.flat()
+        assert np.shares_memory(flat2, flat)
+        assert np.shares_memory(offsets2, offsets)
+
+
+class TestSamplesTouching:
+    def test_matches_bruteforce(self, corpus):
+        nodes = np.array([3, 17, 50])
+        got = corpus.samples_touching(nodes)
+        want = [
+            i for i in range(len(corpus))
+            if np.intersect1d(corpus.members(i), nodes).size
+        ]
+        assert got.tolist() == want
+
+    def test_empty_touch_set(self, corpus):
+        assert corpus.samples_touching([]).size == 0
+
+    def test_out_of_range_rejected(self, corpus):
+        with pytest.raises(SamplingError, match="node ids"):
+            corpus.samples_touching([corpus.n_nodes])
+
+
+class TestRetire:
+    def test_survivors_keep_relative_order(self, corpus):
+        ids = corpus.samples_touching([5])
+        keep = np.ones(len(corpus), dtype=bool)
+        keep[ids] = False
+        expected_roots = corpus.roots[keep].tolist()
+        retired = corpus.retire(ids)
+        assert retired == len(ids)
+        assert corpus.roots.tolist() == expected_roots
+
+    def test_retired_samples_absent_from_inverted(self, corpus):
+        corpus.retire(corpus.samples_touching([5]))
+        assert corpus.samples_touching([5]).size == 0
+
+    def test_out_of_range_rejected(self, corpus):
+        with pytest.raises(SamplingError, match="sample ids"):
+            corpus.retire([len(corpus)])
+
+    def test_empty_retire_is_noop(self, corpus):
+        before = len(corpus)
+        assert corpus.retire([]) == 0
+        assert len(corpus) == before
+
+
+class TestExtendTouching:
+    def test_all_replacements_touch(self, corpus):
+        nodes = [8, 30]
+        before = len(corpus)
+        size = corpus.extend_touching(40, nodes)
+        assert size == before + 40
+        for i in range(before, size):
+            assert np.intersect1d(corpus.members(i), nodes).size > 0
+
+    def test_zero_count_is_noop(self, corpus):
+        before = len(corpus)
+        assert corpus.extend_touching(0, [1]) == before
+
+    def test_negative_count_rejected(self, corpus):
+        with pytest.raises(SamplingError, match="non-negative"):
+            corpus.extend_touching(-1, [1])
+
+    def test_empty_touch_set_rejected(self, corpus):
+        with pytest.raises(SamplingError, match="non-empty"):
+            corpus.extend_touching(5, [])
+
+    def test_out_of_range_nodes_rejected(self, corpus):
+        with pytest.raises(SamplingError, match="node ids"):
+            corpus.extend_touching(5, [corpus.n_nodes])
+
+    def test_deterministic_given_sampler_state(self, small_net):
+        runs = []
+        for _ in range(2):
+            c = RRCorpus(RRSampler(small_net, seed=21))
+            c.extend_touching(25, [2, 40])
+            flat, offsets = c.flat()
+            runs.append((c.roots.copy(), flat.copy(), offsets.copy()))
+        for a, b in zip(*runs):
+            assert np.array_equal(a, b)
+
+
+class TestShuffle:
+    def test_preserves_sample_multiset(self, corpus):
+        def signature(c):
+            return sorted(
+                (c.roots[i], tuple(sorted(c.members(i).tolist())))
+                for i in range(len(c))
+            )
+
+        before = signature(corpus)
+        corpus.shuffle(np.random.default_rng(3))
+        assert signature(corpus) == before
+
+    def test_deterministic_per_rng(self, corpus, small_net):
+        other = restored_copy(corpus, small_net)
+        corpus.shuffle(np.random.default_rng(7))
+        other.shuffle(np.random.default_rng(7))
+        assert corpus.roots.tolist() == other.roots.tolist()
+        for i in range(len(corpus)):
+            assert np.array_equal(corpus.members(i), other.members(i))
+
+    def test_caches_dropped(self, corpus):
+        flat_before, _ = corpus.flat()
+        corpus.inverted()
+        corpus.shuffle(np.random.default_rng(11))
+        flat_after, offsets_after = corpus.flat()
+        assert offsets_after[-1] == len(flat_after)
+        # Inverted index routes correctly post-shuffle.
+        ids = corpus.samples_touching([5])
+        for i in ids:
+            assert 5 in corpus.members(int(i))
+
+
+class TestReplaceSampler:
+    def test_swaps_future_growth(self, corpus, small_net):
+        replacement = RRSampler(small_net, seed=99)
+        corpus.replace_sampler(replacement)
+        assert corpus.sampler is replacement
+
+    def test_node_universe_checked(self, corpus, example_net):
+        with pytest.raises(SamplingError, match="covers"):
+            corpus.replace_sampler(RRSampler(example_net, seed=0))

@@ -1,0 +1,237 @@
+"""The counter-based (coupled) RR sampler and keyed-corpus plumbing.
+
+The contracts that make coupled streaming regeneration sound:
+
+* a slot is a pure function of ``(seed, key, graph)`` — same inputs,
+  bit-identical RR set, regardless of draw order or sampler instance;
+* slots with distinct keys are independent draws from the RR-set law
+  (the pool needs no conditioning and no shuffle);
+* re-running a slot on an updated graph changes its set **iff** a
+  changed edge's own coin flips liveness — everything else replays
+  bit-for-bit (common random numbers, keyed by edge endpoints).
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError, SamplingError
+from repro.ris.corpus import RRCorpus
+from repro.ris.coupled import CoupledRRSampler, quantize_probability
+from repro.ris.rrset import RRSampler
+from repro.stream.delta import GraphDelta, apply_delta
+
+
+@pytest.fixture
+def sampler(small_net):
+    return CoupledRRSampler(small_net, seed=11)
+
+
+class TestPurity:
+    def test_regenerate_is_pure(self, small_net):
+        a = CoupledRRSampler(small_net, seed=11)
+        b = CoupledRRSampler(small_net, seed=11)
+        for key in (0, 1, 17, 4096):
+            ra, ma = a.regenerate(key)
+            rb, mb = b.regenerate(key)
+            assert ra == rb
+            assert np.array_equal(ma, mb)
+
+    def test_sample_matches_regenerate(self, sampler):
+        root, members = sampler.sample()
+        r2, m2 = sampler.regenerate(0)
+        assert root == r2
+        assert np.array_equal(members, m2)
+        assert sampler.draw_count == 1
+
+    def test_batch_matches_slotwise_regeneration(self, sampler):
+        keys, roots, flat, offsets = sampler.sample_batch(50)
+        assert keys.tolist() == list(range(50))
+        for i, key in enumerate(keys):
+            root, members = sampler.regenerate(int(key))
+            assert roots[i] == root
+            assert np.array_equal(flat[offsets[i]: offsets[i + 1]], members)
+
+    def test_different_seeds_differ(self, small_net):
+        a = CoupledRRSampler(small_net, seed=1)
+        b = CoupledRRSampler(small_net, seed=2)
+        same = sum(
+            a.regenerate(k)[0] == b.regenerate(k)[0] for k in range(50)
+        )
+        assert same < 50
+
+    def test_members_sorted_and_contain_root(self, sampler):
+        for key in range(20):
+            root, members = sampler.regenerate(key)
+            assert root in members
+            assert np.array_equal(members, np.sort(members))
+
+
+class TestDistribution:
+    def test_roots_roughly_uniform(self, small_net):
+        sampler = CoupledRRSampler(small_net, seed=3)
+        _, roots, _, _ = sampler.sample_batch(4000)
+        counts = np.bincount(roots, minlength=small_net.n)
+        expected = 4000 / small_net.n
+        # Loose 6-sigma-ish band per node; a broken hash would
+        # concentrate mass and blow straight through it.
+        assert counts.max() < expected + 6 * np.sqrt(expected) + 1
+        assert counts.min() >= 0
+
+    def test_set_sizes_match_sequential_sampler(self, small_net):
+        """Hashed coins sample the same RR-set law as stream RNG coins."""
+        coupled = CoupledRRSampler(small_net, seed=5)
+        _, _, flat_c, off_c = coupled.sample_batch(3000)
+        seq = RRSampler(small_net, seed=5)
+        _, flat_s, off_s = seq.sample_many_flat(3000)
+        mean_c = len(flat_c) / 3000
+        mean_s = len(flat_s) / 3000
+        assert mean_c == pytest.approx(mean_s, rel=0.1)
+
+
+class TestCoupling:
+    @pytest.fixture
+    def upsert(self, small_net):
+        # A fresh edge into node 60 with a mid-sized probability, so
+        # both flipped and unflipped candidate slots exist.
+        delta = GraphDelta.make(edges=[(0, 60)], probabilities=[0.5])
+        return apply_delta(small_net, delta).network
+
+    def test_only_coin_flipped_slots_change(self, small_net, upsert):
+        before = CoupledRRSampler(small_net, seed=7)
+        after = CoupledRRSampler(upsert, seed=7)
+        changed, flipped = [], []
+        for key in range(400):
+            _, ma = before.regenerate(key)
+            _, mb = after.regenerate(key)
+            changed.append(not np.array_equal(ma, mb))
+            touches = 60 in ma
+            live = (
+                after.edge_coin_bits([key], 0, 60)[0]
+                < quantize_probability(0.5)
+            )
+            flipped.append(touches and live)
+        # Changing requires touching the head with a live new coin; the
+        # converse holds unless source 0 was already in the set.
+        for key, (c, f) in enumerate(zip(changed, flipped)):
+            if c:
+                assert f
+        assert any(changed)
+        assert any(not c for c in changed)
+
+    def test_edge_coin_bits_validates_endpoints(self, sampler, small_net):
+        with pytest.raises(GraphError, match="endpoints"):
+            sampler.edge_coin_bits([0], 0, small_net.n)
+
+    def test_edge_coin_rate_matches_probability(self, sampler):
+        bits = sampler.edge_coin_bits(np.arange(20000), 3, 4)
+        rate = float(np.mean(bits < quantize_probability(0.3)))
+        assert rate == pytest.approx(0.3, abs=0.02)
+
+
+class TestValidation:
+    def test_non_integer_seed_rejected(self, small_net):
+        with pytest.raises(GraphError, match="integer seed"):
+            CoupledRRSampler(small_net, seed=np.random.default_rng(0))
+
+    def test_negative_key_rejected(self, sampler):
+        with pytest.raises(GraphError, match="non-negative"):
+            sampler.regenerate(-1)
+
+    def test_negative_count_rejected(self, sampler):
+        with pytest.raises(GraphError, match="non-negative"):
+            sampler.sample_batch(-1)
+
+
+class TestKeyedCorpus:
+    @pytest.fixture
+    def corpus(self, small_net):
+        corpus = RRCorpus(CoupledRRSampler(small_net, seed=9))
+        corpus.ensure(300)
+        return corpus
+
+    def test_ensure_records_keys(self, corpus):
+        assert corpus.keyed
+        assert corpus.keys.tolist() == list(range(300))
+        assert corpus.next_key() == 300
+
+    def test_growth_continues_key_sequence(self, corpus):
+        corpus.ensure(350)
+        assert corpus.keys.tolist() == list(range(350))
+
+    def test_keyless_corpus_has_no_keys(self, small_net):
+        corpus = RRCorpus(RRSampler(small_net, seed=9))
+        corpus.ensure(10)
+        assert not corpus.keyed
+        assert corpus.keys is None
+        assert corpus.next_key() == 0
+
+    def test_retire_and_shuffle_keep_keys_aligned(self, corpus, small_net):
+        corpus.retire([0, 5, 17])
+        corpus.shuffle(np.random.default_rng(4))
+        sampler = corpus.sampler
+        keys = corpus.keys
+        for i in (0, 41, 150):
+            root, members = sampler.regenerate(int(keys[i]))
+            assert corpus.roots[i] == root
+            assert np.array_equal(corpus.members(i), members)
+
+    def test_regenerate_identity_on_unchanged_graph(self, corpus):
+        flat0, off0 = (a.copy() for a in corpus.flat())
+        corpus.regenerate(np.arange(len(corpus)))
+        flat1, off1 = corpus.flat()
+        assert np.array_equal(flat0, flat1)
+        assert np.array_equal(off0, off1)
+
+    def test_regenerate_validates(self, corpus, small_net):
+        with pytest.raises(SamplingError, match="sample ids"):
+            corpus.regenerate([len(corpus)])
+        keyless = RRCorpus(RRSampler(small_net, seed=1))
+        keyless.ensure(5)
+        with pytest.raises(SamplingError, match="keyed corpus"):
+            keyless.regenerate([0])
+
+    def test_regenerate_empty_is_noop(self, corpus):
+        assert corpus.regenerate([]) == 0
+
+    def test_append_flat_key_contract(self, corpus, small_net):
+        with pytest.raises(SamplingError, match="keyed corpora"):
+            corpus.append_flat(
+                np.asarray([0]), np.asarray([0]), np.asarray([0, 1])
+            )
+        keyless = RRCorpus(RRSampler(small_net, seed=1))
+        with pytest.raises(SamplingError, match="keyless"):
+            keyless.append_flat(
+                np.asarray([0]), np.asarray([0]), np.asarray([0, 1]),
+                keys=np.asarray([7]),
+            )
+        with pytest.raises(SamplingError, match="batch keys"):
+            corpus.append_flat(
+                np.asarray([0]), np.asarray([0]), np.asarray([0, 1]),
+                keys=np.asarray([7, 8]),
+            )
+
+    def test_replace_sampler_requires_coupled(self, corpus, small_net):
+        with pytest.raises(SamplingError, match="coupled"):
+            corpus.replace_sampler(RRSampler(small_net, seed=2))
+
+    def test_extend_touching_rejected_on_keyed(self, corpus):
+        with pytest.raises(SamplingError, match="regenerate"):
+            corpus.extend_touching(1, [0])
+
+    def test_from_arrays_key_round_trip(self, corpus):
+        flat, offsets = corpus.flat()
+        restored = RRCorpus.from_arrays(
+            corpus.sampler, corpus.roots, flat, offsets, keys=corpus.keys
+        )
+        assert restored.keyed
+        assert restored.keys.tolist() == corpus.keys.tolist()
+        restored.ensure(len(corpus) + 10)
+        assert restored.next_key() == len(corpus) + 10
+
+    def test_from_arrays_key_shape_validated(self, corpus):
+        flat, offsets = corpus.flat()
+        with pytest.raises(SamplingError, match="keys"):
+            RRCorpus.from_arrays(
+                corpus.sampler, corpus.roots, flat, offsets,
+                keys=corpus.keys[:-1],
+            )

@@ -1,0 +1,114 @@
+"""Gauges and the staleness instrumentation of the metrics registry."""
+
+import numpy as np
+import pytest
+
+from repro.obs.prom import parse_prometheus, render_prometheus
+from repro.serve.metrics import MetricsRegistry, record_staleness
+from repro.stream.delta import UpdateStats
+
+
+@pytest.fixture
+def stats():
+    return UpdateStats(
+        generation=3, dirty_nodes=7, dirty_fraction=0.05, moved_nodes=2,
+        samples_retired=120, samples_added=150, trees_rebuilt=0,
+        seconds=0.4, updated_unix=1_000_000.0,
+    )
+
+
+class TestGauge:
+    def test_set_and_value(self):
+        m = MetricsRegistry()
+        g = m.gauge("inflight")
+        g.set(4.0)
+        assert g.value == 4.0
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_add_moves_both_ways(self):
+        m = MetricsRegistry()
+        g = m.gauge("level")
+        g.add(3.0)
+        g.add(-1.0)
+        assert g.value == 2.0
+
+    def test_set_gauge_shorthand(self):
+        m = MetricsRegistry()
+        m.set_gauge("depth", 9.0)
+        assert m.gauge("depth").value == 9.0
+
+    def test_same_name_same_instrument(self):
+        m = MetricsRegistry()
+        assert m.gauge("x") is m.gauge("x")
+
+
+class TestDumpAndMerge:
+    def test_dump_includes_gauges(self):
+        m = MetricsRegistry()
+        m.set_gauge("a", 1.0)
+        m.set_gauge("b", -2.5)
+        assert m.dump()["gauges"] == {"a": 1.0, "b": -2.5}
+
+    def test_merge_dump_replaces_gauges(self):
+        """Gauges are levels: merging a snapshot overwrites, never adds."""
+        parent = MetricsRegistry()
+        parent.set_gauge("worker.depth", 100.0)
+        child = MetricsRegistry()
+        child.set_gauge("depth", 3.0)
+        parent.merge_dump(child.dump(), prefix="worker.")
+        assert parent.gauge("worker.depth").value == 3.0
+
+    def test_report_lists_gauges(self):
+        m = MetricsRegistry()
+        m.set_gauge("staleness_generation", 2.0)
+        assert "staleness_generation" in m.report()
+
+
+class TestRecordStaleness:
+    def test_sets_all_six_gauges(self, stats):
+        m = MetricsRegistry()
+        record_staleness(m, stats, now=1_000_010.0)
+        d = m.dump()["gauges"]
+        assert d["staleness_dirty_fraction"] == pytest.approx(0.05)
+        assert d["staleness_samples_retired"] == 120.0
+        assert d["staleness_samples_added"] == 150.0
+        assert d["staleness_trees_rebuilt"] == 0.0
+        assert d["staleness_generation"] == 3.0
+        assert d["staleness_seconds_since_refresh"] == pytest.approx(10.0)
+
+    def test_age_never_negative(self, stats):
+        m = MetricsRegistry()
+        record_staleness(m, stats, now=stats.updated_unix - 5.0)
+        assert m.gauge("staleness_seconds_since_refresh").value == 0.0
+
+    def test_rescrape_ages_the_gauge(self, stats):
+        m = MetricsRegistry()
+        record_staleness(m, stats, now=1_000_001.0)
+        first = m.gauge("staleness_seconds_since_refresh").value
+        record_staleness(m, stats, now=1_000_042.0)
+        second = m.gauge("staleness_seconds_since_refresh").value
+        assert second > first
+        assert second == pytest.approx(42.0)
+
+
+class TestPrometheusRoundTrip:
+    def test_gauges_rendered_and_parsed(self, stats):
+        m = MetricsRegistry()
+        record_staleness(m, stats, now=1_000_010.0)
+        text = render_prometheus(m, namespace="repro")
+        parsed = parse_prometheus(text)
+        assert parsed.types["repro_staleness_generation"] == "gauge"
+        assert parsed.value("repro_staleness_generation") == 3.0
+        assert parsed.value("repro_staleness_samples_retired") == 120.0
+        assert parsed.value(
+            "repro_staleness_seconds_since_refresh"
+        ) == pytest.approx(10.0, abs=1e-6)
+
+    def test_gauges_alongside_counters(self):
+        m = MetricsRegistry()
+        m.inc("requests", 5)
+        m.set_gauge("staleness_generation", 1.0)
+        parsed = parse_prometheus(render_prometheus(m))
+        assert parsed.value("repro_requests") == 5.0
+        assert parsed.value("repro_staleness_generation") == 1.0

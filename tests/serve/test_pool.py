@@ -276,7 +276,11 @@ class TestPoolTeardown:
                 return False
             return True
 
-        deadline = time.monotonic() + 15.0
+        # Covers the worst case: a worker first scheduled after the
+        # parent died exits immediately via the parent-supplied pid
+        # check, but the 1 s orphan poll plus resource-tracker cleanup
+        # still need a few seconds under load.
+        deadline = time.monotonic() + 30.0
         while time.monotonic() < deadline:
             if _all_gone():
                 break

@@ -1,0 +1,217 @@
+"""Streaming updates through a running :class:`ServePool`.
+
+The rotation contract: ``apply_update`` republishes only the changed
+segments and swaps workers one at a time, so a pool keeps answering
+queries — with zero failed requests — while its index moves to the next
+generation.
+"""
+
+import random
+import threading
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.core.persistence import save_ris_index
+from repro.core.ris_da import RisDaConfig, RisDaIndex
+from repro.exceptions import ServeError
+from repro.geo.weights import DistanceDecay
+from repro.serve.engine import QueryEngine, ServeConfig
+from repro.serve.pool import ServePool
+from repro.stream.delta import GraphDelta, apply_delta
+
+
+@pytest.fixture(scope="module")
+def decay():
+    return DistanceDecay(alpha=0.02)
+
+
+@pytest.fixture(scope="module")
+def ris_cfg():
+    return RisDaConfig(
+        k_max=4, n_pivots=5, epsilon_pivot=0.45,
+        max_index_samples=4000, seed=6,
+    )
+
+
+@pytest.fixture(scope="module")
+def ris_path(small_net, decay, ris_cfg, tmp_path_factory):
+    path = tmp_path_factory.mktemp("stream-pool") / "ris.npz"
+    save_ris_index(RisDaIndex(small_net, decay, ris_cfg), path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def delta():
+    return GraphDelta.make(
+        edges=[(0, 60), (12, 90), (33, 101)],
+        probabilities=[0.2, 0.25, 0.15],
+        checkins=[(5, 30.0, 40.0)],
+    )
+
+
+@pytest.fixture(scope="module")
+def queries(small_net):
+    box = small_net.bounding_box()
+    rng = random.Random(23)
+    return [
+        (rng.uniform(box.xmin, box.xmax), rng.uniform(box.ymin, box.ymax))
+        for _ in range(12)
+    ]
+
+
+class TestApplyUpdate:
+    def test_stats_fingerprint_and_staleness(self, small_net, ris_path, delta):
+        with ServePool(ris_path, small_net, n_workers=2) as pool:
+            assert "#g" not in pool.fingerprint
+            stats = pool.apply_update(delta)
+            assert stats.generation == 1
+            assert pool.last_update is stats
+            assert pool.fingerprint.endswith("#g1")
+            gauges = pool.metrics.dump()["gauges"]
+            assert gauges["staleness_generation"] == 1.0
+            served = pool.serve_batch([(50.0, 50.0)], k=3)
+            assert served[0].ok
+
+    def test_post_update_parity_with_fresh_engine(
+        self, small_net, decay, ris_cfg, ris_path, delta, queries
+    ):
+        final_net = apply_delta(small_net, delta).network
+        with ServePool(
+            ris_path, small_net, n_workers=2,
+            config=ServeConfig(n_threads=2),
+        ) as pool:
+            pool.apply_update(delta)
+            served = pool.serve_batch(queries, k=4)
+            assert all(s.ok for s in served)
+            # The pool's updated network matches the delta applied
+            # offline.
+            e1, p1 = pool.network.edge_array()
+            e2, p2 = final_net.edge_array()
+            assert e1.tolist() == e2.tolist()
+            assert p1.tolist() == p2.tolist()
+            # Serving parity: an in-process engine over the pool's own
+            # updated index must answer identically (same corpus, same
+            # kernels) — proving workers really serve generation 1.
+            # (The parent index views the pool's shared segments, so the
+            # reference must be computed before the pool closes.)
+            engine = QueryEngine(
+                pool._parent_index, config=ServeConfig(n_threads=2)
+            )
+            reference = engine.serve_batch(queries, k=4)
+        assert [s.result.seeds for s in served] == [
+            s.result.seeds for s in reference
+        ]
+
+    def test_sequential_updates_bump_generations(
+        self, small_net, ris_path, delta
+    ):
+        with ServePool(ris_path, small_net, n_workers=1) as pool:
+            first = pool.apply_update(delta)
+            second = pool.apply_update(
+                GraphDelta.make(edges=[(7, 80)], probabilities=[0.3])
+            )
+            assert (first.generation, second.generation) == (1, 2)
+            assert pool.fingerprint.endswith("#g2")
+            assert pool.serve_batch([(20.0, 20.0)], k=3)[0].ok
+
+    def test_refresh_staleness_noop_then_ages(self, small_net, ris_path, delta):
+        with ServePool(ris_path, small_net, n_workers=1) as pool:
+            pool.refresh_staleness()
+            assert "staleness_generation" not in pool.metrics.dump()["gauges"]
+            pool.apply_update(delta)
+            g = pool.metrics.gauge("staleness_seconds_since_refresh")
+            g.set(-1.0)
+            pool.refresh_staleness()
+            assert g.value >= 0.0
+
+    def test_update_on_closed_pool_rejected(self, small_net, ris_path, delta):
+        pool = ServePool(ris_path, small_net, n_workers=1)
+        pool.close()
+        with pytest.raises(ServeError, match="closed"):
+            pool.apply_update(delta)
+
+
+class TestRotationAvailability:
+    def test_no_failed_requests_during_rotation(
+        self, small_net, ris_path, delta, queries
+    ):
+        """Queries racing the update must all succeed, old or new gen."""
+        failures = []
+        done = threading.Event()
+
+        with ServePool(
+            ris_path, small_net, n_workers=2,
+            config=ServeConfig(n_threads=2),
+        ) as pool:
+
+            def hammer():
+                while not done.is_set():
+                    for s in pool.serve_batch(queries[:4], k=3):
+                        if not s.ok:
+                            failures.append(s.error)
+
+            t = threading.Thread(target=hammer)
+            t.start()
+            try:
+                pool.apply_update(delta)
+            finally:
+                done.set()
+                t.join(timeout=30.0)
+            assert not t.is_alive()
+            # And the pool still serves after the rotation settled.
+            assert all(s.ok for s in pool.serve_batch(queries, k=3))
+        assert failures == []
+
+    def test_workers_replaced_not_reused(self, small_net, ris_path, delta):
+        with ServePool(ris_path, small_net, n_workers=2) as pool:
+            old_pids = [p.pid for p in pool._workers]
+            pool.apply_update(delta)
+            new_pids = [p.pid for p in pool._workers]
+            assert set(old_pids).isdisjoint(new_pids)
+            assert all(p.is_alive() for p in pool._workers)
+
+
+class TestRotationCleanup:
+    def test_no_leaked_segments_after_update_and_close(
+        self, small_net, ris_path, delta
+    ):
+        pool = ServePool(ris_path, small_net, n_workers=2)
+        before = {
+            s.shm_name for s in pool._shared.manifest.specs
+            if s.shm_name is not None
+        }
+        pool.apply_update(delta)
+        after = {
+            s.shm_name for s in pool._shared.manifest.specs
+            if s.shm_name is not None
+        }
+        # Retired (replaced) segments are gone as soon as the rotation
+        # finishes; the rest await close().
+        for seg_name in before - after:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=seg_name)
+        pool.serve_batch([(50.0, 50.0)], k=3)
+        pool.close()
+        for seg_name in before | after:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=seg_name)
+
+    def test_unchanged_segments_survive_the_update(
+        self, small_net, ris_path, delta
+    ):
+        with ServePool(ris_path, small_net, n_workers=1) as pool:
+            before = {
+                s.name: s.shm_name for s in pool._shared.manifest.specs
+            }
+            pool.apply_update(delta)
+            after = {
+                s.name: s.shm_name for s in pool._shared.manifest.specs
+            }
+            assert set(before) == set(after)
+            reused = [n for n in before if before[n] == after[n]]
+            replaced = [n for n in before if before[n] != after[n]]
+            # The corpus changes; build-time constants (pivots etc.) are
+            # shared with the previous generation untouched.
+            assert replaced
+            assert reused

@@ -1,0 +1,149 @@
+"""Tests for repro.stream.delta (change batches and their application)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataFormatError, GraphError
+from repro.stream.delta import GraphDelta, apply_delta
+
+
+class TestGraphDeltaMake:
+    def test_empty(self):
+        d = GraphDelta.make()
+        assert d.is_empty
+        assert d.edges.shape == (0, 2)
+        assert d.checkin_coords.shape == (0, 2)
+
+    def test_upserts_require_probabilities(self):
+        with pytest.raises(GraphError, match="require probabilities"):
+            GraphDelta.make(edges=[(0, 1)])
+
+    def test_probability_shape_checked(self):
+        with pytest.raises(GraphError, match="shape"):
+            GraphDelta.make(edges=[(0, 1)], probabilities=[0.1, 0.2])
+
+    def test_probability_range_checked(self):
+        with pytest.raises(GraphError, match=r"\[0, 1\]"):
+            GraphDelta.make(edges=[(0, 1)], probabilities=[1.5])
+
+    def test_self_loops_rejected(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            GraphDelta.make(edges=[(3, 3)], probabilities=[0.1])
+
+    def test_nonfinite_checkin_rejected(self):
+        with pytest.raises(GraphError, match="finite"):
+            GraphDelta.make(checkins=[(0, float("nan"), 1.0)])
+
+    def test_checkin_rows(self):
+        d = GraphDelta.make(checkins=[(2, 1.5, -3.0), (0, 0.0, 0.0)])
+        assert d.checkin_nodes.tolist() == [2, 0]
+        assert d.checkin_coords.tolist() == [[1.5, -3.0], [0.0, 0.0]]
+
+
+class TestFromEvents:
+    def test_all_ops(self):
+        d = GraphDelta.from_events([
+            {"op": "edge", "u": 0, "v": 1, "p": 0.3},
+            {"op": "drop_edge", "u": 1, "v": 2},
+            {"op": "checkin", "node": 0, "x": 5.0, "y": 6.0},
+        ])
+        assert d.edges.tolist() == [[0, 1]]
+        assert d.probabilities.tolist() == [0.3]
+        assert d.removed.tolist() == [[1, 2]]
+        assert d.checkin_nodes.tolist() == [0]
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(DataFormatError, match="unknown op"):
+            GraphDelta.from_events([{"op": "rename_node", "u": 0}])
+
+    def test_malformed_event_rejected(self):
+        with pytest.raises(DataFormatError, match="malformed"):
+            GraphDelta.from_events([{"op": "edge", "u": 0}])  # missing v, p
+
+
+class TestApplyDelta:
+    def test_upsert_new_edge(self, example_net):
+        d = GraphDelta.make(edges=[(4, 2)], probabilities=[0.25])
+        res = apply_delta(example_net, d)
+        assert res.network.m == example_net.m + 1
+        edges, probs = res.network.edge_array()
+        keys = {(int(u), int(v)): p for (u, v), p in zip(edges, probs)}
+        assert keys[(4, 2)] == pytest.approx(0.25)
+        assert res.dirty_nodes.tolist() == [2, 4]
+        assert len(res.moved_nodes) == 0
+
+    def test_reweight_existing_edge(self, example_net):
+        d = GraphDelta.make(edges=[(0, 1)], probabilities=[0.9])
+        res = apply_delta(example_net, d)
+        assert res.network.m == example_net.m
+        edges, probs = res.network.edge_array()
+        keys = {(int(u), int(v)): p for (u, v), p in zip(edges, probs)}
+        assert keys[(0, 1)] == pytest.approx(0.9)
+
+    def test_remove_edge(self, example_net):
+        d = GraphDelta.make(removed=[(0, 1)])
+        res = apply_delta(example_net, d)
+        assert res.network.m == example_net.m - 1
+        edges, _ = res.network.edge_array()
+        assert [0, 1] not in edges.tolist()
+        assert res.dirty_nodes.tolist() == [0, 1]
+
+    def test_remove_missing_edge_raises(self, example_net):
+        d = GraphDelta.make(removed=[(4, 0)])
+        with pytest.raises(GraphError, match="non-existent"):
+            apply_delta(example_net, d)
+
+    def test_last_wins_upsert_then_remove(self, example_net):
+        d = GraphDelta.from_events([
+            {"op": "edge", "u": 0, "v": 1, "p": 0.9},
+            {"op": "drop_edge", "u": 0, "v": 1},
+        ])
+        res = apply_delta(example_net, d)
+        edges, _ = res.network.edge_array()
+        assert [0, 1] not in edges.tolist()
+
+    def test_last_wins_duplicate_upserts(self, example_net):
+        d = GraphDelta.from_events([
+            {"op": "edge", "u": 4, "v": 2, "p": 0.1},
+            {"op": "edge", "u": 4, "v": 2, "p": 0.7},
+        ])
+        res = apply_delta(example_net, d)
+        edges, probs = res.network.edge_array()
+        keys = {(int(u), int(v)): p for (u, v), p in zip(edges, probs)}
+        assert keys[(4, 2)] == pytest.approx(0.7)
+
+    def test_checkin_moves_coords_only(self, example_net):
+        d = GraphDelta.make(checkins=[(3, 9.0, 9.0)])
+        res = apply_delta(example_net, d)
+        assert res.network.m == example_net.m
+        assert res.network.coords[3].tolist() == [9.0, 9.0]
+        assert len(res.dirty_nodes) == 0
+        assert res.moved_nodes.tolist() == [3]
+
+    def test_out_of_range_endpoint_rejected(self, example_net):
+        d = GraphDelta.make(edges=[(0, 99)], probabilities=[0.1])
+        with pytest.raises(GraphError, match="endpoints"):
+            apply_delta(example_net, d)
+
+    def test_out_of_range_checkin_rejected(self, example_net):
+        d = GraphDelta.make(checkins=[(99, 0.0, 0.0)])
+        with pytest.raises(GraphError, match="check-in nodes"):
+            apply_delta(example_net, d)
+
+    def test_original_network_untouched(self, example_net):
+        before_edges, before_probs = example_net.edge_array()
+        before_coords = example_net.coords.copy()
+        d = GraphDelta.make(
+            edges=[(4, 2)], probabilities=[0.5], checkins=[(0, 7.0, 7.0)]
+        )
+        apply_delta(example_net, d)
+        after_edges, after_probs = example_net.edge_array()
+        assert np.array_equal(before_edges, after_edges)
+        assert np.array_equal(before_probs, after_probs)
+        assert np.array_equal(before_coords, example_net.coords)
+
+    def test_empty_delta_preserves_graph(self, example_net):
+        res = apply_delta(example_net, GraphDelta.make())
+        assert res.network.m == example_net.m
+        assert len(res.dirty_nodes) == 0
+        assert len(res.moved_nodes) == 0

@@ -1,0 +1,279 @@
+"""Update-vs-rebuild parity for the streaming maintenance paths.
+
+The contract under test: after an arbitrary ``update()`` sequence, the
+index answers queries as if it had been rebuilt from scratch over the
+final graph — bit-identically for MIA-DA (the construction is
+deterministic), and within sampling tolerance for RIS-DA (the corpus is
+a different but equally distributed sample pool).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mia_da import MiaDaConfig, MiaDaIndex
+from repro.core.persistence import load_ris_index, save_ris_index
+from repro.core.ris_da import RisDaConfig, RisDaIndex
+from repro.stream.delta import GraphDelta, apply_delta
+
+
+def random_deltas(net, rng, rounds=3, upserts=4, moves=2):
+    """A reproducible stream of delta batches against ``net``."""
+    batches = []
+    current = net
+    for _ in range(rounds):
+        edges, seen = [], set()
+        while len(edges) < upserts:
+            u, v = (int(z) for z in rng.integers(0, net.n, size=2))
+            if u != v and (u, v) not in seen:
+                seen.add((u, v))
+                edges.append((u, v))
+        probs = rng.uniform(0.05, 0.3, size=len(edges))
+        nodes = rng.choice(net.n, size=moves, replace=False)
+        checkins = [
+            (int(m), float(current.coords[m, 0] + rng.normal(0, 1.0)),
+             float(current.coords[m, 1] + rng.normal(0, 1.0)))
+            for m in nodes
+        ]
+        delta = GraphDelta.make(
+            edges=edges, probabilities=probs, checkins=checkins
+        )
+        batches.append(delta)
+        current = apply_delta(current, delta).network
+    return batches, current
+
+
+class TestRisUpdateParity:
+    @pytest.fixture(scope="class")
+    def setup(self, small_net):
+        from repro.geo.weights import DistanceDecay
+
+        decay = DistanceDecay(c=1.0, alpha=0.02)
+        cfg = RisDaConfig(
+            k_max=5, n_pivots=8, epsilon_pivot=0.4,
+            max_index_samples=6000, seed=3,
+        )
+        rng = np.random.default_rng(99)
+        batches, final = random_deltas(small_net, rng)
+        index = RisDaIndex(small_net, decay, cfg)
+        stats = [index.update(delta=d) for d in batches]
+        rebuilt = RisDaIndex(final, decay, cfg)
+        return index, rebuilt, final, stats
+
+    def test_generation_counts_updates(self, setup):
+        index, _, _, stats = setup
+        assert index.generation == 3
+        assert [s.generation for s in stats] == [1, 2, 3]
+
+    def test_network_swapped_to_final_graph(self, setup):
+        index, _, final, _ = setup
+        assert index.network.m == final.m
+        e1, p1 = index.network.edge_array()
+        e2, p2 = final.edge_array()
+        assert np.array_equal(e1, e2)
+        assert np.array_equal(p1, p2)
+        assert np.array_equal(index.network.coords, final.coords)
+
+    def test_corpus_restored_to_required_size(self, setup):
+        index, rebuilt, _, _ = setup
+        assert len(index.corpus) >= min(
+            index.index_samples_required, index.config.max_index_samples
+        )
+
+    def test_estimates_within_sampling_tolerance(self, setup, small_net):
+        index, rebuilt, _, _ = setup
+        box = small_net.bounding_box()
+        rng = np.random.default_rng(5)
+        rel_errors = []
+        for _ in range(5):
+            q = (rng.uniform(box.xmin, box.xmax),
+                 rng.uniform(box.ymin, box.ymax))
+            a = index.query(q, 4)
+            b = rebuilt.query(q, 4)
+            denom = max(abs(b.estimate), 1e-9)
+            rel_errors.append(abs(a.estimate - b.estimate) / denom)
+        # Individual queries are sampling-noisy; the batch-average
+        # relative gap must stay small if the pool is unbiased.
+        assert float(np.mean(rel_errors)) < 0.25
+
+    def test_seed_quality_matches_rebuild(self, setup, small_net):
+        """Updated-index seeds score comparably to rebuilt-index seeds.
+
+        Seed identity can differ (ties under sampling noise), so compare
+        what matters: both seed sets scored by the same method-independent
+        Monte-Carlo oracle on the final graph.
+        """
+        from repro.diffusion import monte_carlo_weighted_spread
+        from repro.geo.weights import DistanceDecay
+
+        index, rebuilt, final, _ = setup
+        decay = DistanceDecay(c=1.0, alpha=0.02)
+        box = small_net.bounding_box()
+        q = ((box.xmin + box.xmax) / 2, (box.ymin + box.ymax) / 2)
+        a = index.query(q, 4)
+        b = rebuilt.query(q, 4)
+        spread_a = monte_carlo_weighted_spread(
+            final, a.seeds, decay=decay, query=q, rounds=400, seed=17
+        )
+        spread_b = monte_carlo_weighted_spread(
+            final, b.seeds, decay=decay, query=q, rounds=400, seed=17
+        )
+        assert spread_a.value >= 0.85 * spread_b.value
+
+    def test_update_stats_accounting(self, setup):
+        _, _, _, stats = setup
+        for s in stats:
+            assert s.dirty_nodes > 0
+            assert 0.0 < s.dirty_fraction <= 1.0
+            assert s.samples_retired >= 0
+            assert s.samples_added >= s.samples_retired
+            assert s.trees_rebuilt == 0
+            assert s.seconds >= 0.0
+            assert s.moved_nodes == 2
+
+    def test_generation_survives_persistence(self, setup, tmp_path):
+        index, _, final, _ = setup
+        path = tmp_path / "updated.npz"
+        save_ris_index(index, path)
+        loaded = load_ris_index(path, final)
+        assert loaded.generation == index.generation
+
+    def test_update_after_persistence_matches_in_memory(
+        self, small_net, tmp_path
+    ):
+        """Coupled determinism survives a save/load round-trip.
+
+        The stored slot keys plus the config seed reconstruct every
+        slot's randomness, so updating a reloaded index must produce
+        the exact corpus the original update produces.
+        """
+        from repro.geo.weights import DistanceDecay
+
+        decay = DistanceDecay(c=1.0, alpha=0.02)
+        cfg = RisDaConfig(
+            k_max=3, n_pivots=4, epsilon_pivot=0.5,
+            max_index_samples=1500, seed=8,
+        )
+        delta = GraphDelta.make(edges=[(2, 40)], probabilities=[0.4])
+        original = RisDaIndex(small_net, decay, cfg)
+        path = tmp_path / "ris.npz"
+        save_ris_index(original, path)
+        loaded = load_ris_index(path, small_net)
+        assert loaded.corpus.keyed
+        original.update(delta=delta)
+        loaded.update(delta=delta)
+        fa, oa = original.corpus.flat()
+        fb, ob = loaded.corpus.flat()
+        assert np.array_equal(fa, fb)
+        assert np.array_equal(oa, ob)
+        assert np.array_equal(original.corpus.keys, loaded.corpus.keys)
+
+    def test_keyless_fallback_refresh_parallel_built(self, small_net):
+        """Parallel-built corpora are keyless: update still works via
+        the retire/conditioned-resample/shuffle fallback."""
+        from repro.geo.weights import DistanceDecay
+
+        decay = DistanceDecay(c=1.0, alpha=0.02)
+        cfg = RisDaConfig(
+            k_max=3, n_pivots=4, epsilon_pivot=0.5,
+            max_index_samples=1500, seed=8, n_workers=2,
+        )
+        index = RisDaIndex(small_net, decay, cfg)
+        assert not index.corpus.keyed
+        prior = len(index.corpus)
+        stats = index.update(
+            delta=GraphDelta.make(edges=[(2, 40)], probabilities=[0.4])
+        )
+        assert stats.generation == 1
+        assert stats.samples_retired > 0
+        assert len(index.corpus) >= prior
+        box = small_net.bounding_box()
+        q = ((box.xmin + box.xmax) / 2, (box.ymin + box.ymax) / 2)
+        assert len(index.query(q, 3).seeds) == 3
+
+    def test_keyless_fallback_refresh_lt(self, example_net):
+        """LT diffusion has no per-edge coin identity to key, so its
+        corpora stay keyless and refresh by rejection."""
+        from repro.geo.weights import DistanceDecay
+
+        decay = DistanceDecay(c=1.0, alpha=0.02)
+        cfg = RisDaConfig(
+            k_max=2, n_pivots=3, epsilon_pivot=0.5,
+            max_index_samples=800, seed=8, diffusion="lt",
+        )
+        index = RisDaIndex(example_net, decay, cfg)
+        assert not index.corpus.keyed
+        stats = index.update(
+            delta=GraphDelta.make(edges=[(4, 0)], probabilities=[0.05])
+        )
+        assert stats.generation == 1
+        box = example_net.bounding_box()
+        q = ((box.xmin + box.xmax) / 2, (box.ymin + box.ymax) / 2)
+        assert len(index.query(q, 2).seeds) == 2
+
+    def test_update_is_deterministic(self, small_net):
+        from repro.geo.weights import DistanceDecay
+
+        decay = DistanceDecay(c=1.0, alpha=0.02)
+        cfg = RisDaConfig(
+            k_max=3, n_pivots=4, epsilon_pivot=0.5,
+            max_index_samples=1500, seed=12,
+        )
+        delta = GraphDelta.make(
+            edges=[(0, 50), (7, 99)], probabilities=[0.2, 0.15],
+            checkins=[(3, 1.0, 2.0)],
+        )
+        runs = []
+        for _ in range(2):
+            idx = RisDaIndex(small_net, decay, cfg)
+            idx.update(delta=delta)
+            flat, offsets = idx.corpus.flat()
+            runs.append((flat.copy(), offsets.copy(), idx.corpus.roots.copy()))
+        assert np.array_equal(runs[0][0], runs[1][0])
+        assert np.array_equal(runs[0][1], runs[1][1])
+        assert np.array_equal(runs[0][2], runs[1][2])
+
+
+class TestMiaUpdateParity:
+    @pytest.fixture(scope="class")
+    def setup(self, small_net):
+        from repro.geo.weights import DistanceDecay
+
+        decay = DistanceDecay(c=1.0, alpha=0.02)
+        cfg = MiaDaConfig(theta=0.05, n_anchors=24, tau=50, seed=3)
+        rng = np.random.default_rng(42)
+        batches, final = random_deltas(small_net, rng)
+        index = MiaDaIndex(small_net, decay, cfg)
+        stats = [index.update(delta=d) for d in batches]
+        rebuilt = MiaDaIndex(final, decay, cfg)
+        return index, rebuilt, final, stats
+
+    def test_bit_identical_queries(self, setup, small_net):
+        index, rebuilt, _, _ = setup
+        box = small_net.bounding_box()
+        rng = np.random.default_rng(8)
+        for _ in range(5):
+            q = (rng.uniform(box.xmin, box.xmax),
+                 rng.uniform(box.ymin, box.ymax))
+            a = index.query(q, 4)
+            b = rebuilt.query(q, 4)
+            assert list(a.seeds) == list(b.seeds)
+            assert a.estimate == b.estimate
+
+    def test_bit_identical_node_bounds(self, setup, small_net):
+        index, rebuilt, _, _ = setup
+        box = small_net.bounding_box()
+        q = ((box.xmin + box.xmax) / 2, (box.ymin + box.ymax) / 2)
+        lo_a, up_a = index.node_bounds(q)
+        lo_b, up_b = rebuilt.node_bounds(q)
+        assert np.array_equal(lo_a, lo_b)
+        assert np.array_equal(up_a, up_b)
+
+    def test_trees_rebuilt_counted(self, setup):
+        _, _, _, stats = setup
+        assert all(s.trees_rebuilt > 0 for s in stats)
+        assert all(s.samples_retired == 0 for s in stats)
+
+    def test_generation_counts_updates(self, setup):
+        index, _, _, stats = setup
+        assert index.generation == 3
+        assert [s.generation for s in stats] == [1, 2, 3]

@@ -1,0 +1,137 @@
+"""End-to-end tests for the ``update`` CLI subcommand."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.persistence import load_index
+from repro.network.io import read_network
+
+
+@pytest.fixture
+def dataset(tmp_path):
+    edges = tmp_path / "g.edges"
+    checkins = tmp_path / "g.ci"
+    rc = main([
+        "generate", "--dataset", "brightkite", "--scale", "0.05",
+        "--out-edges", str(edges), "--out-checkins", str(checkins),
+    ])
+    assert rc == 0
+    return edges, checkins
+
+
+@pytest.fixture
+def ris_index_path(dataset, tmp_path):
+    edges, checkins = dataset
+    path = tmp_path / "ris.npz"
+    rc = main([
+        "build-ris", "--edges", str(edges), "--checkins", str(checkins),
+        "--out", str(path), "--k-max", "4", "--pivots", "5",
+        "--epsilon-pivot", "0.45", "--max-samples", "4000", "--seed", "6",
+    ])
+    assert rc == 0
+    return path
+
+
+@pytest.fixture
+def deltas_path(tmp_path):
+    path = tmp_path / "deltas.jsonl"
+    path.write_text("\n".join([
+        json.dumps({"op": "edge", "u": 0, "v": 10, "p": 0.2}),
+        json.dumps({"op": "checkin", "node": 3, "x": 12.0, "y": 34.0}),
+    ]) + "\n")
+    return path
+
+
+class TestUpdateCommand:
+    def test_update_roundtrip(
+        self, dataset, ris_index_path, deltas_path, tmp_path, capsys
+    ):
+        edges, checkins = dataset
+        out = tmp_path / "updated.npz"
+        out_edges = tmp_path / "updated.edges"
+        out_checkins = tmp_path / "updated.ci"
+        rc = main([
+            "update", "--edges", str(edges), "--checkins", str(checkins),
+            "--index", str(ris_index_path), "--deltas", str(deltas_path),
+            "--out", str(out), "--out-edges", str(out_edges),
+            "--out-checkins", str(out_checkins),
+        ])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "generation 1" in stdout
+        # The saved index loads against the *written* network files and
+        # carries the bumped generation.
+        updated_net = read_network(out_edges, out_checkins)
+        kind, index = load_index(out, updated_net)
+        assert kind == "ris"
+        assert index.generation == 1
+        assert np.allclose(updated_net.coords[3], [12.0, 34.0])
+
+    def test_updated_index_answers_queries(
+        self, dataset, ris_index_path, deltas_path, tmp_path, capsys
+    ):
+        edges, checkins = dataset
+        out_edges = tmp_path / "u.edges"
+        out_checkins = tmp_path / "u.ci"
+        rc = main([
+            "update", "--edges", str(edges), "--checkins", str(checkins),
+            "--index", str(ris_index_path), "--deltas", str(deltas_path),
+            "--out-edges", str(out_edges), "--out-checkins", str(out_checkins),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main([
+            "query", "--edges", str(out_edges),
+            "--checkins", str(out_checkins),
+            "--index", str(ris_index_path), "--method", "ris",
+            "--x", "50", "--y", "50", "-k", "3",
+        ])
+        assert rc == 0
+        assert "RIS-DA" in capsys.readouterr().out
+
+    def test_method_mismatch_rejected(
+        self, dataset, ris_index_path, deltas_path, tmp_path, capsys
+    ):
+        edges, checkins = dataset
+        rc = main([
+            "update", "--edges", str(edges), "--checkins", str(checkins),
+            "--index", str(ris_index_path), "--deltas", str(deltas_path),
+            "--out-edges", str(tmp_path / "e"),
+            "--out-checkins", str(tmp_path / "c"),
+            "--method", "mia",
+        ])
+        assert rc == 2
+        assert "holds a RIS-DA index" in capsys.readouterr().err
+
+    def test_bad_delta_file_reports_line(
+        self, dataset, ris_index_path, tmp_path, capsys
+    ):
+        edges, checkins = dataset
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"op": "edge", "u": 0, "v": 1, "p": 0.1}\nnot json\n')
+        rc = main([
+            "update", "--edges", str(edges), "--checkins", str(checkins),
+            "--index", str(ris_index_path), "--deltas", str(bad),
+            "--out-edges", str(tmp_path / "e"),
+            "--out-checkins", str(tmp_path / "c"),
+        ])
+        assert rc == 2
+        assert "bad.jsonl:2" in capsys.readouterr().err
+
+    def test_empty_delta_file_rejected(
+        self, dataset, ris_index_path, tmp_path, capsys
+    ):
+        edges, checkins = dataset
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("\n")
+        rc = main([
+            "update", "--edges", str(edges), "--checkins", str(checkins),
+            "--index", str(ris_index_path), "--deltas", str(empty),
+            "--out-edges", str(tmp_path / "e"),
+            "--out-checkins", str(tmp_path / "c"),
+        ])
+        assert rc == 2
+        assert "no delta events" in capsys.readouterr().err
