@@ -19,9 +19,12 @@ query
     (indexed or ad-hoc), or a heuristic.
 serve-batch
     Answer a JSONL batch of queries against a prebuilt index through the
-    serving engine (result cache, thread pool, timeouts, metrics).  With
-    ``--processes N`` the batch is sharded across N pre-forked worker
-    processes that attach the index zero-copy via shared memory.
+    serving engine (result cache, thread pool, timeouts, metrics).  Each
+    line may carry a ``kind`` field — ``point`` (default), ``trajectory``,
+    ``targeted``, ``budgeted`` or ``heuristic`` (see
+    :mod:`repro.core.querykind`).  With ``--processes N`` the batch is
+    sharded across N pre-forked worker processes that attach the index
+    zero-copy via shared memory.
 serve-http
     Expose a prebuilt index over HTTP: ``/query``, ``/metrics``
     (Prometheus text format), ``/healthz`` and ``POST /admin/update``
@@ -56,8 +59,9 @@ from repro.core.persistence import (
     save_ris_index,
 )
 from repro.core.query import DaimQuery
+from repro.core.querykind import query_from_json, query_to_row
 from repro.core.ris_da import RisDaConfig, RisDaIndex
-from repro.exceptions import DataFormatError, ReproError
+from repro.exceptions import DataFormatError, QueryError, ReproError
 from repro.geo.weights import DistanceDecay
 from repro.network.datasets import DATASET_RECIPES, load_dataset
 from repro.network.io import read_network, write_network
@@ -288,9 +292,15 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
-def _read_query_batch(path: str, default_k: int) -> list[DaimQuery]:
-    """Parse a JSONL query file: one ``{"x":, "y":, "k":?}`` per line."""
-    queries: list[DaimQuery] = []
+def _read_query_batch(path: str, default_k: int) -> list:
+    """Parse a JSONL query file: one query object per line.
+
+    Every line is a ``kind``-tagged object parsed by
+    :func:`repro.core.querykind.query_from_json`; ``kind`` defaults to
+    ``"point"`` so the original ``{"x":, "y":, "k":?}`` format keeps
+    working unchanged.
+    """
+    queries: list = []
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
@@ -298,38 +308,37 @@ def _read_query_batch(path: str, default_k: int) -> list[DaimQuery]:
                 continue
             try:
                 obj = json.loads(line)
-                x, y = float(obj["x"]), float(obj["y"])
-                k = int(obj.get("k", default_k))
-            except (ValueError, KeyError, TypeError) as exc:
+                queries.append(query_from_json(obj, default_k))
+            except (ValueError, KeyError, TypeError, QueryError) as exc:
                 raise DataFormatError(
                     f"{path}:{lineno}: bad query line ({exc}); expected "
-                    '{"x": <float>, "y": <float>, "k": <int, optional>}'
+                    '{"x": <float>, "y": <float>, "k": <int, optional>} '
+                    'or a "kind"-tagged query object'
                 )
-            queries.append(DaimQuery((x, y), k))
     if not queries:
         raise DataFormatError(f"{path} holds no queries")
     return queries
 
 
-def _served_row(q: DaimQuery, sr) -> dict:
+def _served_row(q, sr) -> dict:
     """One JSONL output row for a served query.
 
-    Fallback answers are tagged ``"fallback": true`` and publish their
-    spread as ``heuristic_score``, never ``estimate`` — a degree-discount
-    score is not an Eq. 9 influence estimate and must not be mistaken for
-    one downstream.
+    Fallback and heuristic-ladder answers are tagged ``"fallback": true``
+    and publish their spread as ``heuristic_score``, never ``estimate``
+    — a degree-discount score is not an Eq. 9 influence estimate and
+    must not be mistaken for one downstream.  Rows echo the query's
+    ``kind`` (plus kind-specific parameters); trajectory rows add the
+    per-waypoint seed sets.
     """
-    row = {
-        "x": q.location[0],
-        "y": q.location[1],
-        "k": q.k,
-        "elapsed_ms": round(sr.elapsed * 1000, 3),
-        "cached": sr.cached,
-        "fallback": sr.fallback,
-        "fallback_reason": sr.fallback_reason,
-        "error": sr.error,
-        "trace_id": sr.trace_id,
-    }
+    row = query_to_row(q)
+    row.update(
+        elapsed_ms=round(sr.elapsed * 1000, 3),
+        cached=sr.cached,
+        fallback=sr.fallback,
+        fallback_reason=sr.fallback_reason,
+        error=sr.error,
+        trace_id=sr.trace_id,
+    )
     if sr.result is not None:
         row["seeds"] = [int(s) for s in sr.result.seeds]
         row["method"] = sr.result.method
@@ -337,6 +346,12 @@ def _served_row(q: DaimQuery, sr) -> dict:
             row["heuristic_score"] = sr.result.estimate
         else:
             row["estimate"] = sr.result.estimate
+    waypoint_results = getattr(sr, "waypoint_results", None)
+    if waypoint_results:
+        row["waypoint_seeds"] = [
+            [int(s) for s in r.seeds] for r in waypoint_results
+        ]
+        row["waypoint_estimates"] = [r.estimate for r in waypoint_results]
     return row
 
 

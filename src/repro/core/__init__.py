@@ -1,6 +1,8 @@
 """The paper's primary contribution: DAIM queries and the two indexes.
 
 * :mod:`repro.core.query` — query and result types;
+* :mod:`repro.core.querykind` — the richer query kinds the serving stack
+  understands (trajectory, targeted, budgeted, heuristic-ladder);
 * :mod:`repro.core.greedy` — Algorithm 1, the naive Monte-Carlo greedy
   (the gold-standard reference on small graphs);
 * :mod:`repro.core.bounds` — MIA-DA's anchor-point and region-based
@@ -17,6 +19,8 @@ from repro.core.bounds import AnchorBounds, RegionBounds
 from repro.core.greedy import naive_greedy
 from repro.core.heuristics import (
     degree_discount,
+    heuristic_ladder,
+    single_discount,
     top_degree,
     top_weight,
     top_weighted_degree,
@@ -31,25 +35,45 @@ from repro.core.persistence import (
     save_ris_index,
 )
 from repro.core.query import DaimQuery, SeedResult
+from repro.core.querykind import (
+    BudgetedQuery,
+    HeuristicQuery,
+    TargetedQuery,
+    TrajectoryQuery,
+    kind_of,
+    normalize_query,
+    query_from_json,
+    query_to_row,
+)
 from repro.core.ris_da import RisDaConfig, RisDaIndex
 
 __all__ = [
     "AnchorBounds",
+    "BudgetedQuery",
     "DaimQuery",
+    "HeuristicQuery",
     "MiaDaConfig",
     "MiaDaIndex",
     "RegionBounds",
     "RisDaConfig",
     "RisDaIndex",
     "SeedResult",
+    "TargetedQuery",
+    "TrajectoryQuery",
     "degree_discount",
+    "heuristic_ladder",
     "keyword_cover_query",
+    "kind_of",
+    "normalize_query",
+    "query_from_json",
+    "query_to_row",
     "load_mia_index",
     "load_ris_index",
     "multi_location_weights",
     "naive_greedy",
     "save_mia_index",
     "save_ris_index",
+    "single_discount",
     "top_degree",
     "top_weight",
     "top_weighted_degree",

@@ -392,12 +392,56 @@ class MiaDaIndex:
             if k is None:
                 raise QueryError("k is required when passing a bare location")
             location = q
+        return self._priority_query(location, k, return_diagnostics, mask=None)
+
+    def query_masked(
+        self,
+        q: PointLike,
+        k: int,
+        mask: np.ndarray,
+        return_diagnostics: bool = False,
+    ) -> SeedResult | Tuple[SeedResult, MiaQueryDiagnostics]:
+        """A targeted (bichromatic) query under a per-node weight mask.
+
+        MIA influence is linear in the node weights (``sigma_q(u) =
+        sum_v ap_u(v) * w(v, q)``), so masking multiplies the weights
+        into the lazy marginals and scales the anchor/region bounds:
+        ``lower * min(mask)`` and ``upper * max(mask)`` remain valid
+        singleton bounds.  With an all-ones mask both scalings are by
+        exactly 1.0, so the search is bit-identical to :meth:`query`.
+        """
+        mask = self._validate_mask(mask)
+        return self._priority_query(q, k, return_diagnostics, mask=mask)
+
+    def _validate_mask(self, mask: np.ndarray) -> np.ndarray:
+        mask = np.asarray(mask, dtype=float)
+        if mask.shape != (self.network.n,):
+            raise QueryError(
+                f"mask must have shape ({self.network.n},), got {mask.shape}"
+            )
+        if not np.all(mask >= 0):
+            raise QueryError("mask entries must be >= 0")
+        return mask
+
+    def _priority_query(
+        self,
+        location: PointLike,
+        k: int,
+        return_diagnostics: bool,
+        mask: np.ndarray | None,
+    ) -> SeedResult | Tuple[SeedResult, MiaQueryDiagnostics]:
         if not 0 < k <= self.network.n:
             raise QueryError(f"k must be in [1, {self.network.n}], got {k}")
 
         setup_start = time.perf_counter()
         weights = self.decay.weights(self.network.coords, location)
         lower, upper = self.node_bounds(location)
+        if mask is not None:
+            weights = weights * mask
+            # Influence is linear in weights, so scaling by the mask's
+            # range keeps the bounds valid (and exact for 0/1 extremes).
+            lower = lower * float(mask.min())
+            upper = upper * float(mask.max())
         setup_seconds = time.perf_counter() - setup_start
 
         start = time.perf_counter()
@@ -469,6 +513,119 @@ class MiaDaIndex:
                 setup_seconds=setup_seconds,
             )
         return result
+
+    def query_budgeted(
+        self,
+        q: PointLike,
+        budget: float,
+        costs: np.ndarray,
+        return_diagnostics: bool = False,
+    ) -> SeedResult | Tuple[SeedResult, MiaQueryDiagnostics]:
+        """Cost-aware priority search: ratio-keyed CELF under a budget.
+
+        The heap is keyed by ``bound / cost`` instead of the raw bound;
+        stale exact marginals remain valid upper bounds by submodularity,
+        so the CELF invariant carries over ratio-for-ratio (costs are
+        fixed).  Selection stops when the budget affords no remaining
+        candidate.  Nodes costing more than the *remaining* budget are
+        dropped permanently on pop — the remaining budget only shrinks.
+        With uniform power-of-two costs ``c`` and budget ``k * c`` the
+        ratio ordering equals the bound ordering (exact division), so
+        the selection matches :meth:`query` seed-for-seed; the Rule 1
+        lower-bound shortcut is not taken here, which can change
+        ``evaluations`` but never the seeds.
+        """
+        n = self.network.n
+        costs = np.asarray(costs, dtype=float)
+        if costs.shape != (n,):
+            raise QueryError(f"costs must have shape ({n},), got {costs.shape}")
+        if not np.all(costs > 0):
+            raise QueryError("all node costs must be positive")
+        budget = float(budget)
+        if not budget > 0:
+            raise QueryError(f"budget must be positive, got {budget}")
+        if budget < float(costs.min()):
+            raise QueryError(
+                f"budget {budget} cannot afford any node (cheapest costs "
+                f"{float(costs.min())})"
+            )
+
+        setup_start = time.perf_counter()
+        weights = self.decay.weights(self.network.coords, q)
+        _, upper = self.node_bounds(q)
+        setup_seconds = time.perf_counter() - setup_start
+
+        start = time.perf_counter()
+        state = _LazyMiaState(self.model, weights)
+        # (-bound/cost, node, version, bound): version as in query();
+        # the raw bound rides along so a selection can accumulate the
+        # exact marginal rather than un-dividing the ratio (float
+        # division does not invert exactly).
+        heap: list[tuple[float, int, int, float]] = [
+            (-float(upper[u]) / float(costs[u]), u, -1, float(upper[u]))
+            for u in range(n)
+        ]
+        heapq.heapify(heap)
+        seeds: list[int] = []
+        evaluations = 0
+        heap_pops = 0
+        selected: Set[int] = set()
+        estimate = 0.0
+        remaining = budget
+        while heap:
+            neg_ratio, u, version, bound = heapq.heappop(heap)
+            heap_pops += 1
+            if u in selected:
+                continue
+            if float(costs[u]) > remaining:
+                continue
+            if version == len(seeds):
+                state.add_seed(u)
+                seeds.append(u)
+                selected.add(u)
+                estimate += bound
+                remaining -= float(costs[u])
+                continue
+            gain = state.marginal(u)
+            evaluations += 1
+            heapq.heappush(
+                heap, (-gain / float(costs[u]), u, len(seeds), gain)
+            )
+        elapsed = time.perf_counter() - start
+        result = SeedResult(
+            seeds=seeds,
+            estimate=estimate,
+            method="MIA-DA",
+            elapsed=elapsed,
+            evaluations=evaluations,
+        )
+        if return_diagnostics:
+            return result, MiaQueryDiagnostics(
+                evaluations=evaluations,
+                heap_pops=heap_pops,
+                setup_seconds=setup_seconds,
+            )
+        return result
+
+    def query_trajectory(
+        self,
+        waypoints: Sequence[PointLike],
+        k: int,
+        return_diagnostics: bool = False,
+    ) -> list[SeedResult] | list[Tuple[SeedResult, MiaQueryDiagnostics]]:
+        """One seed set per waypoint.
+
+        MIA-DA's per-query state (weights, bounds, lazy tree states) all
+        depend on the location, so unlike the RIS backend there is no
+        cross-waypoint work to share — this is the plain loop, present
+        so both index families expose the same trajectory surface.
+        """
+        if not len(waypoints):
+            raise QueryError("trajectory needs at least one waypoint")
+        return [
+            self.query(wp, k, return_diagnostics=return_diagnostics)
+            for wp in waypoints
+        ]  # type: ignore[return-value]
 
     def query_many(
         self,

@@ -53,7 +53,7 @@ from repro.obs.progress import Heartbeat
 from repro.obs.trace import get_tracer
 from repro.ris.corpus import RRCorpus
 from repro.ris.coupled import CoupledRRSampler, quantize_probability
-from repro.ris.coverage import weighted_greedy_cover
+from repro.ris.coverage import weighted_budgeted_cover, weighted_greedy_cover
 from repro.ris.lower_bound import lb_est, lb_est_lt
 from repro.ris.parallel import ParallelRRSampler
 from repro.ris.rrset import RRSampler
@@ -645,6 +645,7 @@ class RisDaIndex:
         k: int,
         return_diagnostics: bool,
         deltas: Tuple[float, float],
+        mask: np.ndarray | None = None,
     ) -> SeedResult | Tuple[SeedResult, QueryDiagnostics]:
         start = time.perf_counter()
         cfg = self.config
@@ -662,12 +663,20 @@ class RisDaIndex:
         )
         l_used = min(l_required, len(self.corpus))
         guarantee = l_used >= l_required
+        if mask is not None and not bool(np.all(mask == 1.0)):
+            # The Lemma 8 sizing lower-bounds the *unmasked* optimum; a
+            # genuine mask shrinks OPT below it, so the (1 - 1/e - eps)
+            # certificate no longer transfers.  The estimate stays
+            # unbiased for the masked spread at any prefix length.
+            guarantee = False
 
         t_weights = time.perf_counter()
         roots = self.corpus.roots[:l_used]
         sample_weights = self.decay.weights(
             self.network.coords[roots], location
         )
+        if mask is not None:
+            sample_weights = sample_weights * mask[roots]
         weight_seconds = time.perf_counter() - t_weights
         # Serving default: no certification bound (certify.py draws its
         # own fresh samples and requests the bound explicitly there).
@@ -702,6 +711,200 @@ class RisDaIndex:
             )
             return result, diag
         return result
+
+    def _validate_mask(self, mask: np.ndarray) -> np.ndarray:
+        mask = np.asarray(mask, dtype=float)
+        if mask.shape != (self.network.n,):
+            raise QueryError(
+                f"mask must have shape ({self.network.n},), got {mask.shape}"
+            )
+        if not np.all(mask >= 0):
+            raise QueryError("mask entries must be >= 0")
+        return mask
+
+    def query_masked(
+        self,
+        q: PointLike,
+        k: int,
+        mask: np.ndarray,
+        return_diagnostics: bool = False,
+    ) -> SeedResult | Tuple[SeedResult, QueryDiagnostics]:
+        """A targeted (bichromatic) query: Eq. 9 over masked node weights.
+
+        ``mask`` is a per-node weight multiplier (0/1 for a target
+        subset): sample ``i``'s weight becomes ``w(v_i, q) * mask[v_i]``,
+        so only influence landing on masked-in nodes counts.  With an
+        all-ones mask this is bit-identical to :meth:`query` (multiplying
+        by 1.0 is exact); with a genuine mask the estimate remains
+        unbiased for the masked spread but ``guarantee_met`` reports
+        ``False`` — the Lemma 8 sizing bounds the unmasked optimum.
+        """
+        mask = self._validate_mask(mask)
+        deltas = self.config.resolved_deltas(self.network.n)
+        return self._query_at(as_point(q), k, return_diagnostics, deltas, mask=mask)
+
+    def query_budgeted(
+        self,
+        q: PointLike,
+        budget: float,
+        costs: np.ndarray,
+        return_diagnostics: bool = False,
+    ) -> SeedResult | Tuple[SeedResult, QueryDiagnostics]:
+        """Cost-aware seed selection under a total budget.
+
+        ``costs`` is a dense per-node cost vector; selection is the
+        gain/cost ratio greedy of
+        :func:`repro.ris.coverage.weighted_budgeted_cover` over the same
+        sized sample prefix a top-``k_eff`` query would use, where
+        ``k_eff = min(k_max, floor(budget / min cost))`` bounds how many
+        seeds the budget can possibly buy.  With uniform costs ``c`` and
+        budget ``k * c`` the answer is bit-identical to ``query(q, k)``.
+        """
+        start = time.perf_counter()
+        cfg = self.config
+        n = self.network.n
+        location = as_point(q)
+        costs = np.asarray(costs, dtype=float)
+        if costs.shape != (n,):
+            raise QueryError(f"costs must have shape ({n},), got {costs.shape}")
+        if not np.all(costs > 0):
+            raise QueryError("all node costs must be positive")
+        k_eff = min(self.k_max, int(float(budget) // float(costs.min())))
+        if k_eff < 1:
+            raise QueryError(
+                f"budget {budget} cannot afford any node (cheapest costs "
+                f"{float(costs.min())})"
+            )
+        delta_pivot, delta_online = cfg.resolved_deltas(n)
+        lb, diag = self._lower_bound_at(location, k_eff, delta_pivot)
+        if lb <= 0:
+            raise SamplingError(
+                f"lower bound collapsed to {lb} at {location}; the pivot "
+                "phase produced no usable estimate"
+            )
+        l_required = required_sample_size(
+            n, k_eff, self.decay.w_max, cfg.epsilon, delta_online - delta_pivot, lb
+        )
+        l_used = min(l_required, len(self.corpus))
+        guarantee = l_used >= l_required
+
+        t_weights = time.perf_counter()
+        roots = self.corpus.roots[:l_used]
+        sample_weights = self.decay.weights(self.network.coords[roots], location)
+        weight_seconds = time.perf_counter() - t_weights
+        cover = weighted_budgeted_cover(
+            self.corpus, sample_weights, costs, float(budget),
+            prefix=l_used, method=cfg.selection,
+        )
+        elapsed = time.perf_counter() - start
+        result = SeedResult(
+            seeds=cover.seeds,
+            estimate=cover.estimate,
+            method="RIS-DA",
+            elapsed=elapsed,
+            samples_used=l_used,
+        )
+        if return_diagnostics:
+            ct = cover.timings
+            diag = QueryDiagnostics(
+                pivot_index=diag.pivot_index,
+                pivot_distance=diag.pivot_distance,
+                lower_bound=lb,
+                samples_required=l_required,
+                samples_used=l_used,
+                guarantee_met=guarantee,
+                timings=QueryTimings(
+                    weight_eval=weight_seconds,
+                    score_build=ct.score_build if ct else 0.0,
+                    selection=ct.selection if ct else 0.0,
+                    bound=ct.bound if ct else 0.0,
+                    total=elapsed,
+                ),
+            )
+            return result, diag
+        return result
+
+    def query_trajectory(
+        self,
+        waypoints: Sequence[PointLike],
+        k: int,
+        return_diagnostics: bool = False,
+    ) -> list[SeedResult] | list[Tuple[SeedResult, QueryDiagnostics]]:
+        """Answer a trajectory: one seed set per waypoint, shared setup.
+
+        Equivalent to ``[query(wp, k) for wp in waypoints]`` bit-for-bit,
+        but the root-coordinate gather — the dominant per-query numpy
+        allocation besides selection itself — is done once at the largest
+        prefix any waypoint needs and sliced per waypoint, and the delta
+        resolution is hoisted out of the loop.  Only the distance-decay
+        evaluation and the greedy cover remain per-waypoint.
+        """
+        if not len(waypoints):
+            raise QueryError("trajectory needs at least one waypoint")
+        cfg = self.config
+        n = self.network.n
+        locs = [as_point(wp) for wp in waypoints]
+        delta_pivot, delta_online = cfg.resolved_deltas(n)
+        sized = []
+        for loc in locs:
+            lb, diag = self._lower_bound_at(loc, k, delta_pivot)
+            if lb <= 0:
+                raise SamplingError(
+                    f"lower bound collapsed to {lb} at {loc}; the pivot "
+                    "phase produced no usable estimate"
+                )
+            l_required = required_sample_size(
+                n, k, self.decay.w_max, cfg.epsilon,
+                delta_online - delta_pivot, lb,
+            )
+            l_used = min(l_required, len(self.corpus))
+            sized.append((loc, lb, diag, l_required, l_used))
+        l_max = max(s[4] for s in sized)
+        t_gather = time.perf_counter()
+        # One gather serves every waypoint: coords[roots[:l]] equals
+        # coords[roots[:l_max]][:l] value-for-value for any l <= l_max.
+        root_coords = self.network.coords[self.corpus.roots[:l_max]]
+        gather_seconds = time.perf_counter() - t_gather
+        out = []
+        for wi, (loc, lb, diag, l_required, l_used) in enumerate(sized):
+            start = time.perf_counter()
+            t_weights = time.perf_counter()
+            sample_weights = self.decay.weights(root_coords[:l_used], loc)
+            weight_seconds = time.perf_counter() - t_weights
+            if wi == 0:
+                weight_seconds += gather_seconds
+            cover = weighted_greedy_cover(
+                self.corpus, sample_weights, k, prefix=l_used,
+                compute_bound=False, method=cfg.selection,
+            )
+            elapsed = time.perf_counter() - start
+            result = SeedResult(
+                seeds=cover.seeds,
+                estimate=cover.estimate,
+                method="RIS-DA",
+                elapsed=elapsed,
+                samples_used=l_used,
+            )
+            if return_diagnostics:
+                ct = cover.timings
+                out.append((result, QueryDiagnostics(
+                    pivot_index=diag.pivot_index,
+                    pivot_distance=diag.pivot_distance,
+                    lower_bound=lb,
+                    samples_required=l_required,
+                    samples_used=l_used,
+                    guarantee_met=l_used >= l_required,
+                    timings=QueryTimings(
+                        weight_eval=weight_seconds,
+                        score_build=ct.score_build if ct else 0.0,
+                        selection=ct.selection if ct else 0.0,
+                        bound=ct.bound if ct else 0.0,
+                        total=elapsed,
+                    ),
+                )))
+            else:
+                out.append(result)
+        return out  # type: ignore[return-value]
 
     def query_many(
         self,

@@ -12,6 +12,11 @@ handler is all a scrape endpoint needs.  Endpoints:
 ``GET /query?x=..&y=..&k=..``
     One DAIM query through the :class:`~repro.serve.QueryEngine` (result
     cache, metrics, tracing all apply); JSON answer with the trace id.
+    ``kind=`` selects a query kind (default ``point``): ``targeted``
+    adds ``targets=1,2,3``; ``budgeted`` adds ``budget=`` plus optional
+    ``cost=`` / ``costs=node:cost,...``; ``trajectory`` replaces ``x``/
+    ``y`` with ``waypoints=x:y;x:y``; ``heuristic`` takes optional
+    ``level=`` / ``budget_ms=``.
 ``POST /admin/update``
     Apply a streaming graph delta — JSONL events in the request body,
     the same format the ``update`` CLI reads — through the engine's
@@ -33,6 +38,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
 from urllib.parse import parse_qs, urlsplit
 
+from repro.core.querykind import kind_of, query_from_json, query_to_row
 from repro.exceptions import ReproError, ServeError
 from repro.obs.log import get_logger
 from repro.obs.prom import render_prometheus
@@ -201,39 +207,86 @@ class ObsHttpServer:
         payload.update(self.health_extra)
         return payload
 
+    def _parse_query(self, params: Dict[str, list]):
+        """Build a query object from HTTP parameters.
+
+        Scalar fields pass straight through to
+        :func:`~repro.core.querykind.query_from_json` (which coerces the
+        strings); the compound ones use flat encodings —
+        ``targets=1,2,3``, ``waypoints=x:y;x:y``, ``costs=node:cost,...``
+        — since query strings have no nesting.
+        """
+        obj: Dict[str, Any] = {
+            key: vals[0] for key, vals in params.items() if vals
+        }
+        if "targets" in obj:
+            obj["targets"] = [t for t in str(obj["targets"]).split(",") if t]
+        if "waypoints" in obj:
+            pts = []
+            for part in str(obj["waypoints"]).split(";"):
+                part = part.strip()
+                if not part:
+                    continue
+                xy = part.split(":")
+                if len(xy) != 2:
+                    raise ValueError(
+                        f"waypoints must be x:y pairs separated by ';', "
+                        f"got {part!r}"
+                    )
+                pts.append([xy[0], xy[1]])
+            obj["waypoints"] = pts
+        if "costs" in obj:
+            pairs = []
+            for part in str(obj["costs"]).split(","):
+                part = part.strip()
+                if not part:
+                    continue
+                nc = part.split(":")
+                if len(nc) != 2:
+                    raise ValueError(
+                        f"costs must be node:cost pairs separated by ',', "
+                        f"got {part!r}"
+                    )
+                pairs.append([nc[0], nc[1]])
+            obj["costs"] = pairs
+        return query_from_json(obj, self.default_k)
+
     def _query(self, params: Dict[str, list]) -> tuple:
         if self.engine is None:
             return self._json(
                 404, {"error": "no engine attached; /query is disabled"}
             )
         try:
-            x = float(params["x"][0])
-            y = float(params["y"][0])
-            k = int(params.get("k", [self.default_k])[0])
-        except (KeyError, ValueError, IndexError):
-            return self._json(
-                400,
-                {"error": "need numeric query params x, y (and optional k)"},
-            )
+            query = self._parse_query(params)
+        except (ReproError, ValueError, TypeError) as exc:
+            return self._json(400, {"error": str(exc)})
         try:
-            served = self.engine.query((x, y), k=k)
+            served = self.engine.query(query)
         except ReproError as exc:
             return self._json(400, {"error": str(exc)})
-        payload: Dict[str, Any] = {
-            "x": x, "y": y, "k": k,
-            "trace_id": served.trace_id,
-            "elapsed_ms": round(served.elapsed * 1e3, 3),
-            "cached": served.cached,
-            "fallback": served.fallback,
-            "error": served.error,
-        }
+        payload: Dict[str, Any] = dict(query_to_row(query))
+        payload.update(
+            trace_id=served.trace_id,
+            elapsed_ms=round(served.elapsed * 1e3, 3),
+            cached=served.cached,
+            fallback=served.fallback,
+            error=served.error,
+        )
         if served.result is not None:
             payload["seeds"] = [int(s) for s in served.result.seeds]
             payload["method"] = served.result.method
-            if served.fallback:
+            if served.fallback or kind_of(query) == "heuristic":
                 payload["heuristic_score"] = served.result.estimate
             else:
                 payload["estimate"] = served.result.estimate
+        waypoint_results = getattr(served, "waypoint_results", None)
+        if waypoint_results:
+            payload["waypoint_seeds"] = [
+                [int(s) for s in r.seeds] for r in waypoint_results
+            ]
+            payload["waypoint_estimates"] = [
+                r.estimate for r in waypoint_results
+            ]
         return self._json(200 if served.ok else 500, payload)
 
     # -- lifecycle -----------------------------------------------------

@@ -12,6 +12,13 @@ into the Prometheus text exposition format (version 0.0.4):
   ``_min`` / ``_max`` and a ``_quantile{q="..."}`` gauge family carrying
   the registry's interpolated stage quantiles.
 
+The registry itself is label-blind; per-kind breakdowns are encoded in
+the instrument name by :func:`repro.serve.metrics.labelled` as
+``name{kind="point"}``.  The renderer splits that suffix back out into
+real Prometheus labels, sanitizing only the base name and emitting one
+``# TYPE`` line per family (so ``latency_ms`` and
+``latency_ms{kind="point"}`` share a family).
+
 :func:`parse_prometheus` is the minimal inverse used by tests and the CI
 smoke step: enough of the format to read back every sample this module
 writes (and to reject malformed output), not a general scrape client.
@@ -51,6 +58,22 @@ def sanitize_metric_name(name: str) -> str:
     return cleaned
 
 
+def _split_instrument(name: str) -> Tuple[str, str]:
+    """Split a :func:`repro.serve.metrics.labelled` name into
+    ``(base, label_text)``; plain names return ``(name, "")``."""
+    if name.endswith("}") and "{" in name:
+        base, _, rest = name.partition("{")
+        return base, rest[:-1]
+    return name, ""
+
+
+def _suffix(label_text: str, extra: str = "") -> str:
+    """Render a label suffix, merging instrument labels with sample-level
+    ones (``le=...``, ``q=...``); empty when there are no labels."""
+    inner = ",".join(filter(None, (label_text, extra)))
+    return f"{{{inner}}}" if inner else ""
+
+
 def _fmt(value: float) -> str:
     if value == float("inf"):
         return "+Inf"
@@ -67,36 +90,59 @@ def render_prometheus(
     """The registry as Prometheus text exposition format (0.0.4)."""
     dump = registry.dump()
     lines = []
-    for name, value in dump["counters"].items():
-        full = f"{namespace}_{sanitize_metric_name(name)}"
-        lines.append(f"# TYPE {full} counter")
-        lines.append(f"{full} {_fmt(float(value))}")
-    for name, value in dump.get("gauges", {}).items():
-        full = f"{namespace}_{sanitize_metric_name(name)}"
-        lines.append(f"# TYPE {full} gauge")
-        lines.append(f"{full} {_fmt(float(value))}")
-    for name, h in dump["histograms"].items():
-        full = f"{namespace}_{sanitize_metric_name(name)}"
-        lines.append(f"# TYPE {full} histogram")
-        cumulative = 0
-        for bucket in h["buckets"]:
-            cumulative += bucket["count"]
-            lines.append(
-                f'{full}_bucket{{le="{_fmt(bucket["le"])}"}} {cumulative}'
-            )
-        lines.append(f"{full}_sum {_fmt(h['sum'])}")
-        lines.append(f"{full}_count {h['count']}")
-        if h["count"]:
-            lines.append(f"# TYPE {full}_min gauge")
-            lines.append(f"{full}_min {_fmt(h['min'])}")
-            lines.append(f"# TYPE {full}_max gauge")
-            lines.append(f"{full}_max {_fmt(h['max'])}")
-            lines.append(f"# TYPE {full}_quantile gauge")
-            hist = registry.histogram(name)
-            for q in QUANTILES:
+
+    def scalar_family(items, type_name: str) -> None:
+        # Group labelled variants under their base so each family gets
+        # exactly one TYPE line and contiguous samples.
+        groups: Dict[str, list] = {}
+        for name, value in items:
+            base, label_text = _split_instrument(name)
+            groups.setdefault(base, []).append((label_text, value))
+        for base, entries in groups.items():
+            full = f"{namespace}_{sanitize_metric_name(base)}"
+            lines.append(f"# TYPE {full} {type_name}")
+            for label_text, value in entries:
                 lines.append(
-                    f'{full}_quantile{{q="{q:g}"}} {_fmt(hist.quantile(q))}'
+                    f"{full}{_suffix(label_text)} {_fmt(float(value))}"
                 )
+
+    scalar_family(dump["counters"].items(), "counter")
+    scalar_family(dump.get("gauges", {}).items(), "gauge")
+
+    hist_groups: Dict[str, list] = {}
+    for name, h in dump["histograms"].items():
+        base, label_text = _split_instrument(name)
+        hist_groups.setdefault(base, []).append((name, label_text, h))
+    for base, entries in hist_groups.items():
+        full = f"{namespace}_{sanitize_metric_name(base)}"
+        lines.append(f"# TYPE {full} histogram")
+        for _, label_text, h in entries:
+            cumulative = 0
+            for bucket in h["buckets"]:
+                cumulative += bucket["count"]
+                le = f'le="{_fmt(bucket["le"])}"'
+                lines.append(
+                    f"{full}_bucket{_suffix(label_text, le)} {cumulative}"
+                )
+            lines.append(f"{full}_sum{_suffix(label_text)} {_fmt(h['sum'])}")
+            lines.append(f"{full}_count{_suffix(label_text)} {h['count']}")
+        populated = [e for e in entries if e[2]["count"]]
+        if populated:
+            for stat in ("min", "max"):
+                lines.append(f"# TYPE {full}_{stat} gauge")
+                for _, label_text, h in populated:
+                    lines.append(
+                        f"{full}_{stat}{_suffix(label_text)} {_fmt(h[stat])}"
+                    )
+            lines.append(f"# TYPE {full}_quantile gauge")
+            for name, label_text, _ in populated:
+                hist = registry.histogram(name)
+                for q in QUANTILES:
+                    qlabel = f'q="{q:g}"'
+                    lines.append(
+                        f"{full}_quantile{_suffix(label_text, qlabel)}"
+                        f" {_fmt(hist.quantile(q))}"
+                    )
     return "\n".join(lines) + "\n"
 
 

@@ -111,6 +111,92 @@ def reference_greedy_cover(
     )
 
 
+def reference_budgeted_cover(
+    corpus: RRCorpus,
+    sample_weights: np.ndarray,
+    costs: np.ndarray,
+    budget: float,
+    prefix: int | None = None,
+) -> CoverageResult:
+    """Naive cost-aware ratio greedy: full rescan, per-sample decrements.
+
+    The oracle for :func:`repro.ris.coverage.weighted_budgeted_cover`:
+    every iteration scans all nodes for the best ``gain / cost`` ratio
+    among those still affordable, and decrements covered samples one at
+    a time.  Returns a :class:`CoverageResult` (``samples_used`` etc.);
+    the spent cost is recoverable as ``costs[seeds].sum()``.
+
+    Shares the production kernel's relative drift stop: once everything
+    worth covering is covered, residual scores are float dust (one
+    rounding step per decrement) and picking them would make the seed
+    list diverge from the vectorized kernel on noise.
+    """
+    drift_rtol = 1e-12  # matches coverage._DRIFT_RTOL
+    l = len(corpus) if prefix is None else int(prefix)
+    if l <= 0:
+        raise SamplingError("cannot run coverage over zero samples")
+    if l > len(corpus):
+        raise SamplingError(f"prefix {l} exceeds corpus size {len(corpus)}")
+    if not budget > 0:
+        raise QueryError(f"budget must be positive, got {budget}")
+    n = corpus.n_nodes
+    costs = np.asarray(costs, dtype=float)
+    if costs.shape != (n,):
+        raise QueryError(f"costs must have shape ({n},), got {costs.shape}")
+    if not np.all(costs > 0):
+        raise QueryError("all node costs must be positive")
+    weights = np.asarray(sample_weights, dtype=float)
+    if len(weights) < l:
+        raise SamplingError(f"need at least {l} sample weights, got {len(weights)}")
+
+    flat, offsets = corpus.flat()
+    end = int(offsets[l])
+    flat_prefix = flat[:end]
+    entry_weight = np.repeat(weights[:l], np.diff(offsets[: l + 1]))
+    score = np.zeros(n, dtype=float)
+    np.add.at(score, flat_prefix, entry_weight)
+
+    covered = np.zeros(l, dtype=bool)
+    selected = np.zeros(n, dtype=bool)
+    seeds: List[int] = []
+    gains: List[float] = []
+    covered_weight = 0.0
+    remaining = float(budget)
+    while True:
+        best_u, best_ratio = -1, -np.inf
+        for u in range(n):
+            if selected[u] or costs[u] > remaining:
+                continue
+            ratio = float(score[u]) / float(costs[u])
+            if ratio > best_ratio:
+                best_u, best_ratio = u, ratio
+        if best_u < 0:
+            break
+        gain = float(score[best_u])
+        if gain <= drift_rtol * covered_weight:
+            break
+        u = best_u
+        seeds.append(u)
+        gains.append(gain)
+        covered_weight += gain
+        remaining -= float(costs[u])
+        selected[u] = True
+        for i in range(l):
+            if covered[i]:
+                continue
+            members = flat[offsets[i] : offsets[i + 1]]
+            if u in members:
+                covered[i] = True
+                score[members] -= weights[i]
+        score[u] = -np.inf
+    return CoverageResult(
+        seeds=seeds,
+        gains=np.asarray(gains, dtype=float),
+        estimate=n * covered_weight / l,
+        samples_used=l,
+    )
+
+
 def reference_estimate_spread(
     corpus: RRCorpus,
     seeds: np.ndarray | List[int],

@@ -10,7 +10,7 @@ observability layer.
 
 from repro.serve.cache import IndexCache, ResultCache
 from repro.serve.engine import QueryEngine, ServeConfig, ServedResult
-from repro.serve.metrics import Counter, Histogram, MetricsRegistry
+from repro.serve.metrics import Counter, Histogram, MetricsRegistry, labelled
 from repro.serve.pool import ServePool, ShardRouter
 from repro.serve.shared import (
     SharedIndexArrays,
@@ -32,4 +32,5 @@ __all__ = [
     "SharedIndexArrays",
     "SharedIndexManifest",
     "attach_index",
+    "labelled",
 ]

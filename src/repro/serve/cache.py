@@ -17,13 +17,21 @@ Two caches with different lifetimes and keys:
   keys.
 
 * :class:`ResultCache` — an LRU of query *results*, keyed by
-  ``(index fingerprint, quantized query cell, k)``.  Nearby queries
-  produce the same seed set because node weights vary smoothly in the
-  query location (the same locality the paper's pivot/anchor structures
-  exploit); quantizing the location to a grid cell turns that locality
-  into exact key equality.  The cell size bounds the approximation: two
-  queries in one cell differ in distance-to-any-node by at most the cell
-  diagonal.  The engine owns the grid; this class is a plain keyed LRU.
+  ``(index fingerprint, index generation, quantized query cell, kind,
+  k-or-budget[, mask/cost fingerprint])`` — see
+  :func:`repro.core.querykind.cache_extra` for the kind-discriminating
+  tail.  Nearby queries produce the same seed set because node weights
+  vary smoothly in the query location (the same locality the paper's
+  pivot/anchor structures exploit); quantizing the location to a grid
+  cell turns that locality into exact key equality.  The cell size
+  bounds the approximation: two queries in one cell differ in
+  distance-to-any-node by at most the cell diagonal.  The kind tail
+  keeps distinct query semantics at one cell from colliding: a targeted
+  query carries a digest of its target set, a budgeted query its budget
+  and cost structure; heuristic answers are never cached at all.
+  Trajectory waypoints share the ``point`` keyspace deliberately — a
+  waypoint's answer *is* the point answer for that location.  The
+  engine owns the grid; this class is a plain keyed LRU.
 """
 
 from __future__ import annotations

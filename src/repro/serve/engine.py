@@ -4,11 +4,17 @@
 expose the same ``query(location, k) -> SeedResult`` online interface)
 and turns it into a serving component:
 
-* **result caching** — answers are cached by
-  ``(index fingerprint, index generation, quantized query cell, k)``
-  (see :mod:`repro.serve.cache`), so hot query neighbourhoods are
-  answered from memory and an in-memory ``index.update()`` — which bumps
-  the generation — invalidates every stale entry at once;
+* **result caching** — answers are cached by ``(index fingerprint,
+  index generation, quantized query cell, kind, k-or-budget [, mask/cost
+  fingerprint])`` (see :mod:`repro.serve.cache` and
+  :func:`repro.core.querykind.cache_extra`), so hot query neighbourhoods
+  are answered from memory and an in-memory ``index.update()`` — which
+  bumps the generation — invalidates every stale entry at once;
+* **query kinds** — point, trajectory, targeted, budgeted and heuristic
+  queries (:mod:`repro.core.querykind`) all dispatch through
+  :meth:`QueryEngine.query` / :meth:`QueryEngine.serve_batch`, with
+  per-kind counters and latency histograms
+  (``serve_queries_total{kind=...}``, ``latency_ms{kind=...}``);
 * **concurrent batches** — :meth:`QueryEngine.serve_batch` fans a batch
   over a thread pool.  Both indexes are read-only after construction
   (corpus, inverted index, arborescences, k-d trees), so concurrent
@@ -53,11 +59,26 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
-from repro.core.heuristics import degree_discount
+from repro.core.heuristics import degree_discount, heuristic_ladder
 from repro.core.mia_da import MiaDaIndex
 from repro.core.query import DaimQuery, SeedResult
+from repro.core.querykind import (
+    AnyQuery,
+    BudgetedQuery,
+    HeuristicQuery,
+    TargetedQuery,
+    TrajectoryQuery,
+    cache_extra,
+    cost_array,
+    fallback_k,
+    fallback_location,
+    kind_of,
+    normalize_query,
+    route_location,
+    target_mask,
+)
 from repro.core.ris_da import RisDaIndex
-from repro.exceptions import ReproError, ServeError
+from repro.exceptions import QueryError, ReproError, ServeError
 from repro.geo.grid import UniformGrid
 from repro.geo.point import PointLike, as_point
 from repro.network.graph import GeoSocialNetwork
@@ -65,10 +86,10 @@ from repro.obs.log import get_logger
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.trace import Tracer, get_tracer, new_trace_id
 from repro.serve.cache import IndexCache, ResultCache
-from repro.serve.metrics import MetricsRegistry, record_staleness
+from repro.serve.metrics import MetricsRegistry, labelled, record_staleness
 
 AnyIndex = Union[RisDaIndex, MiaDaIndex]
-QueryLike = Union[DaimQuery, PointLike]
+QueryLike = Union[AnyQuery, PointLike]
 
 
 @dataclass(frozen=True)
@@ -78,11 +99,15 @@ class ServeConfig:
     ``n_threads`` sizes the batch thread pool; ``timeout`` (seconds,
     ``None`` = unlimited) is the per-query deadline after which the
     engine answers with the ``fallback`` method instead
-    (``"degree-discount"``, or ``"none"`` to surface a timeout error
-    result).  ``result_cache_size`` bounds the result LRU (0 disables
-    result caching); ``cache_cells`` is the budget for the quantization
-    grid — more cells mean finer-grained (more exact, less shared) cache
-    keys.
+    (``"degree-discount"``, ``"ladder"`` for the graded heuristic ladder
+    of :func:`repro.core.heuristics.heuristic_ladder`, or ``"none"`` to
+    surface a timeout error result).  ``fallback_budget`` (seconds,
+    ``"ladder"`` only) is the wall-clock the ladder may spend on a
+    fallback answer — the cheaper rungs engage as it shrinks; ``None``
+    always takes the most accurate rung.  ``result_cache_size`` bounds
+    the result LRU (0 disables result caching); ``cache_cells`` is the
+    budget for the quantization grid — more cells mean finer-grained
+    (more exact, less shared) cache keys.
     """
 
     n_threads: int = 4
@@ -90,6 +115,7 @@ class ServeConfig:
     result_cache_size: int = 1024
     cache_cells: int = 4096
     fallback: str = "degree-discount"
+    fallback_budget: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_threads < 1:
@@ -108,10 +134,15 @@ class ServeConfig:
             raise ServeError(
                 f"cache_cells must be positive, got {self.cache_cells}"
             )
-        if self.fallback not in ("degree-discount", "none"):
+        if self.fallback not in ("degree-discount", "ladder", "none"):
             raise ServeError(
-                f"fallback must be 'degree-discount' or 'none', "
+                f"fallback must be 'degree-discount', 'ladder' or 'none', "
                 f"got {self.fallback!r}"
+            )
+        if self.fallback_budget is not None and self.fallback_budget < 0:
+            raise ServeError(
+                f"fallback_budget must be >= 0 (or None), "
+                f"got {self.fallback_budget}"
             )
 
 
@@ -133,6 +164,12 @@ class ServedResult:
     latency metrics and the result cache.  ``trace_id`` identifies the
     query in traces, logs, and the slow-query sink (always set, even
     with tracing disabled).
+
+    For trajectory queries ``waypoint_results`` holds one
+    :class:`SeedResult` per waypoint in order and ``result`` aliases the
+    *last* waypoint's (the trajectory's current position); for every
+    other kind it stays ``None``.  ``cached`` is then true only when
+    every waypoint was a result-cache hit.
     """
 
     result: Optional[SeedResult]
@@ -142,6 +179,7 @@ class ServedResult:
     error: Optional[str] = None
     trace_id: Optional[str] = None
     abandoned: bool = False
+    waypoint_results: Optional[Tuple[SeedResult, ...]] = None
 
     @property
     def ok(self) -> bool:
@@ -279,18 +317,23 @@ class QueryEngine:
     # ------------------------------------------------------------------
 
     def query(self, q: QueryLike, k: int | None = None) -> ServedResult:
-        """Serve one query synchronously (no pool, no timeout)."""
-        location, k = self._unpack(q, k)
-        return self._serve(location, k)
+        """Serve one query synchronously (no pool, no timeout).
+
+        ``q`` may be any query-kind object (:class:`DaimQuery`,
+        :class:`TrajectoryQuery`, :class:`TargetedQuery`,
+        :class:`BudgetedQuery`, :class:`HeuristicQuery`) or a bare
+        location with ``k``.
+        """
+        return self._serve(self._unpack(q, k))
 
     def serve_batch(
         self, queries: Sequence[QueryLike], k: int | None = None
     ) -> List[ServedResult]:
         """Serve a batch concurrently, in input order.
 
-        ``queries`` may be :class:`DaimQuery` objects or bare locations
-        (then ``k`` supplies the shared budget).  Results line up with
-        the input; per-query failures become error results instead of
+        ``queries`` may be query-kind objects or bare locations (then
+        ``k`` supplies the shared budget).  Results line up with the
+        input; per-query failures become error results instead of
         aborting the batch.
         """
         items = [self._unpack(q, k) for q in queries]
@@ -304,7 +347,7 @@ class QueryEngine:
                 timeout_s=cfg.timeout,
             )
         if cfg.n_threads == 1 and cfg.timeout is None:
-            out_serial = [self._serve(loc, kk) for loc, kk in items]
+            out_serial = [self._serve(query) for query in items]
             self._log_batch_end(out_serial)
             return out_serial
 
@@ -316,8 +359,8 @@ class QueryEngine:
             tokens = [threading.Event() for _ in items]
             futures = []
             deadlines: List[float] = []
-            for (loc, kk), token in zip(items, tokens):
-                futures.append(pool.submit(self._serve, loc, kk, token))
+            for query, token in zip(items, tokens):
+                futures.append(pool.submit(self._serve, query, token))
                 # The deadline is anchored at submission: collecting
                 # earlier results must not stretch later queries' budgets.
                 deadlines.append(time.monotonic() + (cfg.timeout or 0.0))
@@ -333,8 +376,7 @@ class QueryEngine:
                     # is gone, so it stays out of the metrics and cache.
                     tokens[i].set()
                     future.cancel()
-                    loc, kk = items[i]
-                    out[i] = self._fallback(loc, kk, "timeout")
+                    out[i] = self._fallback(items[i], "timeout")
         finally:
             # Do not wait for abandoned (timed-out) computations; their
             # threads drain in the background.
@@ -355,28 +397,28 @@ class QueryEngine:
 
     # ------------------------------------------------------------------
 
-    def _unpack(
-        self, q: QueryLike, k: int | None
-    ) -> Tuple[Tuple[float, float], int]:
-        # Both forms normalise through as_point, so a DaimQuery and the
-        # equivalent bare location quantize identically and share one
+    def _unpack(self, q: QueryLike, k: int | None) -> AnyQuery:
+        # Bare locations normalise through as_point, so a DaimQuery and
+        # the equivalent bare location quantize identically and share one
         # result-cache entry regardless of the caller's coordinate types.
-        if isinstance(q, DaimQuery):
-            return as_point(q.location), q.k
-        if k is None:
-            raise ServeError("k is required when passing a bare location")
-        return as_point(q), int(k)
+        try:
+            return normalize_query(q, k)
+        except QueryError as exc:
+            raise ServeError(str(exc))
 
     def _serve(
         self,
-        location: Tuple[float, float],
-        k: int,
+        query: AnyQuery,
         cancel: Optional[threading.Event] = None,
     ) -> ServedResult:
         start = time.perf_counter()
         trace_id = new_trace_id()
         log = self.logger
+        kind = kind_of(query)
+        location = route_location(query)
+        k = getattr(query, "k", None)
         self.metrics.inc("queries_total")
+        self.metrics.inc(labelled("serve_queries_total", kind=kind))
         if cancel is not None and cancel.is_set():
             # The collector gave up on this query before the pool even
             # started it; don't burn a core computing a discarded answer.
@@ -387,17 +429,27 @@ class QueryEngine:
             )
         if log.enabled:
             log.event(
-                "query_start", trace_id=trace_id,
+                "query_start", trace_id=trace_id, kind=kind,
                 x=location[0], y=location[1], k=k,
             )
+        attrs = {"x": location[0], "y": location[1], "kind": kind}
+        if k is not None:
+            attrs["k"] = k
         with self.tracer.span(
-            "serve.query",
-            {"x": location[0], "y": location[1], "k": k},
-            trace_id=trace_id,
+            "serve.query", attrs, trace_id=trace_id,
         ) as span:
-            served, diag = self._serve_in_span(
-                location, k, start, trace_id, span, cancel
-            )
+            if isinstance(query, HeuristicQuery):
+                served, diag = self._serve_heuristic(
+                    query, start, trace_id, span
+                )
+            elif isinstance(query, TrajectoryQuery):
+                served, diag = self._serve_trajectory(
+                    query, start, trace_id, span, cancel
+                )
+            else:
+                served, diag = self._serve_in_span(
+                    query, start, trace_id, span, cancel
+                )
         if log.enabled:
             log.event(
                 "query_end", trace_id=trace_id,
@@ -408,36 +460,91 @@ class QueryEngine:
         if not served.abandoned:
             # The collector records the timed-out query against its
             # deadline; a second slow-log row here would double-count it.
-            self._maybe_record_slow(location, k, served, diag)
+            self._maybe_record_slow(
+                location, self._slow_k(query), served, diag
+            )
         return served
+
+    @staticmethod
+    def _slow_k(query: AnyQuery) -> int:
+        k = getattr(query, "k", None)
+        return int(k) if k is not None else 0
+
+    def _observe_latency(self, kind: str, elapsed: float) -> None:
+        self.metrics.observe("latency_ms", elapsed * 1e3)
+        self.metrics.observe(labelled("latency_ms", kind=kind), elapsed * 1e3)
+
+    def _cache_key(self, query: AnyQuery) -> Optional[tuple]:
+        """The result-cache key of a query, or None when uncacheable.
+
+        ``cache_extra`` carries the kind (and a mask/cost fingerprint
+        for targeted/budgeted queries): two kinds quantizing to the same
+        ``(fingerprint, generation, cell)`` can no longer collide.
+        """
+        if self._results is None:
+            return None
+        extra = cache_extra(query)
+        if extra is None:
+            return None
+        # The index generation is part of the key: an in-memory
+        # update() bumps it, so entries computed against the previous
+        # graph die immediately (an mtime-based fingerprint alone
+        # cannot see in-memory mutations).
+        return (
+            self.fingerprint,
+            getattr(self.index, "generation", 0),
+            self._grid.cell_of(query.location),
+        ) + extra
+
+    def _waypoint_key(self, location: Tuple[float, float], k: int) -> Optional[tuple]:
+        """A trajectory waypoint's cache key — a ``point`` entry on purpose.
+
+        A waypoint's answer *is* the point answer for that location, so
+        trajectories warm the point cache and vice versa.
+        """
+        if self._results is None:
+            return None
+        return (
+            self.fingerprint,
+            getattr(self.index, "generation", 0),
+            self._grid.cell_of(location),
+            "point", k,
+        )
+
+    def _index_answer(self, query: AnyQuery) -> Tuple[SeedResult, object]:
+        """Dispatch one point/targeted/budgeted query to the index."""
+        if isinstance(query, TargetedQuery):
+            mask = target_mask(query, self.network.n)
+            return self.index.query_masked(
+                query.location, query.k, mask, return_diagnostics=True
+            )
+        if isinstance(query, BudgetedQuery):
+            costs = cost_array(query, self.network.n)
+            return self.index.query_budgeted(
+                query.location, query.budget, costs, return_diagnostics=True
+            )
+        return self.index.query(
+            query.location, query.k, return_diagnostics=True
+        )
 
     def _serve_in_span(
         self,
-        location: Tuple[float, float],
-        k: int,
+        query: AnyQuery,
         start: float,
         trace_id: str,
         span,
         cancel: Optional[threading.Event] = None,
     ) -> Tuple[ServedResult, object]:
-        """The serve body; runs inside the query's root span."""
+        """The serve body for single-location kinds; runs inside the root span."""
         m = self.metrics
         tracer = self.tracer
-        key = None
-        if self._results is not None:
-            # The index generation is part of the key: an in-memory
-            # update() bumps it, so entries computed against the previous
-            # graph die immediately (an mtime-based fingerprint alone
-            # cannot see in-memory mutations).
-            key = (
-                self.fingerprint,
-                getattr(self.index, "generation", 0),
-                self._grid.cell_of(location), k,
-            )
+        kind = kind_of(query)
+        key = self._cache_key(query)
+        if key is not None:
             hit = self._results.get(key)
             if hit is not None:
                 elapsed = time.perf_counter() - start
-                m.observe("latency_ms", elapsed * 1e3)
+                self._observe_latency(kind, elapsed)
                 span.set_attribute("cached", True)
                 if self.logger.enabled:
                     self.logger.event(
@@ -451,9 +558,7 @@ class QueryEngine:
             # Both index families accept return_diagnostics; the engine
             # always asks so per-stage timings reach the metrics.
             with tracer.span("index.query") as qspan:
-                result, diag = self.index.query(
-                    location, k, return_diagnostics=True
-                )
+                result, diag = self._index_answer(query)
         except ReproError as exc:
             if cancel is not None and cancel.is_set():
                 # The caller already got the fallback; an abandoned run's
@@ -515,10 +620,165 @@ class QueryEngine:
         if key is not None:
             self._results.put(key, result)
         elapsed = time.perf_counter() - start
-        m.observe("latency_ms", elapsed * 1e3)
+        self._observe_latency(kind, elapsed)
         return ServedResult(
             result=result, elapsed=elapsed, cached=False, trace_id=trace_id
         ), diag
+
+    def _serve_trajectory(
+        self,
+        query: TrajectoryQuery,
+        start: float,
+        trace_id: str,
+        span,
+        cancel: Optional[threading.Event] = None,
+    ) -> Tuple[ServedResult, object]:
+        """Serve a trajectory: per-waypoint cache, one shared index call.
+
+        Each waypoint hits the result cache under its *point* key; the
+        misses go to the index together (``query_trajectory`` shares the
+        root-coordinate gather across them on the RIS backend) and are
+        cached individually, so a trajectory warms the point cache cell
+        by cell.
+        """
+        m = self.metrics
+        tracer = self.tracer
+        wps = query.waypoints
+        k = query.k
+        keys = [self._waypoint_key(wp, k) for wp in wps]
+        results: List[Optional[SeedResult]] = [None] * len(wps)
+        hits = 0
+        for i, key in enumerate(keys):
+            if key is not None:
+                hit = self._results.get(key)
+                if hit is not None:
+                    results[i] = hit
+                    hits += 1
+        missing = [i for i in range(len(wps)) if results[i] is None]
+        last_diag: object = None
+        if missing:
+            try:
+                with tracer.span(
+                    "index.query", {"waypoints": len(missing)}
+                ) as qspan:
+                    answered = self.index.query_trajectory(
+                        [wps[i] for i in missing], k,
+                        return_diagnostics=True,
+                    )
+            except ReproError as exc:
+                if cancel is not None and cancel.is_set():
+                    m.inc("abandoned_queries_total")
+                    span.set_attribute("abandoned", True)
+                    return ServedResult(
+                        result=None,
+                        elapsed=time.perf_counter() - start,
+                        error=str(exc),
+                        trace_id=trace_id,
+                        abandoned=True,
+                    ), None
+                m.inc("errors")
+                span.set_attribute("error", str(exc))
+                if self.logger.enabled:
+                    self.logger.event(
+                        "error", trace_id=trace_id, message=str(exc)
+                    )
+                return ServedResult(
+                    result=None,
+                    elapsed=time.perf_counter() - start,
+                    error=str(exc),
+                    trace_id=trace_id,
+                ), None
+            if cancel is not None and cancel.is_set():
+                # As in the point path: the caller already holds the
+                # fallback, so stay out of the metrics and the cache.
+                m.inc("abandoned_queries_total")
+                span.set_attribute("abandoned", True)
+                return ServedResult(
+                    result=None,
+                    elapsed=time.perf_counter() - start,
+                    trace_id=trace_id,
+                    abandoned=True,
+                ), None
+            for i, (result, diag) in zip(missing, answered):
+                results[i] = result
+                last_diag = diag
+                if result.samples_used is not None:
+                    m.observe("samples_used", result.samples_used)
+                if result.evaluations is not None:
+                    m.observe("evaluations", result.evaluations)
+                timings = getattr(diag, "timings", None)
+                if timings is not None:
+                    m.observe_stage_seconds(timings.as_dict())
+                    if tracer.enabled:
+                        tracer.record_stages(qspan, timings.as_dict())
+                setup = getattr(diag, "setup_seconds", None)
+                if setup is not None:
+                    m.observe_stage_seconds({"bound_setup": setup})
+                if keys[i] is not None:
+                    self._results.put(keys[i], result)
+        m.inc("trajectory_waypoints_total", len(wps))
+        span.set_attribute("waypoints", len(wps))
+        span.set_attribute("waypoint_cache_hits", hits)
+        elapsed = time.perf_counter() - start
+        self._observe_latency("trajectory", elapsed)
+        if self.logger.enabled and hits:
+            self.logger.event(
+                "cache_hit", trace_id=trace_id, cache="result",
+                waypoints=hits,
+            )
+        return ServedResult(
+            result=results[-1],
+            elapsed=elapsed,
+            cached=hits == len(wps),
+            trace_id=trace_id,
+            waypoint_results=tuple(results),  # type: ignore[arg-type]
+        ), last_diag
+
+    def _serve_heuristic(
+        self,
+        query: HeuristicQuery,
+        start: float,
+        trace_id: str,
+        span,
+    ) -> Tuple[ServedResult, object]:
+        """Serve an explicit heuristic-ladder request (never the index).
+
+        The answer is tagged ``fallback_reason="requested"`` and never
+        cached: like an overload fallback, its score is the heuristic's
+        own objective, not an Eq. 9 estimate, and must not shadow a real
+        index answer in the cache.
+        """
+        m = self.metrics
+        budget_s = (
+            query.budget_ms / 1e3 if query.budget_ms is not None else None
+        )
+        try:
+            result, rung = heuristic_ladder(
+                self.network, query.location, query.k, self.decay,
+                budget_s=budget_s, level=query.level,
+            )
+        except ReproError as exc:
+            m.inc("errors")
+            span.set_attribute("error", str(exc))
+            return ServedResult(
+                result=None,
+                elapsed=time.perf_counter() - start,
+                error=str(exc),
+                trace_id=trace_id,
+            ), None
+        m.inc(labelled("heuristic_rung_total", rung=rung))
+        span.set_attribute("rung", rung)
+        elapsed = time.perf_counter() - start
+        self._observe_latency("heuristic", elapsed)
+        if self.logger.enabled:
+            self.logger.event(
+                "heuristic", trace_id=trace_id, rung=rung,
+                method=result.method, elapsed_ms=round(elapsed * 1e3, 3),
+            )
+        return ServedResult(
+            result=result, elapsed=elapsed, fallback_reason="requested",
+            trace_id=trace_id,
+        ), None
 
     def _maybe_record_slow(
         self,
@@ -557,12 +817,11 @@ class QueryEngine:
                 threshold_ms=sl.threshold_ms, sink=sl.path,
             )
 
-    def _fallback(
-        self, location: Tuple[float, float], k: int, reason: str
-    ) -> ServedResult:
+    def _fallback(self, query: AnyQuery, reason: str) -> ServedResult:
         start = time.perf_counter()
         m = self.metrics
         trace_id = new_trace_id()
+        kind = kind_of(query)
         m.inc("timeouts" if reason == "timeout" else "fallback_triggers")
         if self.config.fallback == "none":
             return ServedResult(
@@ -574,15 +833,29 @@ class QueryEngine:
             )
         m.inc("fallbacks")
         m.inc("serve_fallback_total")
+        # A trajectory falls back at its *last* waypoint — the one whose
+        # answer ServedResult.result carries; a budgeted query converts
+        # its budget into the seed count it could at most afford.
+        location = fallback_location(query)
+        k = fallback_k(query, self.network.n)
         with self.tracer.span(
             "serve.fallback",
-            {"x": location[0], "y": location[1], "k": k, "reason": reason},
+            {"x": location[0], "y": location[1], "k": k, "kind": kind,
+             "reason": reason},
             trace_id=trace_id,
-        ):
+        ) as fspan:
             try:
-                result = degree_discount(
-                    self.network, location, k, self.decay
-                )
+                if self.config.fallback == "ladder":
+                    result, rung = heuristic_ladder(
+                        self.network, location, k, self.decay,
+                        budget_s=self.config.fallback_budget,
+                    )
+                    m.inc(labelled("heuristic_rung_total", rung=rung))
+                    fspan.set_attribute("rung", rung)
+                else:
+                    result = degree_discount(
+                        self.network, location, k, self.decay
+                    )
             except ReproError as exc:
                 m.inc("errors")
                 return ServedResult(

@@ -36,6 +36,23 @@ LATENCY_BUCKETS_MS: Tuple[float, ...] = (
 COUNT_BUCKETS: Tuple[float, ...] = tuple(float(4 ** i) for i in range(11))
 
 
+def labelled(name: str, **labels: str) -> str:
+    """Build a labelled instrument name, Prometheus-style.
+
+    The registry itself is label-blind — every instrument is keyed by a
+    plain string — so per-kind breakdowns are encoded *into* the name:
+    ``labelled("serve_queries_total", kind="point")`` yields
+    ``serve_queries_total{kind="point"}``.  Labels are sorted so the same
+    label set always maps to the same instrument, and
+    :func:`repro.obs.prom.render_prometheus` splits the suffix back out
+    into real Prometheus labels at exposition time.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
 def record_staleness(metrics: "MetricsRegistry", stats,
                      now: Optional[float] = None) -> None:
     """Set the ``staleness_*`` gauges from one update's
@@ -196,8 +213,12 @@ class MetricsRegistry:
         with self._lock:
             h = self._histograms.get(name)
             if h is None:
+                # Default buckets key off the *base* name: a labelled
+                # instrument like latency_ms{kind="point"} must share the
+                # latency bucket family with its unlabelled sibling.
+                base = name.partition("{")[0]
                 chosen = buckets if buckets is not None else (
-                    LATENCY_BUCKETS_MS if name.endswith("_ms")
+                    LATENCY_BUCKETS_MS if base.endswith("_ms")
                     else COUNT_BUCKETS
                 )
                 h = self._histograms[name] = Histogram(

@@ -31,8 +31,9 @@ workers one at a time onto the new generation; old workers drain their
 queued tasks before stopping, so no request fails during a rotation.
 
 Observability — the parent records routing metrics
-(``shard<i>_queries_total``, ``worker_restarts_total``) and the
-end-to-end ``latency_ms`` of every served query; each worker's own
+(``shard<i>_queries_total``, per-kind ``serve_queries_total{kind=...}``
+at routing time, ``worker_restarts_total``) and the end-to-end
+``latency_ms`` of every served query; each worker's own
 registry (cache hits, fallbacks, stage timings...) is merged into the
 parent's under the ``worker.`` prefix on :meth:`ServePool.close`.  With
 a tracer attached, each worker returns a ``pool.worker`` span dict per
@@ -51,15 +52,20 @@ import traceback
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.persistence import assemble_index, index_arrays
-from repro.core.query import DaimQuery
-from repro.exceptions import ServeError
+from repro.core.querykind import (
+    AnyQuery,
+    kind_of,
+    normalize_query,
+    route_location,
+)
+from repro.exceptions import QueryError, ServeError
 from repro.geo.grid import UniformGrid
-from repro.geo.point import BoundingBox, PointLike, as_point
+from repro.geo.point import BoundingBox, PointLike
 from repro.network.graph import GeoSocialNetwork
 from repro.obs.log import get_logger
 from repro.obs.trace import get_tracer, span_context, wall_now, worker_span
 from repro.serve.engine import QueryEngine, ServeConfig, ServedResult
-from repro.serve.metrics import MetricsRegistry, record_staleness
+from repro.serve.metrics import MetricsRegistry, labelled, record_staleness
 from repro.serve.shared import SharedIndexArrays, SharedIndexManifest, attach_index
 
 #: How long the collector waits on the result queue before checking
@@ -110,9 +116,11 @@ def _worker_main(
 ) -> None:
     """Worker loop: attach the shared index, serve sub-batches forever.
 
-    Messages: ``("serve", task_id, [(idx, loc, k), ...], span_ctx)`` is
-    answered with ``(worker_id, task_id, "ok", [(idx, ServedResult),
-    ...], [span_dict...])``; ``("stats", task_id)`` with ``(worker_id,
+    Messages: ``("serve", task_id, [(idx, query), ...], span_ctx)`` —
+    where ``query`` is any :data:`~repro.core.querykind.AnyQuery`
+    (frozen dataclasses, so they pickle cleanly) — is answered with
+    ``(worker_id, task_id, "ok", [(idx, ServedResult), ...],
+    [span_dict...])``; ``("stats", task_id)`` with ``(worker_id,
     task_id, "stats", metrics_dump, None)``; ``("stop",)`` exits.  A
     failure inside a serve is reported as ``"err"`` with the traceback —
     the worker itself stays up.
@@ -158,9 +166,7 @@ def _worker_main(
             start_unix = wall_now()
             t0 = time.perf_counter()
             try:
-                served = engine.serve_batch(
-                    [DaimQuery(location=loc, k=kk) for _, loc, kk in sub]
-                )
+                served = engine.serve_batch([q for _, q in sub])
                 span = worker_span(
                     "pool.worker",
                     ctx,
@@ -170,7 +176,7 @@ def _worker_main(
                 )
                 result_q.put((
                     worker_id, task_id, "ok",
-                    [(idx, res) for (idx, _, _), res in zip(sub, served)],
+                    [(idx, res) for (idx, _), res in zip(sub, served)],
                     [span] if span else None,
                 ))
             except BaseException:
@@ -320,11 +326,15 @@ class ServePool:
                 "pool_serve_start", queries=len(items),
                 workers=self.n_workers,
             )
-        by_worker: Dict[int, List[Tuple[int, Tuple[float, float], int]]] = {}
-        for i, (loc, kk) in enumerate(items):
-            shard = self.router.shard_of(loc)
+        by_worker: Dict[int, List[Tuple[int, AnyQuery]]] = {}
+        for i, query in enumerate(items):
+            # Trajectories route by their first waypoint's cell.
+            shard = self.router.shard_of(route_location(query))
             self.metrics.inc(f"shard{shard}_queries_total")
-            by_worker.setdefault(shard, []).append((i, loc, kk))
+            self.metrics.inc(
+                labelled("serve_queries_total", kind=kind_of(query))
+            )
+            by_worker.setdefault(shard, []).append((i, query))
 
         out: List[Optional[ServedResult]] = [None] * len(items)
         with self.tracer.span(
@@ -351,7 +361,7 @@ class ServePool:
                     self.tracer.adopt(spans)
                 if status == "err":
                     self.metrics.inc("worker_errors_total")
-                    for idx, _loc, _kk in sub:
+                    for idx, _q in sub:
                         out[idx] = ServedResult(
                             result=None, elapsed=0.0,
                             error=f"worker {wid} failed: {payload}",
@@ -405,12 +415,11 @@ class ServePool:
                 del pending[task_id]
                 self._submit(wid, sub, ctx, pending)
 
-    def _unpack(self, q, k) -> Tuple[Tuple[float, float], int]:
-        if isinstance(q, DaimQuery):
-            return as_point(q.location), q.k
-        if k is None:
-            raise ServeError("k is required when passing a bare location")
-        return as_point(q), int(k)
+    def _unpack(self, q, k) -> AnyQuery:
+        try:
+            return normalize_query(q, k)
+        except QueryError as exc:
+            raise ServeError(str(exc)) from exc
 
     # ------------------------------------------------------------------
     # Streaming maintenance

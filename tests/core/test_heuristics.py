@@ -5,10 +5,15 @@ import pytest
 
 from repro.core.heuristics import (
     degree_discount,
+    heuristic_ladder,
+    ladder_cost_estimates,
+    ladder_rung_for,
+    single_discount,
     top_degree,
     top_weight,
     top_weighted_degree,
 )
+from repro.core.querykind import LADDER_RUNGS
 from repro.exceptions import QueryError
 from repro.geo.weights import DistanceDecay
 
@@ -138,3 +143,90 @@ class TestDegreeDiscount:
             medium_net, tw.seeds, node_weights=w, rounds=400, seed=1
         ).value
         assert s_dd > s_tw
+
+
+class TestSingleDiscount:
+    def test_first_pick_is_top_weighted_degree(self, small_net):
+        decay = DistanceDecay(alpha=0.02)
+        q = (50.0, 50.0)
+        sd = single_discount(small_net, q, 1, decay)
+        twd = top_weighted_degree(small_net, q, 1, decay)
+        assert sd.seeds == list(twd.seeds)
+
+    def test_discount_applied_on_line_graph(self):
+        """On 0 -> 1 -> 2 with flat weights, picking node 1 knocks one
+        ``w`` unit off node 0 (its only out-edge now targets a seed)."""
+        from repro.network.graph import GeoSocialNetwork
+
+        coords = np.zeros((3, 2))
+        net = GeoSocialNetwork.from_edges([(0, 1), (1, 2)], coords, [0.5, 0.5])
+        decay = DistanceDecay(alpha=0.0)  # all weights 1.0
+        res = single_discount(net, (0.0, 0.0), 3, decay)
+        # Base scores w*outdeg = [1, 1, 0].  Whichever of {0, 1} goes
+        # first, if 1 is picked before 0 then 0's score drops 1 -> 0, so
+        # node 2 (score 0) ties it; either way the estimate is the sum of
+        # scores *at pick time*, which the discount must keep below the
+        # undiscounted total of 2.0 + 0.0 when 1 precedes 0.
+        assert set(res.seeds) == {0, 1, 2}
+        assert res.method == "SingleDiscount"
+        if res.seeds.index(1) < res.seeds.index(0):
+            assert res.estimate <= 1.0 + 0.0 + 1.0
+
+    def test_seeds_distinct_and_estimate_positive(self, medium_net):
+        decay = DistanceDecay(alpha=0.02)
+        res = single_discount(medium_net, (50.0, 50.0), 10, decay)
+        assert len(set(res.seeds)) == 10
+        assert res.estimate > 0
+
+    def test_bad_k(self, example_net):
+        with pytest.raises(QueryError):
+            single_discount(example_net, (0, 0), 0)
+
+
+class TestHeuristicLadder:
+    def test_no_budget_takes_top_rung(self, small_net):
+        assert ladder_rung_for(small_net, 5, None) == LADDER_RUNGS[0]
+        result, rung = heuristic_ladder(small_net, (50.0, 50.0), 5)
+        assert rung == "degree-discount"
+        assert result.method == "DegreeDiscount"
+
+    def test_zero_budget_takes_cheapest_rung(self, small_net):
+        assert ladder_rung_for(small_net, 5, 0.0) == LADDER_RUNGS[-1]
+        result, rung = heuristic_ladder(
+            small_net, (50.0, 50.0), 5, budget_s=0.0
+        )
+        assert rung == "high-degree"
+        assert result.method == "TopWeightedDegree"
+
+    def test_generous_budget_takes_top_rung(self, small_net):
+        result, rung = heuristic_ladder(
+            small_net, (50.0, 50.0), 5, budget_s=10.0
+        )
+        assert rung == "degree-discount"
+
+    def test_explicit_level_pins_rung(self, small_net):
+        for rung, method in zip(
+            LADDER_RUNGS, ("DegreeDiscount", "SingleDiscount",
+                           "TopWeightedDegree")
+        ):
+            result, got = heuristic_ladder(
+                small_net, (50.0, 50.0), 3, level=rung
+            )
+            assert got == rung
+            assert result.method == method
+
+    def test_bad_level_rejected(self, small_net):
+        with pytest.raises(QueryError):
+            heuristic_ladder(small_net, (0, 0), 3, level="psychic")
+
+    def test_cost_estimates_ordered_by_accuracy(self, medium_net):
+        """The cost model must preserve the ladder's point: each cheaper
+        rung is predicted cheaper, so a shrinking budget walks down."""
+        est = ladder_cost_estimates(medium_net, 10)
+        assert est["degree-discount"] > est["single-discount"]
+        assert est["single-discount"] >= est["high-degree"]
+
+    def test_budget_between_rungs_picks_middle(self, medium_net):
+        est = ladder_cost_estimates(medium_net, 10)
+        budget = (est["single-discount"] + est["degree-discount"]) / 2
+        assert ladder_rung_for(medium_net, 10, budget) == "single-discount"

@@ -11,18 +11,38 @@ over randomly generated corpora:
   least one sample in the prefix), and seeds are distinct;
 * the greedy's estimate equals Eq. 9 recomputed for its seed set.
 
+The cost-aware budgeted cover gets the analogous treatment:
+
+* the spent cost never exceeds the budget, gains are positive, seeds
+  distinct;
+* eager and lazy kernels agree, and both agree with the naive reference;
+* coverage is monotone in the budget (a larger budget never covers less
+  — provable for ratio greedy by a first-divergence argument);
+* on tiny instances coverage never beats the exhaustive optimum, and
+  with an unconstrained budget it covers every coverable sample;
+
+and masked sample weights (the targeted-query path) stay consistent with
+Eq. 9 recomputed over the same masked weights, gain by gain.
+
 Uses ``hypothesis`` when available and a seeded-random loop otherwise, so
 the suite runs in stripped-down environments too.
 """
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 import pytest
 
 from repro.network.graph import GeoSocialNetwork
 from repro.ris.corpus import RRCorpus
-from repro.ris.coverage import estimate_spread, weighted_greedy_cover
+from repro.ris.coverage import (
+    estimate_spread,
+    weighted_budgeted_cover,
+    weighted_greedy_cover,
+)
+from repro.ris.reference import reference_budgeted_cover
 from repro.ris.rrset import RRSampler
 
 try:
@@ -96,6 +116,109 @@ def _check_properties(seed: int) -> None:
     )
 
 
+def _coverage_of(corpus, weights, seeds, l) -> float:
+    """Total covered sample weight of a seed set over the prefix."""
+    if not len(seeds):
+        return 0.0
+    return estimate_spread(corpus, list(seeds), weights) * l / corpus.n_nodes
+
+
+def _check_budgeted_properties(seed: int) -> None:
+    rng = np.random.default_rng(seed)
+    n_nodes = int(rng.integers(2, 12))
+    n_samples = int(rng.integers(1, 30))
+    corpus = _make_corpus(rng, n_nodes, n_samples)
+    weights = rng.uniform(0.0, 5.0, size=n_samples)
+    costs = rng.uniform(0.2, 3.0, size=n_nodes)
+    budget = float(rng.uniform(costs.min(), costs.sum() * 1.2))
+
+    cover = weighted_budgeted_cover(
+        corpus, weights, costs, budget, method="eager"
+    )
+
+    # The budget is a hard cap, and it is what the kernel reports spent.
+    spent = float(costs[cover.seeds].sum()) if cover.seeds else 0.0
+    assert spent <= budget + 1e-12, f"budget exceeded at seed {seed}"
+    assert cover.cost_spent == pytest.approx(spent, abs=1e-12)
+
+    # Gains are positive, seeds distinct, estimate consistent with Eq. 9.
+    assert np.all(cover.gains > 0.0)
+    assert len(set(cover.seeds)) == len(cover.seeds)
+    assert cover.estimate == pytest.approx(
+        estimate_spread(corpus, cover.seeds, weights), abs=1e-9
+    )
+
+    # The lazy CELF-style kernel and the naive reference both agree.
+    lazy = weighted_budgeted_cover(
+        corpus, weights, costs, budget, method="lazy"
+    )
+    assert list(lazy.seeds) == list(cover.seeds), f"lazy != eager ({seed})"
+    np.testing.assert_allclose(lazy.gains, cover.gains, rtol=1e-9)
+    ref = reference_budgeted_cover(corpus, weights, costs, budget)
+    assert list(ref.seeds) == list(cover.seeds), f"reference != eager ({seed})"
+
+    # Monotone in budget: shrinking the budget never covers more.
+    l = len(corpus)
+    smaller = weighted_budgeted_cover(
+        corpus, weights, costs, budget * float(rng.uniform(0.2, 0.9)),
+        method="eager",
+    )
+    assert (
+        _coverage_of(corpus, weights, smaller.seeds, l)
+        <= _coverage_of(corpus, weights, cover.seeds, l) + 1e-9
+    ), f"coverage not monotone in budget at seed {seed}"
+
+    # Tiny instances: never beat the exhaustive optimum; an unconstrained
+    # budget covers everything coverable.
+    if n_nodes <= 8:
+        nodes = range(n_nodes)
+        opt = 0.0
+        for r in range(n_nodes + 1):
+            for subset in itertools.combinations(nodes, r):
+                if subset and float(costs[list(subset)].sum()) > budget:
+                    continue
+                opt = max(opt, _coverage_of(corpus, weights, subset, l))
+        got = _coverage_of(corpus, weights, cover.seeds, l)
+        assert got <= opt + 1e-9, f"greedy beat the optimum?! (seed {seed})"
+    unconstrained = weighted_budgeted_cover(
+        corpus, weights, costs, float(costs.sum()) + 1.0, method="eager"
+    )
+    assert _coverage_of(corpus, weights, unconstrained.seeds, l) == (
+        pytest.approx(float(weights[:l].sum()), abs=1e-9)
+    ), f"unconstrained budget left samples uncovered at seed {seed}"
+
+
+def _check_masked_properties(seed: int) -> None:
+    """Masked weights (targeted queries) stay Eq. 9-consistent gain by
+    gain: each greedy gain is exactly the marginal of the masked
+    estimator."""
+    rng = np.random.default_rng(seed)
+    n_nodes = int(rng.integers(2, 12))
+    n_samples = int(rng.integers(1, 30))
+    k = int(rng.integers(1, n_nodes + 1))
+    corpus = _make_corpus(rng, n_nodes, n_samples)
+    weights = rng.uniform(0.0, 5.0, size=n_samples)
+    mask = (rng.random(n_nodes) < 0.6).astype(float)
+    roots = corpus.roots[: len(corpus)]
+    masked = weights * mask[roots]
+
+    cover = weighted_greedy_cover(corpus, masked, k)
+    l = len(corpus)
+    n = corpus.n_nodes
+    running = 0.0
+    for j, gain in enumerate(cover.gains[: len(cover.seeds)], start=1):
+        running += gain
+        marginal = estimate_spread(corpus, cover.seeds[:j], masked)
+        assert marginal == pytest.approx(n * running / l, abs=1e-9), (
+            f"masked gain {j} inconsistent with Eq. 9 at seed {seed}"
+        )
+    # Nodes outside the root mask can still be seeds (they cover other
+    # roots' samples), but coverage only counts masked roots' weight.
+    assert cover.estimate <= (
+        estimate_spread(corpus, list(range(n_nodes)), weights) + 1e-9
+    )
+
+
 if HAVE_HYPOTHESIS:
 
     @settings(max_examples=60, deadline=None)
@@ -103,8 +226,26 @@ if HAVE_HYPOTHESIS:
     def test_greedy_cover_properties(seed):
         _check_properties(seed)
 
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_budgeted_cover_properties(seed):
+        _check_budgeted_properties(seed)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_masked_cover_properties(seed):
+        _check_masked_properties(seed)
+
 else:  # pragma: no cover - exercised only without hypothesis
 
     @pytest.mark.parametrize("seed", range(60))
     def test_greedy_cover_properties(seed):
         _check_properties(seed)
+
+    @pytest.mark.parametrize("seed", range(60))
+    def test_budgeted_cover_properties(seed):
+        _check_budgeted_properties(seed)
+
+    @pytest.mark.parametrize("seed", range(60))
+    def test_masked_cover_properties(seed):
+        _check_masked_properties(seed)

@@ -94,6 +94,45 @@ def test_greedy_estimate_matches_reevaluation(small_net, corpus, decay, q, k):
     assert cover.estimate == pytest.approx(recomputed, rel=1e-12)
 
 
+@pytest.mark.parametrize("q,k", [((50.0, 50.0), 5), ((20.0, 80.0), 3)])
+def test_targeted_eq9_within_monte_carlo_ci(small_net, corpus, decay, q, k):
+    """The masked (targeted/bichromatic) Eq. 9 estimator is unbiased for
+    the spread restricted to the target subset.
+
+    The RIS side masks the per-sample weights by the root's target
+    membership (exactly what ``RisDaIndex.query_masked`` does); the
+    Monte-Carlo side hands the simulator the masked node weights
+    directly, so only influence landing on target nodes counts.  The two
+    must agree within their combined sampling error.
+    """
+    targets = np.arange(0, small_net.n, 3)  # every third node
+    mask = np.zeros(small_net.n)
+    mask[targets] = 1.0
+
+    node_weights = decay.weights(small_net.coords, q)
+    sample_weights = node_weights[corpus.roots] * mask[corpus.roots]
+    cover = weighted_greedy_cover(corpus, sample_weights, k)
+    assert cover.seeds, "masked greedy must select at least one seed"
+
+    mc = monte_carlo_weighted_spread(
+        small_net, cover.seeds, node_weights=node_weights * mask,
+        rounds=MC_ROUNDS, seed=777,
+    )
+    ris_se = _ris_standard_error(
+        corpus, cover.seeds, sample_weights, small_net.n
+    )
+    combined_se = math.sqrt(mc.std_error ** 2 + ris_se ** 2)
+    assert abs(cover.estimate - mc.value) <= Z * combined_se, (
+        f"targeted Eq. 9 estimate {cover.estimate:.3f} vs MC {mc.value:.3f} "
+        f"(+/- {mc.std_error:.3f}) at q={q}, k={k}: gap exceeds "
+        f"{Z} combined sigma ({combined_se:.3f})"
+    )
+    # And the targeted estimate is genuinely restricted: it cannot exceed
+    # the unmasked estimate of the same seed set.
+    unmasked = estimate_spread(corpus, cover.seeds, node_weights[corpus.roots])
+    assert cover.estimate <= unmasked + 1e-9
+
+
 def test_estimator_is_location_sensitive(small_net, corpus, decay):
     """Weighting by a far query must not inflate the estimate of a near one."""
     q_near = (50.0, 50.0)

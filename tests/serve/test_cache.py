@@ -8,12 +8,19 @@ import pytest
 
 from repro.core.mia_da import MiaDaConfig, MiaDaIndex
 from repro.core.persistence import save_mia_index, save_ris_index
-from repro.core.query import SeedResult
+from repro.core.query import DaimQuery, SeedResult
+from repro.core.querykind import (
+    BudgetedQuery,
+    HeuristicQuery,
+    TargetedQuery,
+    cache_extra,
+)
 from repro.core.ris_da import RisDaConfig, RisDaIndex
 from repro.exceptions import ServeError
 from repro.geo.weights import DistanceDecay
 from repro.network.generators import GeoSocialConfig, generate_geo_social_network
 from repro.serve.cache import IndexCache, ResultCache
+from repro.serve.engine import QueryEngine
 from repro.serve.metrics import MetricsRegistry
 
 
@@ -169,6 +176,93 @@ class TestResultCache:
     def test_bad_capacity(self):
         with pytest.raises(ServeError):
             ResultCache(capacity=0)
+
+
+class TestKindAwareCacheKeys:
+    """Regression: the result-cache key must discriminate query *kind*.
+
+    Before the fix the key was ``(fingerprint, generation, cell, k)`` —
+    a targeted or budgeted query landing on a point query's cell would
+    be answered from the point entry (wrong seed set, wrong objective).
+    The key now ends in :func:`repro.core.querykind.cache_extra`, which
+    tags the kind and fingerprints the mask/cost structure.
+    """
+
+    @pytest.fixture(scope="class")
+    def engine(self, net, decay):
+        cfg = RisDaConfig(
+            k_max=5, n_pivots=6, epsilon_pivot=0.4,
+            max_index_samples=8000, seed=2,
+        )
+        return QueryEngine(RisDaIndex(net, decay, cfg))
+
+    def test_targeted_does_not_hit_point_entry(self, engine, net):
+        """Pre-fix this failed: the targeted query came back cached with
+        the point query's (unmasked) answer."""
+        q, k = (50.0, 50.0), 3
+        point = engine.query(q, k=k)
+        assert point.ok
+        # Warm hit for the same point query proves the entry is live...
+        assert engine.query(q, k=k).cached
+        # ...yet a targeted query at the same cell and k must miss it.
+        targeted = engine.query(
+            TargetedQuery(location=q, k=k, targets=tuple(range(0, net.n, 4)))
+        )
+        assert targeted.ok, targeted.error
+        assert not targeted.cached
+        assert targeted.result.estimate < point.result.estimate
+
+    def test_repeated_targeted_hits_its_own_entry(self, engine, net):
+        query = TargetedQuery(
+            location=(20.0, 20.0), k=3, targets=tuple(range(0, net.n, 4))
+        )
+        first = engine.query(query)
+        assert first.ok and not first.cached
+        again = engine.query(query)
+        assert again.cached
+        assert again.result.seeds == first.result.seeds
+
+    def test_different_target_sets_get_distinct_entries(self, engine, net):
+        q, k = (80.0, 20.0), 3
+        a = engine.query(TargetedQuery(location=q, k=k, targets=(0, 1, 2)))
+        b = engine.query(
+            TargetedQuery(location=q, k=k, targets=tuple(range(net.n)))
+        )
+        assert a.ok and b.ok
+        assert not b.cached  # same cell, same k, different mask
+
+    def test_budgeted_does_not_hit_point_entry(self, engine):
+        q, k = (35.0, 65.0), 3
+        engine.query(q, k=k)
+        budgeted = engine.query(BudgetedQuery(location=q, budget=float(k)))
+        assert budgeted.ok and not budgeted.cached
+        # A different cost structure at the same budget is another entry.
+        other = engine.query(
+            BudgetedQuery(location=q, budget=float(k), costs=((0, 0.5),))
+        )
+        assert other.ok and not other.cached
+
+    def test_heuristic_is_never_cached(self, engine):
+        query = HeuristicQuery(location=(50.0, 50.0), k=3)
+        assert cache_extra(query) is None
+        first = engine.query(query)
+        second = engine.query(query)
+        assert first.ok and second.ok
+        assert not first.cached and not second.cached
+
+    def test_cache_extra_discriminates_kinds(self):
+        q = (1.0, 2.0)
+        point = cache_extra(DaimQuery(location=q, k=3))
+        targeted = cache_extra(TargetedQuery(location=q, k=3, targets=(0, 1)))
+        budgeted = cache_extra(BudgetedQuery(location=q, budget=3.0))
+        assert len({point, targeted, budgeted}) == 3
+        # Same kind, different parameterisation -> different tails.
+        assert cache_extra(
+            TargetedQuery(location=q, k=3, targets=(0, 2))
+        ) != targeted
+        assert cache_extra(
+            BudgetedQuery(location=q, budget=3.0, costs=((1, 2.0),))
+        ) != budgeted
 
 
 class TestIndexCacheConcurrency:

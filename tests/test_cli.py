@@ -281,6 +281,77 @@ class TestServeBatch:
         ])
         assert rc == 2
 
+    def _write_mixed_queries(self, tmp_path):
+        import json
+        path = tmp_path / "kinds.jsonl"
+        lines = [
+            json.dumps({"x": 50.0, "y": 50.0, "k": 3}),
+            json.dumps({"kind": "trajectory",
+                        "waypoints": [[10.0, 10.0], [50.0, 50.0]], "k": 3}),
+            json.dumps({"kind": "targeted", "x": 50.0, "y": 50.0, "k": 3,
+                        "targets": list(range(0, 40, 2))}),
+            json.dumps({"kind": "budgeted", "x": 20.0, "y": 80.0,
+                        "budget": 3, "costs": [[0, 0.5]]}),
+            json.dumps({"kind": "heuristic", "x": 80.0, "y": 20.0, "k": 3}),
+        ]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path
+
+    def test_serve_batch_mixed_kinds_multiprocess_parity(
+        self, tmp_path, capsys
+    ):
+        """All five query kinds through --processes 2: row-for-row seed
+        parity with the in-process run, per-kind Prometheus counters."""
+        import json
+        from repro.obs.prom import parse_prometheus
+
+        index_path = self._build_ris(tmp_path, capsys)
+        queries = self._write_mixed_queries(tmp_path)
+        single_out = tmp_path / "single.jsonl"
+        rc = main([
+            "serve-batch", "--dataset", "brightkite", "--scale", "0.1",
+            "--index", str(index_path), "--queries", str(queries),
+            "--out", str(single_out),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        pool_out = tmp_path / "pool.jsonl"
+        prom_path = tmp_path / "kinds.prom"
+        rc = main([
+            "serve-batch", "--dataset", "brightkite", "--scale", "0.1",
+            "--index", str(index_path), "--queries", str(queries),
+            "--out", str(pool_out), "--processes", "2",
+            "--metrics-prom", str(prom_path),
+        ])
+        assert rc == 0
+        single = [
+            json.loads(line)
+            for line in single_out.read_text().splitlines() if line
+        ]
+        pooled = [
+            json.loads(line)
+            for line in pool_out.read_text().splitlines() if line
+        ]
+        assert len(pooled) == 5
+        assert [r["seeds"] for r in pooled] == [r["seeds"] for r in single]
+        kinds = [r["kind"] for r in pooled]
+        assert kinds == [
+            "point", "trajectory", "targeted", "budgeted", "heuristic",
+        ]
+        traj = pooled[1]
+        assert len(traj["waypoint_seeds"]) == 2
+        assert traj["seeds"] == traj["waypoint_seeds"][-1]
+        heur = pooled[4]
+        assert heur["fallback"] and heur["fallback_reason"] == "requested"
+        assert "heuristic_score" in heur and "estimate" not in heur
+        for row in pooled[:4]:
+            assert not row["fallback"] and "estimate" in row
+        parsed = parse_prometheus(prom_path.read_text())
+        for kind in kinds:
+            assert parsed.value(
+                "repro_serve_queries_total", kind=kind
+            ) == 1, kind
+
 
 class TestInfo:
     def test_info_prints_runtime_snapshot(self, capsys):
