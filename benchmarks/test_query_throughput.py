@@ -124,6 +124,10 @@ def test_multiprocess_throughput(tmp_path):
     network, index_path = _build_index(tmp_path)
     queries = random_queries(network, N_QUERIES, seed=19)
     config = ServeConfig(n_threads=1, result_cache_size=0)
+    # On a single-core box the pool's workers and the parent's collector
+    # time-slice one CPU: vs_single < 1 there reads like a regression but
+    # is core starvation, so the ratio is published report-only.
+    multi_core = (os.cpu_count() or 1) >= 2
 
     engine = QueryEngine.from_path(index_path, network, config=config)
     engine.serve_batch(queries, k=K)  # warmup
@@ -180,11 +184,17 @@ def test_multiprocess_throughput(tmp_path):
         },
         "pool": rows,
         "cpu_count": os.cpu_count(),
+        "vs_single_enforced": bool(not TINY and multi_core),
+        "note": None if multi_core else (
+            "single-core host: vs_single reflects core starvation "
+            "(workers + collector share one CPU), not a pool regression; "
+            "ratios are report-only"
+        ),
     })
 
     two = rows[-1]
     assert two["processes"] == 2
-    if not TINY and (os.cpu_count() or 1) >= 2:
+    if not TINY and multi_core:
         one = rows[0]
         assert two["q/s"] >= 2 * one["q/s"], (
             f"2 workers should at least double 1-worker throughput on a "

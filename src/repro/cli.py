@@ -105,6 +105,21 @@ def _add_decay_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--c", type=float, default=1.0, help="maximum node weight")
 
 
+def _add_kernel_backend_arg(
+    p: argparse.ArgumentParser, default: Optional[str]
+) -> None:
+    p.add_argument(
+        "--kernel-backend", choices=("auto", "numpy", "numba"),
+        default=default,
+        help="native-kernel backend for the selection/sampling hot loops: "
+             "auto picks numba when installed and warm, numpy is the "
+             "always-available reference, numba requires the optional "
+             "extra; answers are bit-identical across backends"
+             + ("" if default else
+                " (default: keep the index's persisted request)"),
+    )
+
+
 def _add_obs_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--log-json", action="store_true",
@@ -167,6 +182,7 @@ def cmd_build_ris(args: argparse.Namespace) -> int:
         seed=args.seed,
         n_workers=args.workers,
         selection=args.selection,
+        kernel_backend=args.kernel_backend,
     )
     with contextlib.ExitStack() as stack:
         tracer = _activate_obs(args, stack)
@@ -177,7 +193,7 @@ def cmd_build_ris(args: argparse.Namespace) -> int:
         f"built RIS-DA index in {index.build_seconds:.1f}s: "
         f"{len(index.corpus)} samples "
         f"({'truncated' if index.truncated else 'complete'}), "
-        f"saved to {args.out}"
+        f"kernel backend {index.kernel_backend}, saved to {args.out}"
     )
     return 0
 
@@ -268,6 +284,8 @@ def cmd_query(args: argparse.Namespace) -> int:
     q = (args.x, args.y)
     if args.method == "ris" and args.index:
         index = load_ris_index(args.index, network)
+        if args.kernel_backend is not None:
+            index.set_kernel_backend(args.kernel_backend)
         result = index.query(q, args.k)
     elif args.method == "ris":
         result = adhoc_ris_query(network, q, args.k, decay, seed=args.seed)
@@ -376,11 +394,12 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
             engine = stack.enter_context(ServePool(
                 args.index, network, n_workers=args.processes,
                 kind=args.method, config=config, backing=args.backing,
+                kernel_backend=args.kernel_backend,
             ))
         else:
             engine = QueryEngine.from_path(
                 args.index, network, kind=args.method, config=config,
-                slow_log=slow_log,
+                slow_log=slow_log, kernel_backend=args.kernel_backend,
             )
         start = time.perf_counter()
         served = engine.serve_batch(queries)
@@ -439,11 +458,12 @@ def cmd_serve_http(args: argparse.Namespace) -> int:
             engine = stack.enter_context(ServePool(
                 args.index, network, n_workers=args.processes,
                 kind=args.method, config=config, backing=args.backing,
+                kernel_backend=args.kernel_backend,
             ))
         else:
             engine = QueryEngine.from_path(
                 args.index, network, kind=args.method, config=config,
-                slow_log=slow_log,
+                slow_log=slow_log, kernel_backend=args.kernel_backend,
             )
         server = ObsHttpServer(
             engine=engine, host=args.host, port=args.port, default_k=args.k,
@@ -511,6 +531,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="greedy-cover kernel: eager argmax scan (default) or "
              "CELF-style lazy heap; both select identical seed sets",
     )
+    _add_kernel_backend_arg(p, default="auto")
     _add_obs_args(p)
     p.set_defaults(func=cmd_build_ris)
 
@@ -582,6 +603,7 @@ def build_parser() -> argparse.ArgumentParser:
              "--method mia (build-mia)",
     )
     p.add_argument("--seed", type=int, default=0)
+    _add_kernel_backend_arg(p, default=None)
     p.set_defaults(func=cmd_query)
 
     p = sub.add_parser(
@@ -631,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--slow-query-out", default="slow-queries.jsonl",
         help="slow-query JSONL sink path (default: slow-queries.jsonl)",
     )
+    _add_kernel_backend_arg(p, default=None)
     _add_obs_args(p)
     p.set_defaults(func=cmd_serve_batch)
 
@@ -674,6 +697,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--slow-query-out", default="slow-queries.jsonl",
         help="slow-query JSONL sink path (default: slow-queries.jsonl)",
     )
+    _add_kernel_backend_arg(p, default=None)
     _add_obs_args(p)
     p.set_defaults(func=cmd_serve_http)
 

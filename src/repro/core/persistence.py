@@ -41,6 +41,7 @@ from repro.exceptions import DataFormatError
 from repro.geo.grid import UniformGrid
 from repro.geo.kdtree import KDTree
 from repro.geo.weights import DistanceDecay
+from repro.kernels import resolve_backend
 from repro.mia.pmia import MiaModel
 from repro.network.graph import GeoSocialNetwork
 from repro.ris.corpus import RRCorpus
@@ -190,6 +191,7 @@ def ris_index_arrays(
             "seed": index.config.seed,
             "n_workers": index.config.n_workers,
             "selection": index.config.selection,
+            "kernel_backend": index.config.kernel_backend,
         },
     }
     arrays = {
@@ -299,6 +301,9 @@ def assemble_ris_index(
         n_workers=cfg_raw.get("n_workers", 1),
         # Pre-kernel-PR files carry no selection field: they were eager.
         selection=cfg_raw.get("selection", "eager"),
+        # The *request* is persisted; each loading host resolves it
+        # locally (answers are backend-invariant, speed is not).
+        kernel_backend=cfg_raw.get("kernel_backend", "auto"),
     )
 
     # Assemble the object without re-running the build.
@@ -306,12 +311,17 @@ def assemble_ris_index(
     index.network = network
     index.decay = decay
     index.config = config
+    # Resolved per loading host, never persisted concrete: the file may
+    # travel between numba-capable and numba-less machines.
+    index.kernel_backend = resolve_backend(config.kernel_backend)
     index.pivots = pivots
     index._pivot_tree = KDTree(pivots)
     if "corpus_keys" in arrays:
         # Keyed corpora restore with a coupled sampler so streaming
         # updates keep the regeneration path after a round-trip.
-        index.sampler = CoupledRRSampler(network, seed=config.seed)
+        index.sampler = CoupledRRSampler(
+            network, seed=config.seed, kernel_backend=index.kernel_backend
+        )
         index.corpus = RRCorpus.from_arrays(
             index.sampler, roots, flat, offsets, keys=arrays["corpus_keys"]
         )

@@ -31,7 +31,7 @@ indexed report ``guarantee_met=False`` in their diagnostics).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -47,6 +47,7 @@ from repro.geo.sampling import (
 )
 from repro.geo.voronoi import VoronoiDiagram
 from repro.geo.weights import DistanceDecay
+from repro.kernels import resolve_backend
 from repro.network.graph import GeoSocialNetwork
 from repro.obs.log import get_logger
 from repro.obs.progress import Heartbeat
@@ -87,6 +88,14 @@ class RisDaConfig:
     reference) or ``"lazy"`` (CELF-style stale-gain heap).  Both select
     identical seed sets up to exact float ties — see
     :func:`repro.ris.coverage.weighted_greedy_cover`.
+
+    ``kernel_backend`` requests the native-kernel backend for the hot
+    loops (selection and the coupled sampler traversal): ``"auto"``
+    (default; numba when importable and warm, else numpy), ``"numpy"``
+    or ``"numba"`` (raises :class:`~repro.exceptions.KernelError` when
+    the host cannot compile).  Resolution happens once per index — see
+    :mod:`repro.kernels` — and the compiled kernels are bit-identical
+    to the numpy ones, so the backend is a pure speed knob.
     """
 
     k_max: int = 50
@@ -102,6 +111,7 @@ class RisDaConfig:
     seed: int = 0
     n_workers: int = 1
     selection: str = "eager"
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.diffusion not in ("ic", "lt"):
@@ -126,6 +136,11 @@ class RisDaConfig:
         if self.selection not in ("eager", "lazy"):
             raise QueryError(
                 f"selection must be 'eager' or 'lazy', got {self.selection!r}"
+            )
+        if self.kernel_backend not in ("auto", "numpy", "numba"):
+            raise QueryError(
+                "kernel_backend must be 'auto', 'numpy' or 'numba', "
+                f"got {self.kernel_backend!r}"
             )
 
     def resolved_deltas(self, n: int) -> Tuple[float, float]:
@@ -195,6 +210,9 @@ class RisDaIndex:
         self.network = network
         self.decay = decay if decay is not None else DistanceDecay()
         self.config = config if config is not None else RisDaConfig()
+        #: The *resolved* native-kernel backend ("numpy" or "numba",
+        #: never "auto"); stamped into serving metrics and ``repro info``.
+        self.kernel_backend = resolve_backend(self.config.kernel_backend)
         #: Bumped by :meth:`update`; serving folds it into cache keys so
         #: result-cache entries die when the in-memory index changes.
         self.generation = 0
@@ -268,7 +286,9 @@ class RisDaIndex:
             # (seed, key, graph), which is what lets update() regenerate
             # only the dirty slots instead of resampling a corpus-sized
             # pass (see repro.ris.coupled).
-            self.sampler = CoupledRRSampler(net, seed=cfg.seed)
+            self.sampler = CoupledRRSampler(
+                net, seed=cfg.seed, kernel_backend=self.kernel_backend
+            )
         else:
             self.sampler = RRSampler(net, seed=rng, diffusion=cfg.diffusion)
         self.corpus = RRCorpus(self.sampler)
@@ -299,6 +319,7 @@ class RisDaIndex:
                 cover = weighted_greedy_cover(
                     self.corpus, weights[self.corpus.roots[:l_p]], k_max,
                     prefix=l_p, compute_bound=False, method=cfg.selection,
+                    backend=self.kernel_backend,
                 )
                 # Greedy is nested: prefix estimates give the whole k curve.
                 self.pivot_estimates[pi] = [
@@ -484,7 +505,10 @@ class RisDaIndex:
         cfg = self.config
         dirty = self._flipped_slots(delta)
         self.network = applied.network
-        sampler = CoupledRRSampler(applied.network, seed=cfg.seed)
+        sampler = CoupledRRSampler(
+            applied.network, seed=cfg.seed,
+            kernel_backend=self.kernel_backend,
+        )
         self.sampler = sampler
         self.corpus.replace_sampler(sampler)
         retired = self.corpus.regenerate(dirty)
@@ -585,6 +609,23 @@ class RisDaIndex:
             sampler.close()
         return retired, added
 
+    def set_kernel_backend(self, name: str) -> str:
+        """Re-resolve the native-kernel backend on a built index.
+
+        ``name`` is any of ``"auto"``/``"numpy"``/``"numba"``; returns
+        the resolved concrete name.  Safe at any time: the compiled and
+        numpy kernels are bit-identical, so switching never changes a
+        query answer — a loaded index can be served with a different
+        backend than it was built with (the persisted config stores the
+        *request*, each host resolves it locally).
+        """
+        resolved = resolve_backend(name)
+        self.config = replace(self.config, kernel_backend=name)
+        self.kernel_backend = resolved
+        if isinstance(self.sampler, CoupledRRSampler):
+            self.sampler.kernel_backend = resolved
+        return resolved
+
     # ------------------------------------------------------------------
     # Online phase
     # ------------------------------------------------------------------
@@ -683,6 +724,7 @@ class RisDaIndex:
         cover = weighted_greedy_cover(
             self.corpus, sample_weights, k, prefix=l_used,
             compute_bound=False, method=cfg.selection,
+            backend=self.kernel_backend,
         )
         elapsed = time.perf_counter() - start
         result = SeedResult(
@@ -795,6 +837,7 @@ class RisDaIndex:
         cover = weighted_budgeted_cover(
             self.corpus, sample_weights, costs, float(budget),
             prefix=l_used, method=cfg.selection,
+            backend=self.kernel_backend,
         )
         elapsed = time.perf_counter() - start
         result = SeedResult(
@@ -876,6 +919,7 @@ class RisDaIndex:
             cover = weighted_greedy_cover(
                 self.corpus, sample_weights, k, prefix=l_used,
                 compute_bound=False, method=cfg.selection,
+                backend=self.kernel_backend,
             )
             elapsed = time.perf_counter() - start
             result = SeedResult(

@@ -1,0 +1,33 @@
+"""Native-speed selection and sampling kernels (optional numba backend).
+
+See DESIGN.md, "Native kernels".  Public surface:
+
+* :func:`resolve_backend` — ``"auto"``/``"numpy"``/``"numba"`` to a
+  concrete backend name (``"auto"`` falls back to numpy when numba is
+  missing or fails its warm-up self-check).
+* :func:`available_backends` / :func:`numba_version` — host probes,
+  stamped into ``repro info`` and benchmark environment blocks.
+* :func:`kernels` — the compiled :class:`KernelSet` of the numba
+  backend (the numpy backend is the vectorized code in
+  :mod:`repro.ris` itself).
+
+Importing this package never imports numba.
+"""
+
+from repro.kernels.registry import (
+    BACKENDS,
+    KernelSet,
+    available_backends,
+    kernels,
+    numba_version,
+    resolve_backend,
+)
+
+__all__ = [
+    "BACKENDS",
+    "KernelSet",
+    "available_backends",
+    "kernels",
+    "numba_version",
+    "resolve_backend",
+]

@@ -91,17 +91,34 @@ class CoupledRRSampler:
         Integer seed.  Together with a slot key it fixes the slot's
         root and every coin, so corpora built from the same ``(seed,
         keys, graph)`` are bit-identical regardless of draw order.
+    kernel_backend:
+        ``"numpy"`` (default) or ``"numba"`` — a *resolved* backend
+        name (see :mod:`repro.kernels`).  The compiled traversal hashes
+        the identical coin domain, so batches and regenerated slots are
+        bit-identical across backends; the backend is therefore free to
+        change between a build and a later update.
     """
 
     #: Marks the per-slot contract for :class:`~repro.ris.corpus.RRCorpus`.
     coupled = True
     diffusion = "ic"
 
-    def __init__(self, network: GeoSocialNetwork, seed: int = 0):
+    def __init__(
+        self,
+        network: GeoSocialNetwork,
+        seed: int = 0,
+        kernel_backend: str = "numpy",
+    ):
         if not isinstance(seed, (int, np.integer)):
             raise GraphError(
                 f"coupled sampling needs an integer seed, got {type(seed).__name__}"
             )
+        if kernel_backend not in ("numpy", "numba"):
+            raise GraphError(
+                f"kernel_backend must be a resolved backend ('numpy' or "
+                f"'numba'), got {kernel_backend!r}"
+            )
+        self.kernel_backend = kernel_backend
         self.network = network
         self.seed = int(seed)
         #: Next unused slot key; advanced by the drawing methods.
@@ -152,6 +169,9 @@ class CoupledRRSampler:
             self.draw_count, self.draw_count + count, dtype=np.int64
         )
         self.draw_count += count
+        if self.kernel_backend == "numba" and count:
+            roots, flat, offsets = self._batch_compiled(keys)
+            return keys, roots, flat, offsets
         roots = np.empty(count, dtype=np.int64)
         offsets = np.zeros(count + 1, dtype=np.int64)
         buf = np.empty(max(1024, 4 * count), dtype=np.int64)
@@ -209,12 +229,29 @@ class CoupledRRSampler:
         net = self.network
         if net.n == 0:
             raise GraphError("cannot sample from an empty network")
+        if self.kernel_backend == "numba":
+            keys = np.asarray([key], dtype=np.int64)
+            roots, flat, _ = self._batch_compiled(keys)
+            return int(roots[0]), flat
         with np.errstate(over="ignore"):
             slot = _mix64(self._seed64 ^ (np.uint64(key) * _GOLDEN))
             root = int(_mix64(slot ^ _ROOT_SALT) % np.uint64(net.n))
             return root, self._reverse_reach(slot, root)
 
     # ------------------------------------------------------------------
+
+    def _batch_compiled(
+        self, keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Run the JIT traversal over ``keys``; bit-identical to numpy."""
+        from repro.kernels import kernels
+
+        ks = kernels("numba")
+        net = self.network
+        return ks.coupled_batch(
+            self._seed64, keys, net.in_offsets, net.in_sources,
+            self._edge_mix, self._thresholds, net.n,
+        )
 
     def _reverse_reach(self, slot: np.uint64, root: int) -> np.ndarray:
         """IC reverse traversal with hashed coins (LIFO, like the

@@ -164,6 +164,7 @@ def weighted_greedy_cover(
     *,
     compute_bound: BoundMode = True,
     method: str = "eager",
+    backend: str = "numpy",
 ) -> CoverageResult:
     """Algorithm 2: greedy seed selection over a weighted sample prefix.
 
@@ -194,6 +195,15 @@ def weighted_greedy_cover(
         re-evaluated on pop.  Both maintain scores with the same batched
         kernels and break exact ties toward the lowest node id, so they
         select identical seed sets.
+    backend:
+        ``"numpy"`` (default) runs the vectorized kernels in this
+        module; ``"numba"`` runs the JIT-compiled loops from
+        :mod:`repro.kernels` (a *resolved* backend name — resolve
+        ``"auto"`` through :func:`repro.kernels.resolve_backend`
+        first).  The compiled path is seed-for-seed and bit-for-bit
+        gain-identical to numpy (pinned by ``tests/kernels``) and only
+        engages when ``compute_bound=False`` — the serving hot path;
+        bound-requesting (certification) calls always run numpy.
     """
     t_start = time.perf_counter()
     l = len(corpus) if prefix is None else int(prefix)
@@ -214,10 +224,20 @@ def weighted_greedy_cover(
         )
     if method not in ("eager", "lazy"):
         raise QueryError(f"method must be 'eager' or 'lazy', got {method!r}")
+    if backend not in ("numpy", "numba"):
+        raise QueryError(
+            f"backend must be a resolved kernel backend ('numpy' or "
+            f"'numba'), got {backend!r}"
+        )
     weights = np.asarray(sample_weights, dtype=float)
     if len(weights) < l:
         raise SamplingError(
             f"need at least {l} sample weights, got {len(weights)}"
+        )
+
+    if backend == "numba" and compute_bound is False:
+        return _greedy_cover_compiled(
+            corpus, weights, k, l, n, method, t_start
         )
 
     flat, offsets = corpus.flat()
@@ -324,6 +344,55 @@ def weighted_greedy_cover(
     )
 
 
+def _greedy_cover_compiled(
+    corpus: RRCorpus,
+    weights: np.ndarray,
+    k: int,
+    l: int,
+    n: int,
+    method: str,
+    t_start: float,
+) -> CoverageResult:
+    """The ``backend="numba"`` path of :func:`weighted_greedy_cover`.
+
+    Same flat inputs, same timing split: ``score_build`` covers the
+    compiled score build plus the (cached) inverted-index build,
+    ``selection`` the compiled pick/decrement loop.  The compiled
+    kernels reproduce the numpy float semantics exactly (see
+    :mod:`repro.kernels.loops`), so seeds, gains and the estimate are
+    bit-identical to the numpy backend.
+    """
+    from repro.kernels import kernels
+
+    ks = kernels("numba")
+    flat, offsets = corpus.flat()
+    inv_samples, inv_offsets = corpus.inverted()
+    weights = np.ascontiguousarray(weights, dtype=np.float64)
+    score = ks.score_build(flat, offsets, weights, l, n)
+    t_built = time.perf_counter()
+    select = ks.greedy_select if method == "eager" else ks.lazy_select
+    seed_arr, gains, n_sel, covered_weight = select(
+        flat, offsets, inv_samples, inv_offsets, weights, score, l, k,
+        _DRIFT_RTOL,
+    )
+    estimate = n * covered_weight / l
+    t_end = time.perf_counter()
+    timings = SelectionTimings(
+        score_build=t_built - t_start,
+        selection=t_end - t_built,
+        bound=0.0,
+        total=t_end - t_start,
+    )
+    return CoverageResult(
+        seeds=[int(s) for s in seed_arr[:n_sel]],
+        gains=gains,
+        estimate=estimate,
+        samples_used=l,
+        optimal_coverage_upper=float("inf"),
+        timings=timings,
+    )
+
+
 @dataclass(frozen=True)
 class BudgetedCoverageResult:
     """Output of the cost-aware (budgeted) greedy cover.
@@ -350,6 +419,7 @@ def weighted_budgeted_cover(
     prefix: int | None = None,
     *,
     method: str = "lazy",
+    backend: str = "numpy",
 ) -> BudgetedCoverageResult:
     """Cost-aware greedy max coverage: pick by gain/cost ratio, stop at budget.
 
@@ -370,6 +440,10 @@ def weighted_budgeted_cover(
     ratio ties toward the lowest node id and select identical seeds.
     Nodes whose cost exceeds the *remaining* budget are dropped
     permanently when encountered — the remaining budget only shrinks.
+
+    ``backend="numba"`` runs the JIT-compiled ratio loops (same
+    contract as :func:`weighted_greedy_cover`'s ``backend``): seeds,
+    gains and cost accounting are bit-identical to numpy.
     """
     t_start = time.perf_counter()
     l = len(corpus) if prefix is None else int(prefix)
@@ -381,6 +455,11 @@ def weighted_budgeted_cover(
         raise QueryError(f"budget must be positive, got {budget}")
     if method not in ("eager", "lazy"):
         raise QueryError(f"method must be 'eager' or 'lazy', got {method!r}")
+    if backend not in ("numpy", "numba"):
+        raise QueryError(
+            f"backend must be a resolved kernel backend ('numpy' or "
+            f"'numba'), got {backend!r}"
+        )
     n = corpus.n_nodes
     costs = np.asarray(costs, dtype=float)
     if costs.shape != (n,):
@@ -390,6 +469,11 @@ def weighted_budgeted_cover(
     weights = np.asarray(sample_weights, dtype=float)
     if len(weights) < l:
         raise SamplingError(f"need at least {l} sample weights, got {len(weights)}")
+
+    if backend == "numba":
+        return _budgeted_cover_compiled(
+            corpus, weights, costs, float(budget), l, n, method, t_start
+        )
 
     flat, offsets = corpus.flat()
     end = int(offsets[l])
@@ -478,6 +562,52 @@ def weighted_budgeted_cover(
         estimate=estimate,
         samples_used=l,
         cost_spent=cost_spent,
+        timings=timings,
+    )
+
+
+def _budgeted_cover_compiled(
+    corpus: RRCorpus,
+    weights: np.ndarray,
+    costs: np.ndarray,
+    budget: float,
+    l: int,
+    n: int,
+    method: str,
+    t_start: float,
+) -> BudgetedCoverageResult:
+    """The ``backend="numba"`` path of :func:`weighted_budgeted_cover`."""
+    from repro.kernels import kernels
+
+    ks = kernels("numba")
+    flat, offsets = corpus.flat()
+    inv_samples, inv_offsets = corpus.inverted()
+    weights = np.ascontiguousarray(weights, dtype=np.float64)
+    costs = np.ascontiguousarray(costs, dtype=np.float64)
+    score = ks.score_build(flat, offsets, weights, l, n)
+    t_built = time.perf_counter()
+    select = (
+        ks.budgeted_eager_select if method == "eager"
+        else ks.budgeted_lazy_select
+    )
+    seed_arr, gain_arr, n_sel, covered_weight, cost_spent = select(
+        flat, offsets, inv_samples, inv_offsets, weights, score, costs,
+        budget, l, _DRIFT_RTOL,
+    )
+    estimate = n * covered_weight / l
+    t_end = time.perf_counter()
+    timings = SelectionTimings(
+        score_build=t_built - t_start,
+        selection=t_end - t_built,
+        bound=0.0,
+        total=t_end - t_start,
+    )
+    return BudgetedCoverageResult(
+        seeds=[int(s) for s in seed_arr[:n_sel]],
+        gains=np.asarray(gain_arr[:n_sel], dtype=float),
+        estimate=estimate,
+        samples_used=l,
+        cost_spent=float(cost_spent),
         timings=timings,
     )
 

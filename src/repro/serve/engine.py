@@ -202,10 +202,26 @@ class QueryEngine:
         tracer=None,
         logger=None,
         slow_log: Optional[SlowQueryLog] = None,
+        kernel_backend: Optional[str] = None,
     ):
         self.index = index
         self.network: GeoSocialNetwork = index.network
         self.decay = index.decay
+        if kernel_backend is not None:
+            setter = getattr(index, "set_kernel_backend", None)
+            if setter is not None:
+                setter(kernel_backend)
+            elif kernel_backend not in ("auto", "numpy"):
+                # MIA-DA has no native kernels; an explicit numba request
+                # against it is a caller mistake, not a silent no-op.
+                raise ServeError(
+                    f"index of type {type(index).__name__} does not "
+                    f"support kernel backend {kernel_backend!r}"
+                )
+        #: The index's resolved native-kernel backend; stamped onto stage
+        #: histograms (``stage_*_ms{kernel_backend=...}``) and query spans.
+        self.kernel_backend: str = getattr(index, "kernel_backend", "numpy")
+        self._stage_labels = {"kernel_backend": self.kernel_backend}
         self.config = config if config is not None else ServeConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         # Tracer/logger are resolved once from the ambient context here
@@ -291,13 +307,15 @@ class QueryEngine:
         tracer=None,
         logger=None,
         slow_log: Optional[SlowQueryLog] = None,
+        kernel_backend: Optional[str] = None,
     ) -> "QueryEngine":
         """An engine over the saved index at ``path``.
 
         ``kind`` (``"ris"`` / ``"mia"``) restricts what the engine will
         accept; ``None`` serves whatever the file holds.  Pass a shared
         :class:`IndexCache` so several engines (or repeated CLI batches
-        in one process) load each file once.
+        in one process) load each file once.  ``kernel_backend``
+        overrides the loaded index's native-kernel backend request.
         """
         metrics = metrics if metrics is not None else MetricsRegistry()
         cache = cache if cache is not None else IndexCache(metrics=metrics)
@@ -310,6 +328,7 @@ class QueryEngine:
             tracer=tracer,
             logger=logger,
             slow_log=slow_log,
+            kernel_backend=kernel_backend,
         )
 
     # ------------------------------------------------------------------
@@ -432,7 +451,8 @@ class QueryEngine:
                 "query_start", trace_id=trace_id, kind=kind,
                 x=location[0], y=location[1], k=k,
             )
-        attrs = {"x": location[0], "y": location[1], "kind": kind}
+        attrs = {"x": location[0], "y": location[1], "kind": kind,
+                 "kernel_backend": self.kernel_backend}
         if k is not None:
             attrs["k"] = k
         with self.tracer.span(
@@ -605,7 +625,8 @@ class QueryEngine:
         timings = getattr(diag, "timings", None)
         if timings is not None:
             # RIS-DA: weight-eval / score-build / selection / bound stages.
-            m.observe_stage_seconds(timings.as_dict())
+            m.observe_stage_seconds(timings.as_dict(),
+                                    labels=self._stage_labels)
             if tracer.enabled:
                 tracer.record_stages(qspan, timings.as_dict())
         setup = getattr(diag, "setup_seconds", None)
@@ -708,7 +729,8 @@ class QueryEngine:
                     m.observe("evaluations", result.evaluations)
                 timings = getattr(diag, "timings", None)
                 if timings is not None:
-                    m.observe_stage_seconds(timings.as_dict())
+                    m.observe_stage_seconds(timings.as_dict(),
+                                            labels=self._stage_labels)
                     if tracer.enabled:
                         tracer.record_stages(qspan, timings.as_dict())
                 setup = getattr(diag, "setup_seconds", None)

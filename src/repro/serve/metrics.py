@@ -239,17 +239,26 @@ class MetricsRegistry:
         self.histogram(name, buckets).observe(value)
 
     def observe_stage_seconds(
-        self, stages: Mapping[str, float], prefix: str = "stage_"
+        self,
+        stages: Mapping[str, float],
+        prefix: str = "stage_",
+        labels: Optional[Mapping[str, str]] = None,
     ) -> None:
         """Record a per-stage seconds breakdown as ``<prefix><name>_ms``.
 
         The serving engine feeds query-stage timings (weight eval, score
         build, selection, bound) through this, so each stage gets its own
         latency histogram without call sites hand-rolling the unit
-        conversion.
+        conversion.  With ``labels`` (e.g. ``kernel_backend``) each stage
+        is observed twice — once unlabelled (the stable dashboard name)
+        and once under the labelled sibling, so backend A/B comparisons
+        don't break existing panels.
         """
         for stage, seconds in stages.items():
-            self.observe(f"{prefix}{stage}_ms", float(seconds) * 1e3)
+            ms = float(seconds) * 1e3
+            self.observe(f"{prefix}{stage}_ms", ms)
+            if labels:
+                self.observe(labelled(f"{prefix}{stage}_ms", **labels), ms)
 
     def merge_dump(self, dump: Mapping, prefix: str = "") -> None:
         """Fold another registry's :meth:`dump` into this one.

@@ -113,6 +113,7 @@ def _worker_main(
     result_q: "mp.Queue",
     untrack_shm: bool,
     parent_pid: int,
+    kernel_backend: Optional[str] = None,
 ) -> None:
     """Worker loop: attach the shared index, serve sub-batches forever.
 
@@ -138,8 +139,12 @@ def _worker_main(
     if os.getppid() != parent_pid:  # orphaned before first running
         return
     handle, index = attach_index(manifest, network, untrack=untrack_shm)
+    # Each worker resolves the backend itself: numba compile caches are
+    # per-process, and a fork/spawn child must not inherit a parent-side
+    # resolution it cannot honour.
     engine = QueryEngine(
-        index, config=config, fingerprint=manifest.fingerprint
+        index, config=config, fingerprint=manifest.fingerprint,
+        kernel_backend=kernel_backend,
     )
     try:
         while True:
@@ -212,9 +217,21 @@ class ServePool:
         metrics: Optional[MetricsRegistry] = None,
         tracer=None,
         logger=None,
+        kernel_backend: Optional[str] = None,
     ):
         if n_workers < 1:
             raise ServeError(f"n_workers must be >= 1, got {n_workers}")
+        if kernel_backend is not None and kernel_backend not in (
+            "auto", "numpy", "numba"
+        ):
+            raise ServeError(
+                "kernel_backend must be 'auto', 'numpy' or 'numba', "
+                f"got {kernel_backend!r}"
+            )
+        #: Backend *request* forwarded to every worker engine (each
+        #: worker resolves it in its own process); None keeps the
+        #: index's persisted request.
+        self.kernel_backend = kernel_backend
         self.network = network
         self.config = config if config is not None else ServeConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -283,6 +300,7 @@ class ServePool:
                 # strip its registrations.
                 self._ctx.get_start_method() != "fork",
                 os.getpid(),
+                self.kernel_backend,
             ),
             name=f"repro-serve-{worker_id}",
             daemon=True,

@@ -1,0 +1,115 @@
+"""Regression tests for the high-occupancy ``_distinct_indices`` fix.
+
+The rejection loop degenerated as ``k`` approached ``deg``: each top-up
+round mostly redrew already-chosen values, so the expected work grew
+like ``deg * H(deg)`` — quadratic-ish in practice on hubs where the
+binomial fast path asked for nearly every in-edge.  Above the
+``3*k > deg`` threshold the sampler now takes a partial Fisher–Yates
+(``rng.permutation(deg)[:k]``) instead; below it, the draw stream is
+byte-identical to the old loop (pinned here against a frozen copy of
+the pre-fix implementation).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.ris.rrset import _binomial_subset, _distinct_indices
+
+
+def _legacy_distinct_indices(rng, deg, k):
+    """The pre-fix implementation, frozen for stream-compat pinning."""
+    chosen: set[int] = set()
+    while len(chosen) < k:
+        need = k - len(chosen)
+        chosen.update(int(i) for i in rng.integers(0, deg, size=need))
+    return np.fromiter(chosen, dtype=np.int64, count=k)
+
+
+def _assert_valid(idx, deg, k):
+    assert len(idx) == k
+    assert len(np.unique(idx)) == k
+    assert idx.min() >= 0
+    assert idx.max() < deg
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("deg", [4, 64, 257, 1000])
+    def test_all_occupancies(self, deg):
+        """Every k in [1, deg], both sides of the threshold and the
+        post-inversion band deg/3 < k <= deg/2 the fast path produces."""
+        rng = np.random.default_rng(0)
+        for k in range(1, deg + 1):
+            _assert_valid(_distinct_indices(rng, deg, k), deg, k)
+
+    def test_k_equals_deg(self):
+        rng = np.random.default_rng(1)
+        idx = _distinct_indices(rng, 100, 100)
+        assert np.array_equal(np.sort(idx), np.arange(100))
+
+    @pytest.mark.parametrize("k", [1, 20, 40, 50, 90])
+    def test_uniform_marginals(self, k):
+        """Each index must appear with probability k/deg regardless of
+        which path (rejection, permutation) sampled it."""
+        deg, rounds = 100, 3000
+        rng = np.random.default_rng(2)
+        counts = np.zeros(deg)
+        for _ in range(rounds):
+            counts[_distinct_indices(rng, deg, k)] += 1
+        expected = rounds * k / deg
+        # 5-sigma band for a Binomial(rounds, k/deg) count.
+        sigma = np.sqrt(rounds * (k / deg) * (1 - k / deg))
+        assert np.all(np.abs(counts - expected) < 5 * sigma + 1)
+
+
+class TestStreamCompat:
+    @pytest.mark.parametrize("deg,k", [(64, 1), (64, 10), (64, 21), (300, 100)])
+    def test_below_threshold_byte_identical(self, deg, k):
+        """3*k <= deg: the fix must not perturb seeded corpora — same
+        draws, same result, same RNG state afterwards."""
+        assert 3 * k <= deg
+        a = np.random.default_rng(7)
+        b = np.random.default_rng(7)
+        new = _distinct_indices(a, deg, k)
+        old = _legacy_distinct_indices(b, deg, k)
+        # (k == 1 takes a dedicated single-draw path, but a scalar draw
+        # consumes exactly the size-1 batch's stream, so it pins too.)
+        assert np.array_equal(new, old)
+        # The stream position must match too, or the *next* sample in a
+        # corpus build would silently diverge.
+        assert a.integers(0, 2**31) == b.integers(0, 2**31)
+
+    def test_binomial_subset_unchanged_below_threshold(self):
+        """End-to-end through the WC fast path at low probability."""
+        a = np.random.default_rng(11)
+        b = np.random.default_rng(11)
+        for _ in range(50):
+            got = _binomial_subset(a, 200, 0.05)
+            k = int(b.binomial(200, 0.05))
+            if k == 0:
+                expected = np.empty(0, dtype=np.int64)
+            elif k == 1:
+                expected = np.asarray([b.integers(0, 200)], dtype=np.int64)
+            else:
+                expected = _legacy_distinct_indices(b, 200, k)
+            assert np.array_equal(np.sort(got), np.sort(expected))
+
+
+class TestPerformance:
+    def test_near_full_occupancy_is_fast(self):
+        """The old loop took ~deg*H(deg) draws at k = deg-1; the
+        permutation path is one O(deg) shuffle.  Bound generously so the
+        test only fails on an actual complexity regression."""
+        rng = np.random.default_rng(3)
+        deg = 200_000
+        t0 = time.perf_counter()
+        idx = _distinct_indices(rng, deg, deg - 1)
+        elapsed = time.perf_counter() - t0
+        _assert_valid(idx, deg, deg - 1)
+        assert elapsed < 2.0, (
+            f"near-full occupancy draw took {elapsed:.2f}s — the "
+            f"high-occupancy fast path is not engaging"
+        )
