@@ -14,7 +14,11 @@ same corpus and queries:
 * ``eager+obs(off)``: the default path wrapped in the *disabled* tracer
   exactly the way ``QueryEngine._serve`` wraps it (``NULL_TRACER``
   spans + no-op ``record_stages``) — the observability layer's
-  everybody-pays cost.
+  everybody-pays cost;
+* ``eager+prof(off)``: ``eager+obs(off)`` plus this layer's serving-path
+  additions with profiling *not running* — an instantiated-but-unstarted
+  ``SamplingProfiler`` in scope and one ``SloTracker.record_query`` per
+  query (the CLI serves with SLO tracking on by default).
 
 On hosts where the optional numba extra resolves (see
 :mod:`repro.kernels`), two more variants run — ``eager@numba`` and
@@ -46,6 +50,8 @@ from repro.bench.reporting import format_table
 from repro.bench.workloads import random_queries
 from repro.geo.weights import DistanceDecay
 from repro.network.datasets import load_dataset
+from repro.obs.profile import SamplingProfiler
+from repro.obs.slo import SloTracker
 from repro.obs.trace import NULL_TRACER
 from repro.ris.corpus import RRCorpus
 from repro.ris.coverage import weighted_greedy_cover
@@ -67,6 +73,9 @@ REPS = 2 if TINY else 5
 
 SPEEDUP_BAR = 3.0
 OBS_OVERHEAD_BAR = 1.02
+#: A profiler that is constructed but not started (plus per-query SLO
+#: recording) must cost <= 2% over the bare kernel.
+PROFILER_OFF_BAR = 1.02
 #: Compiled kernels vs the numpy kernels, on the combined hot stages
 #: (score_build + selection) — the ISSUE's acceptance bar.
 NUMBA_STAGE_BAR = 3.0
@@ -91,6 +100,20 @@ def _eager_obs_off(corpus, w, k):
     return result
 
 
+def _eager_prof_off(corpus, w, k, slo):
+    """The obs(off) pattern plus the profiling layer, disabled.
+
+    A ``SamplingProfiler`` exists but was never started (so the
+    span-tracking registry stays off) and every query's outcome is
+    recorded into a live ``SloTracker`` — the CLI's default serving
+    shape with ``--profile-out`` absent.
+    """
+    t0 = time.perf_counter()
+    result = _eager_obs_off(corpus, w, k)
+    slo.record_query((time.perf_counter() - t0) * 1e3)
+    return result
+
+
 def _time_variant(fn, weights_per_query, reps):
     """Median seconds per full query set; returns (median, per-run results)."""
     times = []
@@ -111,6 +134,9 @@ def test_selection_kernel_speedup():
     queries = random_queries(network, N_QUERIES, seed=23)
     weights = [decay.weights(root_coords, q) for q in queries]
 
+    idle_profiler = SamplingProfiler()  # constructed, never started
+    assert not idle_profiler.running
+    slo = SloTracker()
     variants = {
         "reference": lambda w: reference_greedy_cover(corpus, w, K),
         "eager": lambda w: weighted_greedy_cover(
@@ -123,6 +149,7 @@ def test_selection_kernel_speedup():
             corpus, w, K, compute_bound=True, method="eager"
         ),
         "eager+obs(off)": lambda w: _eager_obs_off(corpus, w, K),
+        "eager+prof(off)": lambda w: _eager_prof_off(corpus, w, K, slo),
     }
     numba_on = resolve_backend("auto") == "numba"
     if numba_on:
@@ -184,6 +211,7 @@ def test_selection_kernel_speedup():
         for name in variants if name != "reference"
     }
     obs_overhead = medians["eager+obs(off)"] / medians["eager"]
+    profiler_off_overhead = medians["eager+prof(off)"] / medians["eager"]
     headers = ["variant", "median_ms", "speedup_vs_reference"]
     rows = [
         [name, f"{medians[name] * 1e3:.2f}",
@@ -218,6 +246,9 @@ def test_selection_kernel_speedup():
         "obs_disabled_overhead": obs_overhead,
         "obs_overhead_bar": OBS_OVERHEAD_BAR,
         "obs_overhead_bar_enforced": not TINY,
+        "profiler_off_overhead": profiler_off_overhead,
+        "profiler_off_bar": PROFILER_OFF_BAR,
+        "profiler_off_bar_enforced": not TINY,
     })
 
     if not TINY:
@@ -228,6 +259,10 @@ def test_selection_kernel_speedup():
         assert obs_overhead <= OBS_OVERHEAD_BAR, (
             f"disabled-tracer serving wrapper is {obs_overhead:.3f}x the "
             f"bare kernel (bar: {OBS_OVERHEAD_BAR}x)"
+        )
+        assert profiler_off_overhead <= PROFILER_OFF_BAR, (
+            f"profiler-off serving shape is {profiler_off_overhead:.3f}x "
+            f"the bare kernel (bar: {PROFILER_OFF_BAR}x)"
         )
         if numba_on:
             assert numba_stage_speedup is not None

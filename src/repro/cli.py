@@ -27,16 +27,28 @@ serve-batch
     zero-copy via shared memory.
 serve-http
     Expose a prebuilt index over HTTP: ``/query``, ``/metrics``
-    (Prometheus text format), ``/healthz`` and ``POST /admin/update``
-    (streaming deltas against the live index); also accepts
-    ``--processes N``.
+    (Prometheus text format), ``/healthz``, ``/slo`` (rolling-window SLO
+    burn rates), ``/debug/profile`` (ad-hoc sampling profile) and
+    ``POST /admin/update`` (streaming deltas against the live index);
+    also accepts ``--processes N``.
+diag
+    Capture a one-file diagnostics bundle (tar.gz: metrics, Prometheus
+    text, SLO state, traces, a span-attributed profile, slow-query tail,
+    runtime info) — from a live serve-http server via ``--url``, or
+    offline by loading the index and profiling a short self-driven
+    workload.
 info
     Print the runtime-environment snapshot (python/numpy/BLAS/CPU).
 
-Observability flags (``--log-json``, ``--trace-out``) are shared by the
-build and serve commands: ``--log-json`` switches progress reporting to
-structured JSON events on stderr, ``--trace-out PATH`` activates the span
-tracer and exports the collected trace as JSON on exit.
+Observability flags (``--log-json``, ``--trace-out``, ``--profile-out``)
+are shared by the build and serve commands: ``--log-json`` switches
+progress reporting to structured JSON events on stderr, ``--trace-out
+PATH`` activates the span tracer and exports the collected trace as JSON
+on exit, ``--profile-out PATH`` runs the sampling profiler for the whole
+command and writes flamegraph-ready collapsed stacks.  The build
+commands add ``--alloc-out PATH`` (tracemalloc top allocation sites);
+the serve commands add ``--slo-config PATH`` (JSON SLO objectives — SLO
+tracking is on by default with standard objectives).
 """
 
 from __future__ import annotations
@@ -68,7 +80,13 @@ from repro.network.io import read_network, write_network
 from repro.network.stats import summarize
 from repro.obs.env import runtime_info
 from repro.obs.log import JsonLogger, use_logger
+from repro.obs.profile import (
+    DEFAULT_HZ,
+    SamplingProfiler,
+    allocation_snapshot,
+)
 from repro.obs.prom import render_prometheus
+from repro.obs.slo import SloConfig, SloTracker, slo_report
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.trace import NULL_TRACER, Tracer, use_tracer
 from repro.ris.adhoc import adhoc_ris_query
@@ -120,7 +138,9 @@ def _add_kernel_backend_arg(
     )
 
 
-def _add_obs_args(p: argparse.ArgumentParser) -> None:
+def _add_obs_args(
+    p: argparse.ArgumentParser, alloc: bool = False
+) -> None:
     p.add_argument(
         "--log-json", action="store_true",
         help="emit structured JSON events (one per line) on stderr",
@@ -129,23 +149,48 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
         "--trace-out", metavar="PATH",
         help="activate span tracing and export the trace JSON here on exit",
     )
+    p.add_argument(
+        "--profile-out", metavar="PATH",
+        help="run the in-process sampling profiler for the whole command "
+             "and write collapsed stacks (flamegraph input) here on exit",
+    )
+    p.add_argument(
+        "--profile-hz", type=float, default=DEFAULT_HZ,
+        help=f"profiler sampling rate (default {DEFAULT_HZ})",
+    )
+    if alloc:
+        p.add_argument(
+            "--alloc-out", metavar="PATH",
+            help="trace allocations with tracemalloc around the build and "
+                 "write the top allocation sites here (slows the build; "
+                 "diagnostics only)",
+        )
 
 
 def _activate_obs(
     args: argparse.Namespace, stack: contextlib.ExitStack
-) -> Tracer:
-    """Install the ambient logger/tracer the flags ask for.
+) -> tuple:
+    """Install the ambient logger/tracer/profiler the flags ask for.
 
-    Returns the active tracer (:data:`NULL_TRACER` when ``--trace-out`` is
-    absent) so the caller can export it before the stack unwinds.
+    Returns ``(tracer, profiler)`` — the tracer is :data:`NULL_TRACER`
+    when ``--trace-out`` is absent *and* profiling is off (the profiler
+    needs a real tracer for span attribution, so ``--profile-out`` alone
+    activates one whose export simply isn't written); the profiler is
+    ``None`` unless ``--profile-out`` was given.  The stack stops the
+    profiler on unwind, so its counts survive for export.
     """
     if getattr(args, "log_json", False):
         stack.enter_context(use_logger(JsonLogger(sys.stderr)))
     tracer = NULL_TRACER
-    if getattr(args, "trace_out", None):
+    if getattr(args, "trace_out", None) or getattr(args, "profile_out", None):
         tracer = Tracer()
         stack.enter_context(use_tracer(tracer))
-    return tracer
+    profiler = None
+    if getattr(args, "profile_out", None):
+        profiler = SamplingProfiler(hz=args.profile_hz)
+        profiler.start()
+        stack.callback(profiler.stop)
+    return tracer, profiler
 
 
 def _export_trace(args: argparse.Namespace, tracer: Tracer) -> None:
@@ -153,6 +198,26 @@ def _export_trace(args: argparse.Namespace, tracer: Tracer) -> None:
         tracer.export_json(args.trace_out)
         print(f"trace ({len(tracer.finished_spans)} spans) -> "
               f"{args.trace_out}")
+
+
+def _export_profile(args: argparse.Namespace, profiler) -> None:
+    """Write ``--profile-out`` (collapsed stacks) after the workload."""
+    if profiler is None:
+        return
+    profiler.stop()
+    with open(args.profile_out, "w", encoding="utf-8") as fh:
+        fh.write(profiler.collapsed())
+    dump = profiler.dump()
+    print(f"profile ({dump['sample_count']} samples at "
+          f"{args.profile_hz:g} Hz, {len(dump['counts'])} distinct "
+          f"stacks) -> {args.profile_out}")
+
+
+def _serve_slo_config(args: argparse.Namespace) -> SloConfig:
+    """The serve commands' SLO objectives: defaults, or ``--slo-config``."""
+    if getattr(args, "slo_config", None):
+        return SloConfig.from_file(args.slo_config)
+    return SloConfig()
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -185,9 +250,17 @@ def cmd_build_ris(args: argparse.Namespace) -> int:
         kernel_backend=args.kernel_backend,
     )
     with contextlib.ExitStack() as stack:
-        tracer = _activate_obs(args, stack)
-        index = RisDaIndex(network, decay, cfg)
+        tracer, profiler = _activate_obs(args, stack)
+        if args.alloc_out:
+            with allocation_snapshot() as alloc:
+                index = RisDaIndex(network, decay, cfg)
+            with open(args.alloc_out, "w", encoding="utf-8") as fh:
+                fh.write(alloc.report() + "\n")
+            print(f"allocation snapshot -> {args.alloc_out}")
+        else:
+            index = RisDaIndex(network, decay, cfg)
         _export_trace(args, tracer)
+        _export_profile(args, profiler)
     save_ris_index(index, args.out)
     print(
         f"built RIS-DA index in {index.build_seconds:.1f}s: "
@@ -211,9 +284,17 @@ def cmd_build_mia(args: argparse.Namespace) -> int:
         n_workers=args.workers,
     )
     with contextlib.ExitStack() as stack:
-        tracer = _activate_obs(args, stack)
-        index = MiaDaIndex(network, decay, cfg)
+        tracer, profiler = _activate_obs(args, stack)
+        if args.alloc_out:
+            with allocation_snapshot() as alloc:
+                index = MiaDaIndex(network, decay, cfg)
+            with open(args.alloc_out, "w", encoding="utf-8") as fh:
+                fh.write(alloc.report() + "\n")
+            print(f"allocation snapshot -> {args.alloc_out}")
+        else:
+            index = MiaDaIndex(network, decay, cfg)
         _export_trace(args, tracer)
+        _export_profile(args, profiler)
     save_mia_index(index, args.out)
     print(
         f"built MIA-DA index in {index.build_seconds:.1f}s: "
@@ -256,9 +337,10 @@ def cmd_update(args: argparse.Namespace) -> int:
         )
     delta = GraphDelta.from_events(_read_delta_events(args.deltas))
     with contextlib.ExitStack() as stack:
-        tracer = _activate_obs(args, stack)
+        tracer, profiler = _activate_obs(args, stack)
         stats = index.update(delta=delta)
         _export_trace(args, tracer)
+        _export_profile(args, profiler)
     out = args.out if args.out else args.index
     if kind == "ris":
         save_ris_index(index, out)
@@ -385,30 +467,44 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
     slow_log = None
     if args.slow_query_ms is not None:
         slow_log = SlowQueryLog(args.slow_query_out, args.slow_query_ms)
+    slo_cfg = _serve_slo_config(args)
     with contextlib.ExitStack() as stack:
-        tracer = _activate_obs(args, stack)
+        tracer, profiler = _activate_obs(args, stack)
         if args.processes > 0:
             # Sharded multi-process serving over shared index arrays;
             # the slow-query sink is an in-process feature (worker
-            # engines run without one).
+            # engines run without one).  SLO windows are tracked per
+            # worker and merged at refresh; with --profile-out each
+            # worker profiles continuously too.
             engine = stack.enter_context(ServePool(
                 args.index, network, n_workers=args.processes,
                 kind=args.method, config=config, backing=args.backing,
-                kernel_backend=args.kernel_backend,
+                kernel_backend=args.kernel_backend, slo_config=slo_cfg,
+                profile_hz=args.profile_hz if args.profile_out else None,
             ))
         else:
             engine = QueryEngine.from_path(
                 args.index, network, kind=args.method, config=config,
                 slow_log=slow_log, kernel_backend=args.kernel_backend,
+                slo=SloTracker(slo_cfg),
             )
         start = time.perf_counter()
         served = engine.serve_batch(queries)
         wall = time.perf_counter() - start
+        engine.refresh_slo()
         if args.processes > 0:
             # Fold worker-side counters/histograms into the report and
             # the Prometheus rendering below before workers stop.
             engine.collect_worker_metrics()
+            if args.profile_out and profiler is not None:
+                # Merge worker profiles into the parent's, so the
+                # exported flamegraph covers the whole pool.
+                merged = engine.collect_worker_profiles()
+                if merged is not None:
+                    profiler.stop()
+                    profiler.merge(merged)
         _export_trace(args, tracer)
+        _export_profile(args, profiler)
 
     lines = [json.dumps(_served_row(q, sr)) for q, sr in zip(queries, served)]
     if args.out:
@@ -428,6 +524,8 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
     if slow_log is not None:
         print(f"slow queries (>= {slow_log.threshold_ms:g} ms): "
               f"{slow_log.recorded} -> {slow_log.path}")
+    if engine.slo is not None:
+        print(slo_report(engine.slo))
     report = engine.metrics.report()
     print(report)
     if args.metrics_out:
@@ -452,25 +550,28 @@ def cmd_serve_http(args: argparse.Namespace) -> int:
     slow_log = None
     if args.slow_query_ms is not None:
         slow_log = SlowQueryLog(args.slow_query_out, args.slow_query_ms)
+    slo_cfg = _serve_slo_config(args)
     with contextlib.ExitStack() as stack:
-        tracer = _activate_obs(args, stack)
+        tracer, profiler = _activate_obs(args, stack)
         if args.processes > 0:
             engine = stack.enter_context(ServePool(
                 args.index, network, n_workers=args.processes,
                 kind=args.method, config=config, backing=args.backing,
-                kernel_backend=args.kernel_backend,
+                kernel_backend=args.kernel_backend, slo_config=slo_cfg,
+                profile_hz=args.profile_hz if args.profile_out else None,
             ))
         else:
             engine = QueryEngine.from_path(
                 args.index, network, kind=args.method, config=config,
                 slow_log=slow_log, kernel_backend=args.kernel_backend,
+                slo=SloTracker(slo_cfg),
             )
         server = ObsHttpServer(
             engine=engine, host=args.host, port=args.port, default_k=args.k,
         )
         print(f"serving on http://{server.host}:{server.port} "
-              f"(/query /metrics /healthz, POST /admin/update), "
-              f"Ctrl-C to stop", file=sys.stderr)
+              f"(/query /metrics /healthz /slo /debug/profile, "
+              f"POST /admin/update), Ctrl-C to stop", file=sys.stderr)
         # SIGTERM (docker stop, systemd, kill) must unwind the ExitStack
         # like Ctrl-C does — with --processes that is what stops the
         # workers and unlinks the shared index segments.
@@ -484,8 +585,132 @@ def cmd_serve_http(args: argparse.Namespace) -> int:
         finally:
             signal.signal(signal.SIGTERM, previous)
             server.stop()
+            if (args.processes > 0 and args.profile_out
+                    and profiler is not None):
+                merged = engine.collect_worker_profiles()
+                if merged is not None:
+                    profiler.stop()
+                    profiler.merge(merged)
             _export_trace(args, tracer)
+            _export_profile(args, profiler)
     return 0
+
+
+def _diag_live(args: argparse.Namespace) -> int:
+    """Capture a bundle from a running serve-http server over HTTP."""
+    from urllib.request import urlopen
+
+    from repro.obs.diag import bundle_report, slowlog_tail, write_bundle
+
+    base = args.url.rstrip("/")
+
+    def fetch(path: str, timeout: float) -> Optional[str]:
+        try:
+            with urlopen(base + path, timeout=timeout) as resp:
+                return resp.read().decode("utf-8")
+        except Exception as exc:  # a partial bundle beats no bundle
+            print(f"warning: GET {path} failed: {exc}", file=sys.stderr)
+            return None
+
+    health = fetch("/healthz", 10.0)
+    metrics = fetch("/metrics", 10.0)
+    slo = fetch("/slo", 10.0)
+    profile = fetch(
+        f"/debug/profile?seconds={args.seconds:g}&hz={args.profile_hz:g}",
+        args.seconds + 30.0,
+    )
+    extra = {}
+    if health is not None:
+        extra["healthz.json"] = health.encode("utf-8")
+    write_bundle(
+        args.out,
+        prometheus_text=metrics,
+        slo_prom_text=slo,
+        profile_collapsed=profile,
+        slow_rows=(
+            slowlog_tail(args.slow_query_log)
+            if args.slow_query_log else None
+        ),
+        extra_files=extra,
+        source=f"live {base}",
+    )
+    print(bundle_report(args.out))
+    return 0
+
+
+def _diag_offline(args: argparse.Namespace) -> int:
+    """Capture a bundle by loading the index and driving a short
+    profiled workload against it (result cache off, so the profile shows
+    real selection work)."""
+    from repro.obs.diag import bundle_report, slowlog_tail, write_bundle
+
+    network = _resolve_network(args)
+    config = ServeConfig(n_threads=1, result_cache_size=0)
+    tracer = Tracer()
+    engine = QueryEngine.from_path(
+        args.index, network, kind=args.method, config=config,
+        tracer=tracer, slo=SloTracker(_serve_slo_config(args)),
+    )
+    queries = (
+        _read_query_batch(args.queries, args.k) if args.queries else None
+    )
+    # RIS indexes answer k <= k_max only; clamp the self-driven budget
+    # so a small smoke index still yields a real (non-error) workload.
+    k = args.k
+    k_max = getattr(engine.index, "k_max", None)
+    if k_max is not None:
+        k = min(k, int(k_max))
+    box = network.bounding_box()
+    fracs = (0.2, 0.5, 0.8)
+    locations = [
+        (box.xmin + (box.xmax - box.xmin) * fx,
+         box.ymin + (box.ymax - box.ymin) * fy)
+        for fx in fracs for fy in fracs
+    ]
+    profiler = SamplingProfiler(hz=args.profile_hz)
+    profiler.start()
+    deadline = time.perf_counter() + args.seconds
+    count = 0
+    try:
+        while time.perf_counter() < deadline:
+            if queries:
+                engine.query(queries[count % len(queries)])
+            else:
+                engine.query(locations[count % len(locations)], k)
+            count += 1
+    finally:
+        profiler.stop()
+    engine.refresh_slo()
+    write_bundle(
+        args.out,
+        metrics=engine.metrics,
+        slo=engine.slo,
+        traces=tracer.export(),
+        profile_dump=profiler.dump(),
+        slow_rows=(
+            slowlog_tail(args.slow_query_log)
+            if args.slow_query_log else None
+        ),
+        source=f"offline {args.index}",
+    )
+    print(f"drove {count} queries over {args.seconds:g}s "
+          f"(cache disabled) while profiling at {args.profile_hz:g} Hz")
+    print(bundle_report(args.out))
+    return 0
+
+
+def cmd_diag(args: argparse.Namespace) -> int:
+    if args.url and args.index:
+        raise ReproError("pass either --url (live) or --index (offline), "
+                         "not both")
+    if args.url:
+        return _diag_live(args)
+    if not args.index:
+        raise ReproError(
+            "diag needs a live server (--url) or an index to load "
+            "(--index plus --dataset/--edges)"
+        )
+    return _diag_offline(args)
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -532,7 +757,7 @@ def build_parser() -> argparse.ArgumentParser:
              "CELF-style lazy heap; both select identical seed sets",
     )
     _add_kernel_backend_arg(p, default="auto")
-    _add_obs_args(p)
+    _add_obs_args(p, alloc=True)
     p.set_defaults(func=cmd_build_ris)
 
     p = sub.add_parser("build-mia", help="build and save a MIA-DA index")
@@ -556,7 +781,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the arborescence build (1 = serial; "
              "the index is bit-identical for any worker count)",
     )
-    _add_obs_args(p)
+    _add_obs_args(p, alloc=True)
     p.set_defaults(func=cmd_build_mia)
 
     p = sub.add_parser(
@@ -653,6 +878,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--slow-query-out", default="slow-queries.jsonl",
         help="slow-query JSONL sink path (default: slow-queries.jsonl)",
     )
+    p.add_argument(
+        "--slo-config", metavar="PATH",
+        help="JSON file with SLO objectives (latency_threshold_ms, "
+             "latency_target, availability_target, staleness_limit_s, "
+             "shed_burn, windows); default objectives apply without it",
+    )
     _add_kernel_backend_arg(p, default=None)
     _add_obs_args(p)
     p.set_defaults(func=cmd_serve_batch)
@@ -697,9 +928,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--slow-query-out", default="slow-queries.jsonl",
         help="slow-query JSONL sink path (default: slow-queries.jsonl)",
     )
+    p.add_argument(
+        "--slo-config", metavar="PATH",
+        help="JSON file with SLO objectives (latency_threshold_ms, "
+             "latency_target, availability_target, staleness_limit_s, "
+             "shed_burn, windows); default objectives apply without it",
+    )
     _add_kernel_backend_arg(p, default=None)
     _add_obs_args(p)
     p.set_defaults(func=cmd_serve_http)
+
+    p = sub.add_parser(
+        "diag",
+        help="capture a one-file diagnostics bundle (tar.gz with "
+             "metrics, SLO state, a span-attributed profile, traces, "
+             "slow-query tail, runtime info)",
+    )
+    p.add_argument("--out", default="repro-diag.tar.gz",
+                   help="bundle path (default: repro-diag.tar.gz)")
+    p.add_argument(
+        "--url",
+        help="base URL of a live serve-http server (e.g. "
+             "http://127.0.0.1:9464); fetches /healthz /metrics /slo "
+             "/debug/profile instead of loading an index",
+    )
+    _add_network_args(p)
+    p.add_argument("--index",
+                   help="saved index (.npz) for offline capture")
+    p.add_argument("--method", choices=("ris", "mia"), default=None,
+                   help="require this index kind in offline mode")
+    p.add_argument("--queries",
+                   help="optional JSONL queries to drive the offline "
+                        "workload (default: a deterministic location "
+                        "grid over the network bounding box)")
+    p.add_argument("-k", "--k", type=int, default=30,
+                   help="budget for the self-driven offline workload")
+    p.add_argument("--seconds", type=float, default=2.0,
+                   help="profiling window (live) / workload duration "
+                        "(offline); default 2s")
+    p.add_argument("--profile-hz", type=float, default=DEFAULT_HZ,
+                   help=f"profiler sampling rate (default {DEFAULT_HZ})")
+    p.add_argument(
+        "--slo-config", metavar="PATH",
+        help="JSON SLO objectives for the offline tracker "
+             "(ignored with --url: the server owns its objectives)",
+    )
+    p.add_argument(
+        "--slow-query-log", metavar="PATH",
+        help="existing slow-query JSONL sink whose tail to include",
+    )
+    p.set_defaults(func=cmd_diag)
 
     p = sub.add_parser(
         "info",

@@ -11,16 +11,22 @@ and build paths report through:
   :class:`~repro.serve.metrics.MetricsRegistry` plus a minimal parser;
 * :mod:`repro.obs.httpd` — a stdlib HTTP sidecar serving ``/metrics``,
   ``/healthz`` and ``/query``;
-* :mod:`repro.obs.slowlog` — the slow-query JSONL sink;
+* :mod:`repro.obs.slowlog` — the size-capped slow-query JSONL sink;
 * :mod:`repro.obs.progress` — build-telemetry heartbeats;
 * :mod:`repro.obs.env` — the runtime-environment snapshot embedded in
-  traces and benchmark results.
+  traces and benchmark results;
+* :mod:`repro.obs.profile` — the in-process sampling profiler
+  (span-attributed collapsed stacks) and tracemalloc snapshots;
+* :mod:`repro.obs.slo` — rolling-window SLO burn rates and the
+  ``should_shed()`` admission-control hook;
+* :mod:`repro.obs.diag` — the one-command ``repro diag`` tar.gz bundle.
 
 Everything defaults to off: the ambient tracer and logger are no-op
 singletons until :class:`use_tracer` / :class:`use_logger` activate real
 ones, so library users pay near-zero cost for the instrumentation.
 """
 
+from repro.obs.diag import bundle_report, read_bundle, write_bundle
 from repro.obs.env import runtime_info
 from repro.obs.log import (
     EVENTS,
@@ -30,8 +36,22 @@ from repro.obs.log import (
     get_logger,
     use_logger,
 )
+from repro.obs.profile import (
+    AllocationReport,
+    SamplingProfiler,
+    allocation_snapshot,
+    collapsed_text,
+    merge_profile_dumps,
+    profile_report,
+)
 from repro.obs.progress import Heartbeat
-from repro.obs.prom import parse_prometheus, render_prometheus
+from repro.obs.prom import (
+    escape_label_value,
+    parse_prometheus,
+    render_prometheus,
+    unescape_label_value,
+)
+from repro.obs.slo import SloConfig, SloTracker, slo_report
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.trace import (
     NULL_TRACER,
@@ -57,6 +77,7 @@ def __getattr__(name):
 
 
 __all__ = [
+    "AllocationReport",
     "EVENTS",
     "Heartbeat",
     "JsonLogger",
@@ -65,18 +86,31 @@ __all__ = [
     "NullLogger",
     "NullTracer",
     "ObsHttpServer",
+    "SamplingProfiler",
+    "SloConfig",
+    "SloTracker",
     "SlowQueryLog",
     "Span",
     "Tracer",
+    "allocation_snapshot",
+    "bundle_report",
+    "collapsed_text",
+    "escape_label_value",
     "get_logger",
     "get_tracer",
+    "merge_profile_dumps",
     "new_trace_id",
     "parse_prometheus",
+    "profile_report",
+    "read_bundle",
     "render_prometheus",
     "runtime_info",
+    "slo_report",
     "span_context",
     "span_tree",
+    "unescape_label_value",
     "use_logger",
     "use_tracer",
     "worker_span",
+    "write_bundle",
 ]

@@ -1,0 +1,192 @@
+"""One-command diagnostics: everything an incident needs, in one tar.gz.
+
+"Send me the metrics, a profile, the slow queries and your library
+versions" is four commands and three formats; :func:`write_bundle`
+captures all of it as a single archive a human can attach to a ticket:
+
+========================  ==============================================
+member                    contents
+========================  ==============================================
+``MANIFEST.json``         what's in the bundle, when, from which host
+``runtime.json``          :func:`repro.obs.env.runtime_info`
+``metrics.json``          structured :meth:`MetricsRegistry.dump`
+``metrics.prom``          Prometheus text exposition of the same registry
+``slo.json`` / ``slo.prom`` / ``slo.txt``
+                          SLO tracker dump, burn-rate gauges, human table
+``traces.json``           the tracer's recent finished spans
+``profile.collapsed``     flamegraph-ready collapsed stacks
+``profile.txt``           per-span / per-frame self-time tables
+``profile.json``          the raw (mergeable) profiler dump
+``slowlog.tail.jsonl``    last N slow-query rows
+``allocations.txt``       tracemalloc top sites (builds, opt-in)
+========================  ==============================================
+
+Only the members whose source was provided appear — a bundle from a
+server without profiling simply has no ``profile.*`` — and the manifest
+always lists what made it in, so "it's missing" and "it was off" are
+distinguishable.  The ``repro diag`` CLI drives this either against a
+live server (fetching ``/metrics``, ``/slo``, ``/debug/profile`` over
+HTTP) or offline (loading the index and profiling a self-driven
+workload).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import platform
+import tarfile
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.obs.env import runtime_info
+from repro.obs.profile import collapsed_text, profile_report
+from repro.obs.slo import SloTracker, slo_report
+
+#: Slow-query rows kept in the bundle (the newest ones; the full log
+#: stays on the host).
+DEFAULT_SLOWLOG_TAIL = 200
+
+
+def slowlog_tail(path: str, limit: int = DEFAULT_SLOWLOG_TAIL) -> List[str]:
+    """The last ``limit`` lines of a slow-query JSONL file (with its
+    rotated ``.1`` predecessor chained in front when the live file is
+    short).  Missing files yield an empty list — diagnostics never fail
+    because a sink was never written."""
+    lines: List[str] = []
+    for candidate in (path + ".1", path):
+        try:
+            with open(candidate, "r", encoding="utf-8") as fh:
+                lines.extend(
+                    line.rstrip("\n") for line in fh if line.strip()
+                )
+        except OSError:
+            continue
+    return lines[-limit:]
+
+
+def _json_bytes(payload: Any) -> bytes:
+    return (json.dumps(payload, indent=2, default=repr) + "\n").encode(
+        "utf-8"
+    )
+
+
+def write_bundle(
+    path: str,
+    *,
+    metrics=None,
+    prometheus_text: Optional[str] = None,
+    slo: Optional[SloTracker] = None,
+    slo_prom_text: Optional[str] = None,
+    traces: Optional[Mapping[str, Any]] = None,
+    profile_dump: Optional[Mapping[str, Any]] = None,
+    profile_collapsed: Optional[str] = None,
+    slow_rows: Optional[Sequence[str]] = None,
+    allocations_text: Optional[str] = None,
+    extra_files: Optional[Mapping[str, bytes]] = None,
+    source: str = "offline",
+) -> Dict[str, Any]:
+    """Write the diagnostics archive at ``path``; returns the manifest.
+
+    ``metrics`` is a live ``MetricsRegistry`` (dumped and rendered here)
+    — pass ``prometheus_text`` instead/as well when the text came from a
+    remote ``/metrics``.  ``slo`` is a live tracker; ``slo_prom_text``
+    the remote ``/slo`` body.  ``traces`` is a tracer ``export()``
+    document.  ``profile_dump`` is a (possibly merged) profiler dump;
+    ``profile_collapsed`` a remote ``/debug/profile`` body.  ``slow_rows``
+    are pre-read slow-log lines (see :func:`slowlog_tail`).
+    """
+    members: Dict[str, bytes] = {}
+    members["runtime.json"] = _json_bytes(runtime_info())
+    if metrics is not None:
+        members["metrics.json"] = _json_bytes(metrics.dump())
+        if prometheus_text is None:
+            from repro.obs.prom import render_prometheus
+
+            prometheus_text = render_prometheus(metrics)
+    if prometheus_text is not None:
+        members["metrics.prom"] = prometheus_text.encode("utf-8")
+    if slo is not None:
+        members["slo.json"] = _json_bytes(slo.dump())
+        members["slo.txt"] = (slo_report(slo) + "\n").encode("utf-8")
+        if slo_prom_text is None:
+            from repro.obs.prom import render_prometheus
+            from repro.serve.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+            slo.publish(registry)
+            slo_prom_text = render_prometheus(registry)
+    if slo_prom_text is not None:
+        members["slo.prom"] = slo_prom_text.encode("utf-8")
+    if traces is not None:
+        members["traces.json"] = _json_bytes(traces)
+    if profile_dump is not None:
+        members["profile.json"] = _json_bytes(dict(profile_dump))
+        members["profile.collapsed"] = collapsed_text(profile_dump).encode(
+            "utf-8"
+        )
+        members["profile.txt"] = (
+            profile_report(profile_dump) + "\n"
+        ).encode("utf-8")
+    elif profile_collapsed is not None:
+        members["profile.collapsed"] = profile_collapsed.encode("utf-8")
+    if slow_rows:
+        members["slowlog.tail.jsonl"] = (
+            "\n".join(slow_rows) + "\n"
+        ).encode("utf-8")
+    if allocations_text is not None:
+        members["allocations.txt"] = (
+            allocations_text.rstrip("\n") + "\n"
+        ).encode("utf-8")
+    for name, blob in (extra_files or {}).items():
+        members[name] = blob
+
+    manifest = {
+        "schema_version": 1,
+        "created_unix": round(time.time(), 3),
+        "source": source,
+        "hostname": platform.node(),
+        "members": sorted(members),
+    }
+    members["MANIFEST.json"] = _json_bytes(manifest)
+
+    now = int(time.time())
+    with tarfile.open(path, "w:gz") as tar:
+        for name in sorted(members):
+            blob = members[name]
+            info = tarfile.TarInfo(name=name)
+            info.size = len(blob)
+            info.mtime = now
+            tar.addfile(info, io.BytesIO(blob))
+    return manifest
+
+
+def read_bundle(path: str) -> Dict[str, bytes]:
+    """All members of a bundle as ``{name: bytes}`` (tests, tooling)."""
+    out: Dict[str, bytes] = {}
+    with tarfile.open(path, "r:gz") as tar:
+        for member in tar.getmembers():
+            if not member.isfile():
+                continue
+            fh = tar.extractfile(member)
+            if fh is not None:
+                out[member.name] = fh.read()
+    return out
+
+
+def bundle_report(path: str) -> str:
+    """A one-screen summary of a bundle (printed by ``repro diag``)."""
+    members = read_bundle(path)
+    manifest = json.loads(members.get("MANIFEST.json", b"{}"))
+    lines = [
+        f"diagnostics bundle: {path} "
+        f"({os.path.getsize(path) / 1024:.0f} KiB)",
+        f"  source={manifest.get('source')} "
+        f"host={manifest.get('hostname')} "
+        f"members={len(manifest.get('members', []))}",
+    ]
+    for name in sorted(members):
+        if name != "MANIFEST.json":
+            lines.append(f"  {name} ({len(members[name])} bytes)")
+    return "\n".join(lines)

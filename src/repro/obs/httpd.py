@@ -17,6 +17,16 @@ handler is all a scrape endpoint needs.  Endpoints:
     ``cost=`` / ``costs=node:cost,...``; ``trajectory`` replaces ``x``/
     ``y`` with ``waypoints=x:y;x:y``; ``heuristic`` takes optional
     ``level=`` / ``budget_ms=``.
+``GET /slo``
+    The engine's rolling-window SLO state — burn-rate gauges per
+    objective and window — as its own small Prometheus exposition, so an
+    admission controller (or a human) can read just the SLO view without
+    scraping the full registry.  404 when no SLO tracker is attached.
+``GET /debug/profile?seconds=N&hz=H``
+    Run the in-process sampling profiler for N seconds (default 5,
+    capped at 30) and return the collapsed-stack text — point a browser
+    (or ``flamegraph.pl``) at a live server and see where time goes.
+    One profile at a time; concurrent requests get 409.
 ``POST /admin/update``
     Apply a streaming graph delta — JSONL events in the request body,
     the same format the ``update`` CLI reads — through the engine's
@@ -79,6 +89,10 @@ class ObsHttpServer:
         self.health_extra = dict(health_extra or {})
         self.started_at = time.time()
         self.logger = get_logger()
+        # /debug/profile runs one ad-hoc profiler at a time: a second
+        # concurrent request is refused (409) rather than queued, so a
+        # scrape storm cannot stack samplers.
+        self._profile_lock = threading.Lock()
         outer = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -125,20 +139,30 @@ class ObsHttpServer:
         try:
             if route == "/metrics":
                 # Age staleness_seconds_since_refresh at scrape time so
-                # the gauge keeps moving between updates.
+                # the gauge keeps moving between updates; refresh the
+                # SLO gauges the same way (burn rates are windows over
+                # *now*, not over the last recorded query).
                 refresh = getattr(self.engine, "refresh_staleness", None)
                 if refresh is not None:
                     refresh()
+                refresh_slo = getattr(self.engine, "refresh_slo", None)
+                if refresh_slo is not None:
+                    refresh_slo()
                 text = render_prometheus(self.metrics, self.namespace)
                 return 200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE
             if route == "/healthz":
                 return self._json(200, self._health())
             if route == "/query":
                 return self._query(parse_qs(split.query))
+            if route == "/slo":
+                return self._slo()
+            if route == "/debug/profile":
+                return self._debug_profile(parse_qs(split.query))
             return self._json(
                 404,
                 {"error": f"no route {route}",
-                 "routes": ["/metrics", "/healthz", "/query"]},
+                 "routes": ["/metrics", "/healthz", "/query", "/slo",
+                            "/debug/profile"]},
             )
         except Exception as exc:  # never kill the scrape loop
             return self._json(500, {"error": str(exc)})
@@ -179,6 +203,62 @@ class ObsHttpServer:
         except ReproError as exc:
             return self._json(400, {"error": str(exc)})
         return self._json(200, dict(stats.as_dict(), status="ok"))
+
+    def _slo(self) -> tuple:
+        """The SLO view alone, as its own Prometheus exposition.
+
+        Renders a throwaway registry holding just the freshly published
+        ``slo_*`` gauges, so the consumer never has to filter the full
+        scrape — and the text still parses with ``parse_prometheus``.
+        """
+        refresh_slo = getattr(self.engine, "refresh_slo", None)
+        if refresh_slo is not None:
+            refresh_slo()
+        tracker = getattr(self.engine, "slo", None)
+        if tracker is None:
+            return self._json(
+                404, {"error": "no SLO tracker attached to this engine"}
+            )
+        registry = MetricsRegistry()
+        tracker.publish(registry)
+        text = render_prometheus(registry, self.namespace)
+        return 200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE
+
+    def _debug_profile(self, params: Dict[str, list]) -> tuple:
+        """Profile this process for N seconds, return collapsed stacks.
+
+        Samples the *parent* process (for a pooled server the workers'
+        continuous profiles travel through ``repro diag`` instead); the
+        request blocks for the profiling window, which is why ``seconds``
+        is clamped to 30.
+        """
+        from repro.obs.profile import DEFAULT_HZ, SamplingProfiler
+
+        try:
+            seconds = float(params.get("seconds", ["5"])[0])
+            hz = float(params.get("hz", [str(DEFAULT_HZ)])[0])
+        except ValueError:
+            return self._json(
+                400, {"error": "seconds and hz must be numbers"}
+            )
+        if seconds <= 0 or hz <= 0:
+            return self._json(
+                400, {"error": "seconds and hz must be positive"}
+            )
+        seconds = min(seconds, 30.0)
+        if not self._profile_lock.acquire(blocking=False):
+            return self._json(
+                409, {"error": "a profile is already running; retry later"}
+            )
+        try:
+            profiler = SamplingProfiler(hz=hz)
+            profiler.start()
+            time.sleep(seconds)
+            profiler.stop()
+            text = profiler.collapsed()
+        finally:
+            self._profile_lock.release()
+        return 200, text.encode("utf-8"), "text/plain; charset=utf-8"
 
     @staticmethod
     def _json(status: int, payload: Dict[str, Any]) -> tuple:

@@ -1,0 +1,410 @@
+"""An in-process statistical profiler with span attribution.
+
+Stopwatch instrumentation (``SelectionTimings``, stage histograms) tells
+us how long each *stage* takes; after the kernel work those stages are
+small enough that the next question is "where *inside* a stage does the
+time go?" — answered here without any dependency: a background daemon
+thread samples every thread's Python stack via
+:func:`sys._current_frames` at a configurable rate and counts collapsed
+stacks, the text format flamegraph tooling consumes directly
+(``frame;frame;frame count`` per line).
+
+Span attribution — the sampler cannot read another thread's
+contextvars, so :mod:`repro.obs.trace` maintains a thread-id ->
+open-span-name stack while a profiler is running (see
+:func:`repro.obs.trace.thread_span_names`); each sample of a thread
+with an open span is prefixed with ``span:<name>``, which is how a
+flamegraph separates ``serve.query`` time from ``ris.build`` time even
+when they run the same numpy kernels.  The registry costs one global
+int check per span when no profiler runs, and the profiler itself is
+**observation-only**: turning it on cannot change any selection output
+(pinned by ``tests/obs/test_profile.py``).
+
+Profiles are plain data (:meth:`SamplingProfiler.dump`), so worker
+processes can ship theirs to a parent for merging
+(:func:`merge_profile_dumps`) the same way worker metrics merge through
+``MetricsRegistry.merge_dump``.
+
+:func:`allocation_snapshot` is the opt-in memory-side sibling: a
+``tracemalloc`` diff around an index build, reporting the top
+allocation sites — too slow for serving paths, invaluable for "why does
+this build need 9 GB".
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+import tracemalloc
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.obs.trace import (
+    disable_span_tracking,
+    enable_span_tracking,
+    thread_span_names,
+)
+
+#: Default sampling rate.  A prime, so the sampler cannot phase-lock
+#: with periodic work that happens to run at a round frequency.
+DEFAULT_HZ = 101
+
+#: Deepest stack recorded per sample; frames above the cap are dropped
+#: from the *root* end (the leaf is what self-time attribution needs).
+DEFAULT_MAX_STACK = 64
+
+
+def _frame_label(frame) -> str:
+    """``module:qualname`` for one frame (filename when module unknown)."""
+    code = frame.f_code
+    module = frame.f_globals.get("__name__")
+    if not module:
+        module = code.co_filename.rsplit("/", 1)[-1]
+    func = getattr(code, "co_qualname", None) or code.co_name
+    return f"{module}:{func}"
+
+
+class SamplingProfiler:
+    """Samples every thread's stack from a background thread.
+
+    ``hz`` is the target sampling rate; the actual rate is whatever the
+    host delivers (wall-clock duration and sample count are both
+    tracked, so seconds estimates use the *measured* rate).  The
+    profiler's own sampling thread is excluded from samples.  ``start``
+    / ``stop`` are idempotent; a stopped profiler keeps its counts, and
+    ``start`` after ``stop`` resumes accumulating into them.
+    """
+
+    def __init__(self, hz: float = DEFAULT_HZ,
+                 max_stack: int = DEFAULT_MAX_STACK):
+        if hz <= 0:
+            raise ValueError(f"hz must be positive, got {hz}")
+        if max_stack < 1:
+            raise ValueError(f"max_stack must be >= 1, got {max_stack}")
+        self.hz = float(hz)
+        self.max_stack = int(max_stack)
+        #: ``collapsed-stack-line -> count`` (no trailing count in key).
+        self._counts: Dict[str, int] = {}
+        #: ``span-name -> samples`` (one per sampled thread per tick).
+        self._span_samples: Dict[str, int] = {}
+        self.sample_count = 0  # sampling ticks taken
+        self.thread_samples = 0  # (tick, thread) pairs recorded
+        self._active_seconds = 0.0  # wall seconds spent running
+        self._lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        if self.running:
+            return self
+        enable_span_tracking()
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        if self._thread is None:
+            return self
+        self._stop_event.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        disable_span_tracking()
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> bool:
+        self.stop()
+        return False
+
+    # -- sampling ------------------------------------------------------
+
+    def _run(self) -> None:
+        own = threading.get_ident()
+        interval = 1.0 / self.hz
+        t0 = time.perf_counter()
+        try:
+            while not self._stop_event.wait(interval):
+                self._sample(own)
+        finally:
+            self._active_seconds += time.perf_counter() - t0
+
+    def _sample(self, skip_ident: int) -> None:
+        frames = sys._current_frames()
+        spans = thread_span_names()
+        rows: List[Tuple[str, Optional[str]]] = []
+        for tid, frame in frames.items():
+            if tid == skip_ident:
+                continue
+            stack: List[str] = []
+            f = frame
+            while f is not None and len(stack) < self.max_stack:
+                stack.append(_frame_label(f))
+                f = f.f_back
+            if not stack:
+                continue
+            stack.reverse()  # root first, collapsed-stack order
+            span = spans.get(tid)
+            prefix = [f"span:{span}"] if span else []
+            rows.append((";".join(prefix + stack), span))
+        del frames  # drop frame references promptly
+        with self._lock:
+            self.sample_count += 1
+            for key, span in rows:
+                self.thread_samples += 1
+                self._counts[key] = self._counts.get(key, 0) + 1
+                if span:
+                    self._span_samples[span] = (
+                        self._span_samples.get(span, 0) + 1
+                    )
+
+    # -- output --------------------------------------------------------
+
+    @property
+    def duration_s(self) -> float:
+        """Wall seconds of completed sampling runs."""
+        return self._active_seconds
+
+    def seconds_per_sample(self) -> float:
+        """Measured seconds represented by one sampling tick."""
+        if self.sample_count == 0:
+            return 1.0 / self.hz
+        return self._active_seconds / self.sample_count or (1.0 / self.hz)
+
+    def dump(self) -> Dict[str, Any]:
+        """Plain-data snapshot, mergeable across processes."""
+        with self._lock:
+            return {
+                "hz": self.hz,
+                "sample_count": self.sample_count,
+                "thread_samples": self.thread_samples,
+                "duration_s": self._active_seconds,
+                "counts": dict(self._counts),
+                "span_samples": dict(self._span_samples),
+            }
+
+    def merge(self, dump: Mapping[str, Any]) -> None:
+        """Fold another profiler's :meth:`dump` into this one's counts.
+
+        Used by the CLI to combine the parent profile with merged worker
+        profiles before export.  Stop the profiler first — merging while
+        sampling would race the sampler's own updates.
+        """
+        if self.running:
+            raise RuntimeError("stop the profiler before merging dumps")
+        with self._lock:
+            self.sample_count += int(dump.get("sample_count", 0))
+            self.thread_samples += int(dump.get("thread_samples", 0))
+            self._active_seconds = max(
+                self._active_seconds, float(dump.get("duration_s", 0.0))
+            )
+            for key, count in dump.get("counts", {}).items():
+                self._counts[key] = self._counts.get(key, 0) + int(count)
+            for span, count in dump.get("span_samples", {}).items():
+                self._span_samples[span] = (
+                    self._span_samples.get(span, 0) + int(count)
+                )
+
+    def collapsed(self) -> str:
+        """The profile as collapsed-stack text (flamegraph-ready)."""
+        return collapsed_text(self.dump())
+
+    def span_table(self) -> List[Dict[str, Any]]:
+        """Per-span sample counts and estimated seconds, hottest first."""
+        return span_table(self.dump())
+
+    def report(self) -> str:
+        """Human-readable self-time table (spans, then leaf functions)."""
+        return profile_report(self.dump())
+
+
+# ---------------------------------------------------------------------
+# Plain-data profile operations (work on dumps, so they also serve
+# merged multi-process profiles)
+# ---------------------------------------------------------------------
+
+def merge_profile_dumps(
+    dumps: Iterable[Optional[Mapping[str, Any]]],
+) -> Dict[str, Any]:
+    """Sum several profiler dumps (``None`` entries skipped).
+
+    Worker processes profile independently; the parent merges their
+    dumps with its own for one bundle-wide flamegraph.  ``hz`` is taken
+    from the first dump (workers share the parent's configuration).
+    """
+    merged: Dict[str, Any] = {
+        "hz": None, "sample_count": 0, "thread_samples": 0,
+        "duration_s": 0.0, "counts": {}, "span_samples": {},
+    }
+    for dump in dumps:
+        if not dump:
+            continue
+        if merged["hz"] is None:
+            merged["hz"] = dump.get("hz")
+        merged["sample_count"] += int(dump.get("sample_count", 0))
+        merged["thread_samples"] += int(dump.get("thread_samples", 0))
+        merged["duration_s"] = max(
+            merged["duration_s"], float(dump.get("duration_s", 0.0))
+        )
+        for key, count in dump.get("counts", {}).items():
+            merged["counts"][key] = merged["counts"].get(key, 0) + int(count)
+        for span, count in dump.get("span_samples", {}).items():
+            merged["span_samples"][span] = (
+                merged["span_samples"].get(span, 0) + int(count)
+            )
+    if merged["hz"] is None:
+        merged["hz"] = DEFAULT_HZ
+    return merged
+
+
+def collapsed_text(dump: Mapping[str, Any]) -> str:
+    """Collapsed-stack lines (``stack count``), heaviest stack first."""
+    counts = dump.get("counts", {})
+    lines = [
+        f"{key} {count}"
+        for key, count in sorted(
+            counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _seconds_per_sample(dump: Mapping[str, Any]) -> float:
+    ticks = int(dump.get("sample_count", 0))
+    duration = float(dump.get("duration_s", 0.0))
+    if ticks > 0 and duration > 0:
+        return duration / ticks
+    hz = float(dump.get("hz") or DEFAULT_HZ)
+    return 1.0 / hz
+
+
+def span_table(dump: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """Per-span self-time rows from a dump, hottest first."""
+    per = _seconds_per_sample(dump)
+    total = int(dump.get("thread_samples", 0))
+    rows = []
+    for span, count in sorted(
+        dump.get("span_samples", {}).items(), key=lambda kv: (-kv[1], kv[0])
+    ):
+        rows.append({
+            "span": span,
+            "samples": int(count),
+            "seconds": count * per,
+            "share": count / total if total else 0.0,
+        })
+    return rows
+
+
+def _leaf_table(dump: Mapping[str, Any]) -> List[Tuple[str, int]]:
+    """Self-time by leaf frame (the frame actually on-CPU per sample)."""
+    leaves: Dict[str, int] = {}
+    for key, count in dump.get("counts", {}).items():
+        leaf = key.rsplit(";", 1)[-1]
+        leaves[leaf] = leaves.get(leaf, 0) + int(count)
+    return sorted(leaves.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def profile_report(dump: Mapping[str, Any], top: int = 20) -> str:
+    """Text report: sampling stats, per-span table, leaf self-time."""
+    per = _seconds_per_sample(dump)
+    lines = [
+        "== profile ==",
+        f"ticks={dump.get('sample_count', 0)} "
+        f"thread_samples={dump.get('thread_samples', 0)} "
+        f"duration_s={float(dump.get('duration_s', 0.0)):.2f} "
+        f"hz={dump.get('hz')}",
+    ]
+    spans = span_table(dump)
+    if spans:
+        lines.append("spans (self time attributed to innermost span):")
+        width = max(len(r["span"]) for r in spans)
+        for r in spans:
+            lines.append(
+                f"  {r['span']:<{width}}  {r['samples']:>7} samples  "
+                f"~{r['seconds']:.3f}s  {r['share']:6.1%}"
+            )
+    leaves = _leaf_table(dump)[:top]
+    if leaves:
+        lines.append(f"hottest frames (leaf self time, top {len(leaves)}):")
+        width = max(len(name) for name, _ in leaves)
+        for name, count in leaves:
+            lines.append(
+                f"  {name:<{width}}  {count:>7} samples  ~{count * per:.3f}s"
+            )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------
+# tracemalloc allocation snapshots (opt-in, build paths only)
+# ---------------------------------------------------------------------
+
+class AllocationReport:
+    """Filled in by :func:`allocation_snapshot` when its block exits."""
+
+    def __init__(self) -> None:
+        self.top_stats: List[Any] = []
+        self.current_bytes = 0
+        self.peak_bytes = 0
+
+    def rows(self) -> List[Dict[str, Any]]:
+        out = []
+        for stat in self.top_stats:
+            frame = stat.traceback[0] if len(stat.traceback) else None
+            out.append({
+                "site": f"{frame.filename}:{frame.lineno}" if frame else "?",
+                "size_kb": stat.size / 1024.0,
+                "size_diff_kb": stat.size_diff / 1024.0,
+                "count": stat.count,
+            })
+        return out
+
+    def report(self) -> str:
+        lines = [
+            "== allocations ==",
+            f"current={self.current_bytes / 1e6:.1f}MB "
+            f"peak={self.peak_bytes / 1e6:.1f}MB",
+        ]
+        for row in self.rows():
+            lines.append(
+                f"  {row['site']}  +{row['size_diff_kb']:.0f}KB "
+                f"(total {row['size_kb']:.0f}KB, {row['count']} blocks)"
+            )
+        return "\n".join(lines)
+
+
+@contextmanager
+def allocation_snapshot(top: int = 20, group_by: str = "lineno"):
+    """``tracemalloc`` diff around a block — opt-in, build paths only.
+
+    Yields an :class:`AllocationReport` that is populated when the block
+    exits: the ``top`` allocation sites by size delta, plus the traced
+    current/peak byte counts.  Tracing is started only if not already
+    running (and stopped again only in that case), so nesting and
+    pre-enabled tracing both behave.
+    """
+    started_here = not tracemalloc.is_tracing()
+    if started_here:
+        tracemalloc.start()
+    before = tracemalloc.take_snapshot()
+    holder = AllocationReport()
+    try:
+        yield holder
+    finally:
+        after = tracemalloc.take_snapshot()
+        holder.current_bytes, holder.peak_bytes = (
+            tracemalloc.get_traced_memory()
+        )
+        holder.top_stats = after.compare_to(before, group_by)[:top]
+        if started_here:
+            tracemalloc.stop()

@@ -39,15 +39,42 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serve -> obs)
 QUANTILES = (0.5, 0.9, 0.99)
 
 _NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
-_SAMPLE_LINE = re.compile(
-    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
-    r"\s+(?P<value>[^\s]+)$"
-)
-_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"$')
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_KEY_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
 
 LabelSet = Tuple[Tuple[str, str], ...]
 Samples = Dict[Tuple[str, LabelSet], float]
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format (``\\``, ``"``,
+    newline).  Applied by :func:`repro.serve.metrics.labelled` when the
+    value is embedded into an instrument name, so a hostile or odd value
+    cannot break out of its quotes or inject extra sample lines."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    """Inverse of :func:`escape_label_value` (unknown escapes pass the
+    escaped character through, matching Prometheus's parser)."""
+    out = []
+    i = 0
+    n = len(value)
+    while i < n:
+        c = value[i]
+        if c == "\\" and i + 1 < n:
+            nxt = value[i + 1]
+            out.append("\n" if nxt == "n" else nxt)
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
 
 
 def sanitize_metric_name(name: str) -> str:
@@ -163,6 +190,65 @@ class ParsedMetrics:
         return {name for name, _ in self.samples}
 
 
+def _parse_sample_line(line: str, lineno: int) -> Tuple[str, Dict[str, str], str]:
+    """Scan one sample line into ``(name, labels, value_text)``.
+
+    A character scanner rather than a regex: label values are quoted
+    strings with backslash escapes, so they may legally contain ``,``,
+    ``}`` and escaped ``"`` — none of which a split-on-comma parser can
+    survive."""
+    m = _NAME_RE.match(line)
+    if m is None:
+        raise DataFormatError(f"line {lineno}: malformed sample {line!r}")
+    name = m.group(0)
+    i = m.end()
+    labels: Dict[str, str] = {}
+    if i < len(line) and line[i] == "{":
+        i += 1
+        while i < len(line) and line[i] != "}":
+            km = _LABEL_KEY_RE.match(line, i)
+            if km is None:
+                raise DataFormatError(
+                    f"line {lineno}: malformed label in {line!r}"
+                )
+            key = km.group(0)
+            i = km.end()
+            if line[i:i + 2] != '="':
+                raise DataFormatError(
+                    f"line {lineno}: malformed label {key!r} in {line!r}"
+                )
+            i += 2
+            buf = []
+            while i < len(line) and line[i] != '"':
+                if line[i] == "\\" and i + 1 < len(line):
+                    nxt = line[i + 1]
+                    buf.append("\n" if nxt == "n" else nxt)
+                    i += 2
+                else:
+                    buf.append(line[i])
+                    i += 1
+            if i >= len(line):
+                raise DataFormatError(
+                    f"line {lineno}: unterminated label value in {line!r}"
+                )
+            i += 1  # closing quote
+            labels[key] = "".join(buf)
+            if i < len(line) and line[i] == ",":
+                i += 1
+        if i >= len(line) or line[i] != "}":
+            raise DataFormatError(
+                f"line {lineno}: unterminated label set in {line!r}"
+            )
+        i += 1
+    rest = line[i:]
+    if not rest or not rest[0].isspace():
+        raise DataFormatError(f"line {lineno}: malformed sample {line!r}")
+    tokens = rest.split()
+    if len(tokens) != 1:
+        raise DataFormatError(f"line {lineno}: malformed sample {line!r}")
+    return name, labels, tokens[0]
+
+
 def _parse_value(text: str) -> float:
     lowered = text.lower()
     if lowered in ("+inf", "inf"):
@@ -199,21 +285,9 @@ def parse_prometheus(text: str) -> ParsedMetrics:
             if len(parts) >= 4 and parts[1] == "TYPE":
                 types[parts[2]] = parts[3]
             continue
-        m = _SAMPLE_LINE.match(line)
-        if m is None:
-            raise DataFormatError(f"line {lineno}: malformed sample {raw!r}")
-        labels: Dict[str, str] = {}
-        label_text = m.group("labels")
-        if label_text:
-            for part in filter(None, label_text.split(",")):
-                lm = _LABEL.match(part.strip())
-                if lm is None:
-                    raise DataFormatError(
-                        f"line {lineno}: malformed label {part!r}"
-                    )
-                labels[lm.group("key")] = lm.group("value")
-        key = (m.group("name"), tuple(sorted(labels.items())))
-        samples[key] = _parse_value(m.group("value"))
+        name, labels, value_text = _parse_sample_line(line, lineno)
+        key = (name, tuple(sorted(labels.items())))
+        samples[key] = _parse_value(value_text)
     if not samples:
         raise DataFormatError("no samples in exposition text")
     return ParsedMetrics(samples, types)

@@ -1,0 +1,409 @@
+"""Rolling-window SLO tracking: burn rates over 1m/5m/30m windows.
+
+The cumulative histograms in :mod:`repro.serve.metrics` answer "what has
+latency looked like since the process started" — useless for admission
+control, which needs "what does latency look like *right now*".  This
+module adds the recency-aware layer: a :class:`SloTracker` records every
+query outcome into per-second aggregate buckets arranged in a ring, and
+computes, over sliding windows, the **burn rate** of each objective —
+
+    ``burn = observed_bad_fraction / error_budget``
+
+where ``error_budget = 1 - target``.  Burn 1.0 means the objective is
+being consumed exactly as fast as it allows; burn 10 on a 99.9% target
+means 1% of queries are bad.  Multi-window burn (the standard SRE
+pattern) makes the signal robust: :meth:`SloTracker.should_shed` fires
+only when both a short window (fast reaction) *and* a longer window
+(flap suppression) exceed the configured threshold — this is the hook
+the ROADMAP's admission controller will consume.
+
+Design notes:
+
+- Buckets are keyed by *absolute epoch second* (slot index is
+  ``second % horizon``, and each slot remembers which second it holds,
+  so stale slots are detected and reset lazily — no sweeper thread).
+  Recording is O(1); reading a window is O(window seconds).
+- Because buckets are keyed by absolute seconds, trackers **merge** by
+  summing matching-second slots — exactly how worker metric registries
+  merge through ``merge_dump``.  The serving pool rebuilds a merged
+  tracker from worker dumps at scrape time, so repeated scrapes never
+  double-count.
+- Clock regressions (ntp step, frozen test clocks) cannot corrupt the
+  ring: a slot holding a *future* second relative to ``now`` is simply
+  skipped by reads and overwritten by the next write that lands on it.
+- Staleness (seconds since the index last refreshed) is a level, not an
+  event, so it is tracked as a last-noted value rather than bucketed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: The standard multi-window ladder, in seconds.
+DEFAULT_WINDOWS: Tuple[int, ...] = (60, 300, 1800)
+
+_WINDOW_LABELS = {60: "1m", 300: "5m", 1800: "30m"}
+
+
+def _window_label(seconds: int) -> str:
+    return _WINDOW_LABELS.get(seconds, f"{seconds}s")
+
+
+@dataclass(frozen=True)
+class SloConfig:
+    """Objectives the tracker burns against.
+
+    ``latency_threshold_ms`` defines "slow"; ``latency_target`` is the
+    fraction of queries that must be faster than it.  ``availability_target``
+    is the fraction that must complete without error or (non-requested)
+    fallback.  ``staleness_limit_s`` bounds index age.  ``shed_burn`` is
+    the burn rate at which :meth:`SloTracker.should_shed` trips (on both
+    the short and long window).
+    """
+
+    latency_threshold_ms: float = 100.0
+    latency_target: float = 0.99
+    availability_target: float = 0.999
+    staleness_limit_s: float = 300.0
+    shed_burn: float = 10.0
+    windows: Tuple[int, ...] = DEFAULT_WINDOWS
+
+    def __post_init__(self) -> None:
+        for name in ("latency_target", "availability_target"):
+            v = getattr(self, name)
+            if not 0.0 < v < 1.0:
+                raise ValueError(f"{name} must be in (0, 1), got {v}")
+        if self.latency_threshold_ms <= 0:
+            raise ValueError("latency_threshold_ms must be positive")
+        if self.shed_burn <= 0:
+            raise ValueError("shed_burn must be positive")
+        if not self.windows or any(w < 1 for w in self.windows):
+            raise ValueError(f"windows must be >= 1s, got {self.windows}")
+        object.__setattr__(
+            self, "windows", tuple(sorted(int(w) for w in self.windows))
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SloConfig":
+        known = {
+            "latency_threshold_ms", "latency_target", "availability_target",
+            "staleness_limit_s", "shed_burn", "windows",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown SLO config keys: {sorted(unknown)}")
+        kwargs = dict(data)
+        if "windows" in kwargs:
+            kwargs["windows"] = tuple(int(w) for w in kwargs["windows"])
+        return cls(**kwargs)
+
+    @classmethod
+    def from_file(cls, path: str) -> "SloConfig":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "latency_threshold_ms": self.latency_threshold_ms,
+            "latency_target": self.latency_target,
+            "availability_target": self.availability_target,
+            "staleness_limit_s": self.staleness_limit_s,
+            "shed_burn": self.shed_burn,
+            "windows": list(self.windows),
+        }
+
+
+@dataclass
+class WindowStats:
+    """Aggregate outcome counts over one sliding window."""
+
+    seconds: int
+    queries: int = 0
+    slow: int = 0
+    fallback: int = 0
+    error: int = 0
+    latency_sum_ms: float = 0.0
+
+    @property
+    def bad_availability(self) -> int:
+        return self.fallback + self.error
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.latency_sum_ms / self.queries if self.queries else 0.0
+
+
+class _Slot:
+    """One second's aggregates (reset lazily when its second expires)."""
+
+    __slots__ = ("second", "queries", "slow", "fallback", "error",
+                 "latency_sum_ms")
+
+    def __init__(self) -> None:
+        self.second = -1
+        self.queries = 0
+        self.slow = 0
+        self.fallback = 0
+        self.error = 0
+        self.latency_sum_ms = 0.0
+
+    def reset(self, second: int) -> None:
+        self.second = second
+        self.queries = 0
+        self.slow = 0
+        self.fallback = 0
+        self.error = 0
+        self.latency_sum_ms = 0.0
+
+
+class SloTracker:
+    """Records query outcomes; answers burn-rate questions.
+
+    Thread-safe by construction for the serving engine's use: slot
+    updates are a handful of int adds under the GIL, and the engine
+    already serialises metric updates per query.  ``now`` parameters
+    exist throughout so tests (and merges) can drive a logical clock.
+    """
+
+    def __init__(self, config: Optional[SloConfig] = None):
+        self.config = config or SloConfig()
+        self.horizon = max(self.config.windows) + 2  # +slack for edge slots
+        self._slots = [_Slot() for _ in range(self.horizon)]
+        self._staleness_s = 0.0
+        self._staleness_noted_at = 0.0
+        self.total_queries = 0
+
+    # -- recording -----------------------------------------------------
+
+    def _slot(self, now: float) -> _Slot:
+        second = int(now)
+        slot = self._slots[second % self.horizon]
+        if slot.second != second:
+            slot.reset(second)
+        return slot
+
+    def record_query(self, latency_ms: float, *, fallback: bool = False,
+                     error: bool = False,
+                     now: Optional[float] = None) -> None:
+        """Record one finished query's outcome."""
+        slot = self._slot(time.time() if now is None else now)
+        slot.queries += 1
+        slot.latency_sum_ms += float(latency_ms)
+        if latency_ms > self.config.latency_threshold_ms:
+            slot.slow += 1
+        if fallback:
+            slot.fallback += 1
+        if error:
+            slot.error += 1
+        self.total_queries += 1
+
+    def note_staleness(self, age_seconds: float,
+                       now: Optional[float] = None) -> None:
+        """Record the index's current age (a level, not an event)."""
+        self._staleness_s = max(0.0, float(age_seconds))
+        self._staleness_noted_at = time.time() if now is None else now
+
+    def staleness_s(self, now: Optional[float] = None) -> float:
+        """Current index age: last noted value, aged by elapsed time."""
+        if self._staleness_noted_at <= 0:
+            return 0.0
+        now = time.time() if now is None else now
+        return self._staleness_s + max(0.0, now - self._staleness_noted_at)
+
+    # -- reading -------------------------------------------------------
+
+    def window(self, seconds: int,
+               now: Optional[float] = None) -> WindowStats:
+        """Aggregate the trailing ``seconds`` ending at ``now``.
+
+        The window covers ``(now_second - seconds, now_second]``.  Slots
+        holding seconds outside that range — expired, or *ahead* of a
+        regressed clock — are skipped, never summed.
+        """
+        now_s = int(time.time() if now is None else now)
+        lo = now_s - int(seconds)
+        out = WindowStats(seconds=int(seconds))
+        for slot in self._slots:
+            if lo < slot.second <= now_s:
+                out.queries += slot.queries
+                out.slow += slot.slow
+                out.fallback += slot.fallback
+                out.error += slot.error
+                out.latency_sum_ms += slot.latency_sum_ms
+        return out
+
+    def burn_rates(
+        self, now: Optional[float] = None
+    ) -> Dict[str, Dict[str, float]]:
+        """``{window_label: {objective: burn}}`` for every window.
+
+        An empty window burns 0 (no traffic consumes no budget).
+        Staleness burn is ``age / limit`` — same ">1 means violating"
+        scale as the ratio objectives.
+        """
+        now = time.time() if now is None else now
+        lat_budget = 1.0 - self.config.latency_target
+        avail_budget = 1.0 - self.config.availability_target
+        stale_burn = self.staleness_s(now) / self.config.staleness_limit_s
+        out: Dict[str, Dict[str, float]] = {}
+        for seconds in self.config.windows:
+            w = self.window(seconds, now)
+            if w.queries:
+                lat = (w.slow / w.queries) / lat_budget
+                avail = (w.bad_availability / w.queries) / avail_budget
+            else:
+                lat = avail = 0.0
+            out[_window_label(seconds)] = {
+                "latency": lat,
+                "availability": avail,
+                "staleness": stale_burn,
+            }
+        return out
+
+    def should_shed(self, now: Optional[float] = None) -> bool:
+        """True when load shedding is warranted *right now*.
+
+        Standard multi-window gate: the shortest window (fast signal)
+        AND the next-longer window (flap suppression) must both burn
+        past ``shed_burn`` on the same objective.  With a single
+        configured window, that window alone decides.
+        """
+        now = time.time() if now is None else now
+        rates = self.burn_rates(now)
+        windows = [_window_label(s) for s in self.config.windows]
+        short = rates[windows[0]]
+        longer = rates[windows[1]] if len(windows) > 1 else short
+        bar = self.config.shed_burn
+        for objective in ("latency", "availability"):
+            if short[objective] >= bar and longer[objective] >= bar:
+                return True
+        return False
+
+    # -- merge / export ------------------------------------------------
+
+    def dump(self) -> Dict[str, Any]:
+        """Plain-data snapshot: live slots plus staleness state."""
+        slots = [
+            {
+                "second": s.second,
+                "queries": s.queries,
+                "slow": s.slow,
+                "fallback": s.fallback,
+                "error": s.error,
+                "latency_sum_ms": s.latency_sum_ms,
+            }
+            for s in self._slots if s.second >= 0 and s.queries
+        ]
+        return {
+            "config": self.config.as_dict(),
+            "slots": slots,
+            "staleness_s": self._staleness_s,
+            "staleness_noted_at": self._staleness_noted_at,
+            "total_queries": self.total_queries,
+        }
+
+    def merge_dump(self, dump: Mapping[str, Any]) -> None:
+        """Fold another tracker's :meth:`dump` into this one.
+
+        Matching-second slots sum; the freshest staleness note wins.
+        Build a *fresh* tracker per scrape before merging (the pool
+        does) so repeated merges of the same worker never double-count.
+        """
+        for row in dump.get("slots", []):
+            second = int(row["second"])
+            slot = self._slots[second % self.horizon]
+            if slot.second != second:
+                # Never clobber a newer resident with an older dump row.
+                if slot.second > second:
+                    continue
+                slot.reset(second)
+            slot.queries += int(row["queries"])
+            slot.slow += int(row["slow"])
+            slot.fallback += int(row["fallback"])
+            slot.error += int(row["error"])
+            slot.latency_sum_ms += float(row["latency_sum_ms"])
+        self.total_queries += int(dump.get("total_queries", 0))
+        noted = float(dump.get("staleness_noted_at", 0.0))
+        if noted > self._staleness_noted_at:
+            self._staleness_noted_at = noted
+            self._staleness_s = float(dump.get("staleness_s", 0.0))
+
+    @classmethod
+    def from_dumps(
+        cls,
+        dumps: Iterable[Optional[Mapping[str, Any]]],
+        config: Optional[SloConfig] = None,
+    ) -> "SloTracker":
+        """Build one merged tracker from several workers' dumps."""
+        dumps = [d for d in dumps if d]
+        if config is None and dumps:
+            config = SloConfig.from_dict(dumps[0]["config"])
+        tracker = cls(config)
+        for d in dumps:
+            tracker.merge_dump(d)
+        return tracker
+
+    # -- gauges --------------------------------------------------------
+
+    def publish(self, metrics, now: Optional[float] = None) -> None:
+        """Set ``slo_*`` gauges on a ``MetricsRegistry``.
+
+        Gauges (not counters), because burn rates are levels; published
+        under name-encoded labels so ``render_prometheus`` exposes them
+        as real labelled series.
+        """
+        from repro.serve.metrics import labelled  # avoid import cycle
+
+        now = time.time() if now is None else now
+        for window, rates in self.burn_rates(now).items():
+            for objective, burn in rates.items():
+                if not math.isfinite(burn):
+                    burn = 0.0
+                metrics.set_gauge(
+                    labelled("slo_burn_rate",
+                             objective=objective, window=window),
+                    burn,
+                )
+        for seconds in self.config.windows:
+            w = self.window(seconds, now)
+            label = _window_label(seconds)
+            metrics.set_gauge(
+                labelled("slo_window_queries", window=label), w.queries
+            )
+            metrics.set_gauge(
+                labelled("slo_window_mean_latency_ms", window=label),
+                w.mean_latency_ms,
+            )
+        metrics.set_gauge("slo_staleness_age_seconds", self.staleness_s(now))
+        metrics.set_gauge("slo_should_shed",
+                          1.0 if self.should_shed(now) else 0.0)
+
+
+def slo_report(tracker: SloTracker, now: Optional[float] = None) -> str:
+    """Human-readable burn-rate table (used by ``repro diag``)."""
+    now = time.time() if now is None else now
+    lines = ["== slo =="]
+    cfg = tracker.config
+    lines.append(
+        f"objectives: latency p{cfg.latency_target:.0%}<"
+        f"{cfg.latency_threshold_ms:g}ms  "
+        f"availability {cfg.availability_target:.1%}  "
+        f"staleness<{cfg.staleness_limit_s:g}s  "
+        f"shed at burn>={cfg.shed_burn:g}"
+    )
+    for window, rates in tracker.burn_rates(now).items():
+        w = tracker.window(
+            next(s for s in cfg.windows if _window_label(s) == window), now
+        )
+        lines.append(
+            f"  {window:>4}: queries={w.queries} "
+            f"burn latency={rates['latency']:.2f} "
+            f"availability={rates['availability']:.2f} "
+            f"staleness={rates['staleness']:.2f}"
+        )
+    lines.append(f"should_shed={tracker.should_shed(now)}")
+    return "\n".join(lines)

@@ -7,12 +7,18 @@ everything the engine knows about them: the query itself, the served
 outcome, the index diagnostics (``QueryDiagnostics`` /
 ``MiaQueryDiagnostics``, dataclasses serialised field-by-field), and the
 query's span tree when tracing is enabled.
+
+The sink is size-capped: when the file passes ``max_bytes`` it is rolled
+to ``<path>.1`` (replacing any previous ``.1``), so a long serve-http
+run under sustained slowness keeps at most two generations on disk
+instead of filling the volume.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import threading
 import time
 from typing import Any, Dict, Mapping, Optional, Sequence
@@ -40,22 +46,33 @@ def _jsonable(value: Any) -> Any:
         return repr(value)
 
 
+#: Default rotation threshold: 16 MiB per generation, two generations.
+DEFAULT_MAX_BYTES = 16 * 1024 * 1024
+
+
 class SlowQueryLog:
     """An append-only JSONL sink for queries over the latency threshold.
 
     The threshold lives on the sink (not the engine) so one engine can be
     re-pointed at a stricter sink without reconstruction.  Appends are
     serialised by a lock — the engine may record from pool threads.
+    When the file reaches ``max_bytes`` it rolls to ``<path>.1`` (one
+    rotated generation is kept); ``max_bytes=0`` disables rotation.
     """
 
-    def __init__(self, path, threshold_ms: float):
+    def __init__(self, path, threshold_ms: float,
+                 max_bytes: int = DEFAULT_MAX_BYTES):
         if threshold_ms < 0:
             raise ServeError(
                 f"threshold_ms must be >= 0, got {threshold_ms}"
             )
+        if max_bytes < 0:
+            raise ServeError(f"max_bytes must be >= 0, got {max_bytes}")
         self.path = str(path)
         self.threshold_ms = float(threshold_ms)
+        self.max_bytes = int(max_bytes)
         self.recorded = 0
+        self.rotations = 0
         self._lock = threading.Lock()
 
     def should_record(self, elapsed_s: float) -> bool:
@@ -93,5 +110,9 @@ class SlowQueryLog:
         with self._lock:
             with open(self.path, "a", encoding="utf-8") as fh:
                 fh.write(line + "\n")
+                size = fh.tell()
             self.recorded += 1
+            if self.max_bytes and size >= self.max_bytes:
+                os.replace(self.path, self.path + ".1")
+                self.rotations += 1
         return row

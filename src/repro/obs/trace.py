@@ -24,12 +24,24 @@ Design constraints, in order:
   durations or scramble the ordering of adopted worker spans against the
   parent's timeline;
 * **thread-safe collection** — the serving engine traces from pool
-  threads; the finished-span list takes a lock per append.
+  threads; the finished-span list takes a lock per append;
+* **bounded retention** — finished spans live in a ring buffer capped at
+  ``max_finished`` (default :data:`DEFAULT_MAX_FINISHED`): a long
+  ``serve-http`` run keeps the most recent spans instead of growing
+  without limit, and :attr:`Tracer.spans_dropped` counts what the cap
+  evicted (exported as the ``spans_dropped_total`` gauge at scrape
+  time).
 
 Nesting uses a :class:`contextvars.ContextVar`, so spans opened in
 ``async`` code or in the thread that opened the parent nest correctly;
 threads start with no current span and therefore open new roots, which
 is exactly what per-query serving wants.
+
+The sampling profiler (:mod:`repro.obs.profile`) cannot read another
+thread's contextvars, so while a profiler is running the span
+context managers additionally maintain a thread-id -> open-span-name
+stack (:func:`thread_span_names`); the registry costs one global int
+check per span when no profiler is active.
 """
 
 from __future__ import annotations
@@ -39,12 +51,16 @@ import json
 import os
 import threading
 import time
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from collections import deque
+from typing import Any, Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs.env import runtime_info
 
 #: Schema version stamped on every export.
 TRACE_SCHEMA_VERSION = 1
+
+#: Default finished-span retention cap (ring buffer; oldest evicted).
+DEFAULT_MAX_FINISHED = 20_000
 
 SpanContext = Tuple[str, str]  # (trace_id, span_id)
 
@@ -61,6 +77,51 @@ _current_tracer: contextvars.ContextVar[Optional["Tracer"]] = (
 # import cannot skew durations or reorder spans recorded in one process.
 _ANCHOR_UNIX = time.time()
 _ANCHOR_PERF = time.perf_counter()
+
+
+# ---------------------------------------------------------------------
+# Thread -> open-span registry (profiler span attribution)
+# ---------------------------------------------------------------------
+#
+# contextvars are invisible from other threads, so the sampling profiler
+# (repro.obs.profile) attributes stack samples through this registry
+# instead: while at least one profiler is running, the span context
+# managers push/pop the span name onto a per-thread stack.  List
+# append/pop are atomic under the GIL, so the sampler thread reading
+# stack[-1] needs no lock; when no profiler is active the registry costs
+# a single falsy int check per span.
+
+_THREAD_SPAN_STACKS: Dict[int, List[str]] = {}
+_span_tracking = 0  # count of profilers currently asking for attribution
+
+
+def enable_span_tracking() -> None:
+    """Start maintaining the thread -> span-name stacks (refcounted)."""
+    global _span_tracking
+    _span_tracking += 1
+
+
+def disable_span_tracking() -> None:
+    """Stop maintaining the stacks once no profiler needs them."""
+    global _span_tracking
+    _span_tracking = max(0, _span_tracking - 1)
+    if _span_tracking == 0:
+        _THREAD_SPAN_STACKS.clear()
+
+
+def thread_span_names() -> Dict[int, str]:
+    """Snapshot of ``{thread_ident: innermost open span name}``.
+
+    Only meaningful while span tracking is enabled; threads with no open
+    span are absent.
+    """
+    out: Dict[int, str] = {}
+    for tid, stack in list(_THREAD_SPAN_STACKS.items()):
+        try:
+            out[tid] = stack[-1]
+        except IndexError:
+            continue
+    return out
 
 
 def wall_now() -> float:
@@ -141,20 +202,35 @@ class Span:
 class _SpanHandle:
     """Context manager that opens a span and maintains the nesting stack."""
 
-    __slots__ = ("_span", "_token")
+    __slots__ = ("_span", "_token", "_tracked")
 
     def __init__(self, span: Span):
         self._span = span
         self._token: Optional[contextvars.Token] = None
+        self._tracked = False
 
     def __enter__(self) -> Span:
         self._token = _current_span.set(self._span)
+        if _span_tracking:
+            _THREAD_SPAN_STACKS.setdefault(
+                threading.get_ident(), []
+            ).append(self._span.name)
+            self._tracked = True
         return self._span
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         if exc_type is not None:
             self._span.set_attribute("error", f"{exc_type.__name__}: {exc}")
         self._span.end()
+        if self._tracked:
+            # A profiler stopping mid-span may have cleared the registry;
+            # pop defensively rather than assume our frame survived.
+            tid = threading.get_ident()
+            stack = _THREAD_SPAN_STACKS.get(tid)
+            if stack:
+                stack.pop()
+                if not stack:
+                    _THREAD_SPAN_STACKS.pop(tid, None)
         if self._token is not None:
             _current_span.reset(self._token)
         return False
@@ -192,14 +268,40 @@ NULL_SPAN = _NullSpan()
 
 
 class Tracer:
-    """Collects spans for one process; export as a JSON trace document."""
+    """Collects spans for one process; export as a JSON trace document.
+
+    ``max_finished`` caps the finished-span ring buffer: beyond the cap
+    the oldest spans are evicted and :attr:`spans_dropped` counts them,
+    so an always-on tracer (a ``serve-http`` sidecar, a profiling worker)
+    holds bounded memory no matter how long it runs.
+    """
 
     enabled = True
 
-    def __init__(self, service: str = "repro"):
+    def __init__(
+        self, service: str = "repro",
+        max_finished: int = DEFAULT_MAX_FINISHED,
+    ):
+        if max_finished < 1:
+            raise ValueError(
+                f"max_finished must be >= 1, got {max_finished}"
+            )
         self.service = service
+        self.max_finished = int(max_finished)
+        self.spans_dropped = 0
         self._lock = threading.Lock()
-        self._finished: List[Dict[str, Any]] = []
+        self._finished: Deque[Dict[str, Any]] = deque(maxlen=self.max_finished)
+
+    def _extend(self, rows: List[Dict[str, Any]]) -> None:
+        """Append finished-span dicts, accounting for ring eviction.
+
+        Caller must hold ``self._lock``.  The deque's ``maxlen`` does the
+        actual eviction; this only counts what fell off the left edge.
+        """
+        overflow = len(self._finished) + len(rows) - self.max_finished
+        if overflow > 0:
+            self.spans_dropped += overflow
+        self._finished.extend(rows)
 
     # -- span creation -------------------------------------------------
 
@@ -243,7 +345,7 @@ class Tracer:
 
     def _finish(self, span: Span) -> None:
         with self._lock:
-            self._finished.append(span.to_dict())
+            self._extend([span.to_dict()])
 
     # -- worker-span adoption ------------------------------------------
 
@@ -260,7 +362,7 @@ class Tracer:
         if not cleaned:
             return
         with self._lock:
-            self._finished.extend(cleaned)
+            self._extend(cleaned)
 
     def record_stages(
         self,
@@ -294,7 +396,7 @@ class Tracer:
             })
             offset += ms
         with self._lock:
-            self._finished.extend(rows)
+            self._extend(rows)
 
     # -- output --------------------------------------------------------
 
@@ -313,6 +415,7 @@ class Tracer:
             "schema_version": TRACE_SCHEMA_VERSION,
             "service": self.service,
             "environment": runtime_info(),
+            "spans_dropped": self.spans_dropped,
             "spans": self.finished_spans,
         }
 
@@ -327,6 +430,8 @@ class NullTracer:
 
     enabled = False
     service = "repro"
+    spans_dropped = 0
+    max_finished = 0
 
     def span(self, name, attributes=None, trace_id=None) -> _NullSpan:
         return NULL_SPAN

@@ -36,7 +36,11 @@ and turns it into a serving component:
   are emitted; with a :class:`~repro.obs.slowlog.SlowQueryLog` attached,
   queries over its threshold dump their span tree and diagnostics to a
   JSONL sink.  All three default to no-ops costing roughly one branch
-  each on the hot path.
+  each on the hot path.  With a :class:`~repro.obs.slo.SloTracker`
+  attached, every non-abandoned query outcome also feeds the
+  rolling-window SLO burn rates (:meth:`QueryEngine.refresh_slo`
+  publishes them as gauges; :meth:`QueryEngine.should_shed` is the
+  admission-control hook).
 
 Timeout semantics: every query's deadline is anchored at *submission*
 (``deadline_i = submit_time + timeout``); the collector walks futures in
@@ -83,6 +87,7 @@ from repro.geo.grid import UniformGrid
 from repro.geo.point import PointLike, as_point
 from repro.network.graph import GeoSocialNetwork
 from repro.obs.log import get_logger
+from repro.obs.slo import SloTracker
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.trace import Tracer, get_tracer, new_trace_id
 from repro.serve.cache import IndexCache, ResultCache
@@ -203,6 +208,7 @@ class QueryEngine:
         logger=None,
         slow_log: Optional[SlowQueryLog] = None,
         kernel_backend: Optional[str] = None,
+        slo: Optional[SloTracker] = None,
     ):
         self.index = index
         self.network: GeoSocialNetwork = index.network
@@ -230,6 +236,10 @@ class QueryEngine:
         self.tracer = tracer if tracer is not None else get_tracer()
         self.logger = logger if logger is not None else get_logger()
         self.slow_log = slow_log
+        #: Optional rolling-window SLO tracker.  The engine feeds it every
+        #: non-abandoned query outcome; ``refresh_slo`` publishes burn
+        #: rates as gauges and feeds it index staleness at scrape time.
+        self.slo = slo
         if slow_log is not None and not self.tracer.enabled:
             # A slow-query row without a span tree answers "that it was
             # slow" but not "why"; give the sink a real tracer.
@@ -295,6 +305,34 @@ class QueryEngine:
         if self.last_update is not None:
             record_staleness(self.metrics, self.last_update)
 
+    def refresh_slo(self) -> None:
+        """Feed staleness to the SLO tracker and publish ``slo_*`` gauges.
+
+        Called at scrape time (``/metrics``, ``/slo``) and before
+        :meth:`should_shed`; a no-op without a tracker attached.
+        """
+        if self.slo is None:
+            return
+        if self.last_update is not None:
+            self.slo.note_staleness(
+                max(0.0, time.time() - self.last_update.updated_unix)
+            )
+        self.slo.publish(self.metrics)
+
+    def should_shed(self) -> bool:
+        """True when the attached SLO tracker says to shed load *now*.
+
+        The hook the admission controller (ROADMAP item 3) consumes;
+        always False without a tracker.
+        """
+        if self.slo is None:
+            return False
+        if self.last_update is not None:
+            self.slo.note_staleness(
+                max(0.0, time.time() - self.last_update.updated_unix)
+            )
+        return self.slo.should_shed()
+
     @classmethod
     def from_path(
         cls,
@@ -308,6 +346,7 @@ class QueryEngine:
         logger=None,
         slow_log: Optional[SlowQueryLog] = None,
         kernel_backend: Optional[str] = None,
+        slo: Optional[SloTracker] = None,
     ) -> "QueryEngine":
         """An engine over the saved index at ``path``.
 
@@ -329,6 +368,7 @@ class QueryEngine:
             logger=logger,
             slow_log=slow_log,
             kernel_backend=kernel_backend,
+            slo=slo,
         )
 
     # ------------------------------------------------------------------
@@ -483,6 +523,16 @@ class QueryEngine:
             self._maybe_record_slow(
                 location, self._slow_k(query), served, diag
             )
+            if self.slo is not None:
+                # "requested" marks an explicit heuristic answer — the
+                # contract, not a degradation — so it does not burn the
+                # availability budget the way a timeout fallback does.
+                self.slo.record_query(
+                    served.elapsed * 1e3,
+                    fallback=(served.fallback_reason is not None
+                              and served.fallback_reason != "requested"),
+                    error=not served.ok,
+                )
         return served
 
     @staticmethod
@@ -846,6 +896,10 @@ class QueryEngine:
         kind = kind_of(query)
         m.inc("timeouts" if reason == "timeout" else "fallback_triggers")
         if self.config.fallback == "none":
+            if self.slo is not None:
+                self.slo.record_query(
+                    (self.config.timeout or 0.0) * 1e3, error=True,
+                )
             return ServedResult(
                 result=None,
                 elapsed=time.perf_counter() - start,
@@ -880,6 +934,11 @@ class QueryEngine:
                     )
             except ReproError as exc:
                 m.inc("errors")
+                if self.slo is not None:
+                    self.slo.record_query(
+                        (self.config.timeout or 0.0) * 1e3,
+                        fallback=True, error=True,
+                    )
                 return ServedResult(
                     result=None,
                     elapsed=time.perf_counter() - start,
@@ -906,5 +965,12 @@ class QueryEngine:
             self._maybe_record_slow(
                 location, k, served, None,
                 elapsed_override=self.config.timeout,
+            )
+        if self.slo is not None:
+            # Same convention as the slow log: the query's latency is at
+            # least the deadline it blew, so burn against that.
+            self.slo.record_query(
+                (self.config.timeout or elapsed) * 1e3, fallback=True,
+                error=not served.ok,
             )
         return served

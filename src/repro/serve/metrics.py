@@ -45,11 +45,18 @@ def labelled(name: str, **labels: str) -> str:
     ``serve_queries_total{kind="point"}``.  Labels are sorted so the same
     label set always maps to the same instrument, and
     :func:`repro.obs.prom.render_prometheus` splits the suffix back out
-    into real Prometheus labels at exposition time.
+    into real Prometheus labels at exposition time.  Values are escaped
+    per the exposition format (``\\``, ``"``, newline), so an odd or
+    hostile value cannot corrupt the rendered text;
+    :func:`repro.obs.prom.parse_prometheus` round-trips the escapes.
     """
     if not labels:
         return name
-    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    from repro.obs.prom import escape_label_value
+
+    inner = ",".join(
+        f'{k}="{escape_label_value(v)}"' for k, v in sorted(labels.items())
+    )
     return f"{name}{{{inner}}}"
 
 

@@ -63,7 +63,15 @@ from repro.geo.grid import UniformGrid
 from repro.geo.point import BoundingBox, PointLike
 from repro.network.graph import GeoSocialNetwork
 from repro.obs.log import get_logger
-from repro.obs.trace import get_tracer, span_context, wall_now, worker_span
+from repro.obs.profile import SamplingProfiler, merge_profile_dumps
+from repro.obs.slo import SloConfig, SloTracker
+from repro.obs.trace import (
+    Tracer,
+    get_tracer,
+    span_context,
+    wall_now,
+    worker_span,
+)
 from repro.serve.engine import QueryEngine, ServeConfig, ServedResult
 from repro.serve.metrics import MetricsRegistry, labelled, record_staleness
 from repro.serve.shared import SharedIndexArrays, SharedIndexManifest, attach_index
@@ -114,6 +122,8 @@ def _worker_main(
     untrack_shm: bool,
     parent_pid: int,
     kernel_backend: Optional[str] = None,
+    slo_config: Optional[SloConfig] = None,
+    profile_hz: Optional[float] = None,
 ) -> None:
     """Worker loop: attach the shared index, serve sub-batches forever.
 
@@ -122,9 +132,19 @@ def _worker_main(
     (frozen dataclasses, so they pickle cleanly) — is answered with
     ``(worker_id, task_id, "ok", [(idx, ServedResult), ...],
     [span_dict...])``; ``("stats", task_id)`` with ``(worker_id,
-    task_id, "stats", metrics_dump, None)``; ``("stop",)`` exits.  A
-    failure inside a serve is reported as ``"err"`` with the traceback —
-    the worker itself stays up.
+    task_id, "stats", metrics_dump, None)``; ``("slo", task_id)`` with
+    the worker's SLO-tracker dump (``None`` when SLO tracking is off);
+    ``("profile", task_id)`` with the worker's profiler dump (``None``
+    when profiling is off); ``("stop",)`` exits.  A failure inside a
+    serve is reported as ``"err"`` with the traceback — the worker
+    itself stays up.
+
+    With ``slo_config`` set, the worker engine records every query
+    outcome into its own :class:`SloTracker`; the parent merges the
+    per-worker dumps at scrape time (absolute-second slots sum, like
+    ``merge_dump``).  With ``profile_hz`` set, the worker runs a
+    :class:`SamplingProfiler` for its whole life, alongside a real (but
+    bounded) tracer so samples carry span attribution.
 
     The wait on the task queue is a timed poll: if the parent process
     disappears (its pid is re-parented away), the worker exits on its
@@ -139,12 +159,20 @@ def _worker_main(
     if os.getppid() != parent_pid:  # orphaned before first running
         return
     handle, index = attach_index(manifest, network, untrack=untrack_shm)
+    slo = SloTracker(slo_config) if slo_config is not None else None
+    tracer = None
+    profiler = None
+    if profile_hz:
+        # Profiling without spans yields anonymous stacks; give the
+        # worker a real tracer (memory-bounded) purely for attribution.
+        tracer = Tracer()
+        profiler = SamplingProfiler(hz=profile_hz).start()
     # Each worker resolves the backend itself: numba compile caches are
     # per-process, and a fork/spawn child must not inherit a parent-side
     # resolution it cannot honour.
     engine = QueryEngine(
         index, config=config, fingerprint=manifest.fingerprint,
-        kernel_backend=kernel_backend,
+        kernel_backend=kernel_backend, slo=slo, tracer=tracer,
     )
     try:
         while True:
@@ -162,6 +190,18 @@ def _worker_main(
                 result_q.put(
                     (worker_id, msg[1], "stats", engine.metrics.dump(), None)
                 )
+                continue
+            if msg[0] == "slo":
+                result_q.put((
+                    worker_id, msg[1], "slo",
+                    slo.dump() if slo is not None else None, None,
+                ))
+                continue
+            if msg[0] == "profile":
+                result_q.put((
+                    worker_id, msg[1], "profile",
+                    profiler.dump() if profiler is not None else None, None,
+                ))
                 continue
             _, task_id, sub, ctx = msg
             # wall_now() anchors to one wall-clock reading taken at
@@ -190,6 +230,8 @@ def _worker_main(
                     traceback.format_exc(limit=8), None,
                 ))
     finally:
+        if profiler is not None:
+            profiler.stop()
         handle.close()
 
 
@@ -218,6 +260,8 @@ class ServePool:
         tracer=None,
         logger=None,
         kernel_backend: Optional[str] = None,
+        slo_config: Optional[SloConfig] = None,
+        profile_hz: Optional[float] = None,
     ):
         if n_workers < 1:
             raise ServeError(f"n_workers must be >= 1, got {n_workers}")
@@ -232,6 +276,15 @@ class ServePool:
         #: worker resolves it in its own process); None keeps the
         #: index's persisted request.
         self.kernel_backend = kernel_backend
+        #: SLO objectives forwarded to every worker engine; None turns
+        #: rolling-window tracking off pool-wide.
+        self.slo_config = slo_config
+        #: Sampling rate forwarded to every worker (None = no profiling).
+        self.profile_hz = profile_hz
+        #: Merged pool-wide tracker, rebuilt from worker dumps by
+        #: :meth:`refresh_slo` (never incrementally mutated, so repeated
+        #: scrapes cannot double-count).
+        self.slo: Optional[SloTracker] = None
         self.network = network
         self.config = config if config is not None else ServeConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -301,6 +354,8 @@ class ServePool:
                 self._ctx.get_start_method() != "fork",
                 os.getpid(),
                 self.kernel_backend,
+                self.slo_config,
+                self.profile_hz,
             ),
             name=f"repro-serve-{worker_id}",
             daemon=True,
@@ -536,6 +591,41 @@ class ServePool:
     # Teardown
     # ------------------------------------------------------------------
 
+    def _collect_from_workers(
+        self, msg_kind: str, timeout: float
+    ) -> List[object]:
+        """Ask every live worker for ``msg_kind`` and gather the replies.
+
+        Shared request/collect loop behind metrics, SLO and profile
+        collection.  Returns the payloads that arrived within
+        ``timeout`` seconds total (a dead or slow worker just doesn't
+        contribute); replies to other outstanding requests are not
+        consumed — task ids disambiguate.
+        """
+        expect = {}
+        with self._lock:
+            for wid, proc in enumerate(self._workers):
+                task_q = self._task_qs[wid]
+                if proc is None or task_q is None or not proc.is_alive():
+                    continue
+                task_id = self._next_task_id()
+                expect[task_id] = wid
+                task_q.put((msg_kind, task_id))
+        payloads: List[object] = []
+        deadline = time.monotonic() + timeout
+        while expect and time.monotonic() < deadline:
+            try:
+                reply = self._result_q.get(
+                    timeout=max(0.01, deadline - time.monotonic())
+                )
+            except queue_mod.Empty:
+                break
+            _wid, task_id, status, payload, _ = reply
+            if task_id in expect and status == msg_kind:
+                del expect[task_id]
+                payloads.append(payload)
+        return payloads
+
     def collect_worker_metrics(self, timeout: float = _JOIN_SECONDS) -> int:
         """Merge each live worker's registry under ``worker.``; returns
         how many workers answered within ``timeout`` seconds total.
@@ -546,29 +636,56 @@ class ServePool:
         last batch.
         """
         self._metrics_merged = True
-        expect = {}
-        for wid, proc in enumerate(self._workers):
-            task_q = self._task_qs[wid]
-            if proc is None or task_q is None or not proc.is_alive():
-                continue
-            task_id = self._next_task_id()
-            expect[task_id] = wid
-            task_q.put(("stats", task_id))
         merged = 0
-        deadline = time.monotonic() + timeout
-        while expect and time.monotonic() < deadline:
-            try:
-                reply = self._result_q.get(
-                    timeout=max(0.01, deadline - time.monotonic())
-                )
-            except queue_mod.Empty:
-                break
-            wid, task_id, status, payload, _ = reply
-            if task_id in expect and status == "stats":
-                del expect[task_id]
-                self.metrics.merge_dump(payload, prefix="worker.")
-                merged += 1
+        for payload in self._collect_from_workers("stats", timeout):
+            self.metrics.merge_dump(payload, prefix="worker.")
+            merged += 1
         return merged
+
+    def refresh_slo(self, timeout: float = _JOIN_SECONDS) -> None:
+        """Rebuild the pool-wide SLO view from worker dumps and publish.
+
+        Queries are served *by workers*, so the parent's burn rates are
+        the merge of every worker's windows: absolute-second slots sum
+        (the analogue of ``merge_dump`` for ring windows).  The merged
+        tracker is rebuilt from scratch each call — repeated scrapes of
+        long-lived workers never double-count.  A no-op when the pool
+        was built without ``slo_config``.
+        """
+        if self.slo_config is None:
+            return
+        dumps = self._collect_from_workers("slo", timeout)
+        tracker = SloTracker.from_dumps(dumps, config=self.slo_config)
+        if self.last_update is not None:
+            tracker.note_staleness(
+                max(0.0, time.time() - self.last_update.updated_unix)
+            )
+        self.slo = tracker
+        tracker.publish(self.metrics)
+
+    def should_shed(self) -> bool:
+        """Pool-wide admission-control hook (see ``QueryEngine.should_shed``)."""
+        self.refresh_slo()
+        return self.slo.should_shed() if self.slo is not None else False
+
+    def collect_worker_profiles(
+        self, timeout: float = _JOIN_SECONDS
+    ) -> Optional[Dict]:
+        """One merged profiler dump across every live worker.
+
+        ``None`` when the pool was built without ``profile_hz`` or no
+        worker answered.  Stacks with identical frames (common: every
+        worker runs the same kernels) sum their sample counts, so the
+        merged flamegraph reads as "the pool's CPU time".
+        """
+        if not self.profile_hz:
+            return None
+        dumps = [
+            d for d in self._collect_from_workers("profile", timeout) if d
+        ]
+        if not dumps:
+            return None
+        return merge_profile_dumps(dumps)
 
     def close(self) -> None:
         """Stop workers, merge their metrics, release the shared index."""

@@ -1,0 +1,121 @@
+"""Tests for the diagnostics bundle (repro.obs.diag)."""
+
+import json
+
+from repro.obs.diag import (
+    bundle_report,
+    read_bundle,
+    slowlog_tail,
+    write_bundle,
+)
+from repro.obs.slo import SloTracker
+from repro.obs.trace import Tracer
+from repro.serve.metrics import MetricsRegistry
+
+T0 = 1_700_000_000.0
+
+
+def _profile_dump():
+    return {
+        "hz": 101, "sample_count": 5, "thread_samples": 5,
+        "duration_s": 0.05,
+        "counts": {"span:index.query;mod:f": 3, "mod:g": 2},
+        "span_samples": {"index.query": 3},
+    }
+
+
+class TestSlowlogTail:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert slowlog_tail(str(tmp_path / "nope.jsonl")) == []
+
+    def test_tail_limits_lines(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        path.write_text("".join(f'{{"i": {i}}}\n' for i in range(10)))
+        tail = slowlog_tail(str(path), limit=3)
+        assert tail == ['{"i": 7}', '{"i": 8}', '{"i": 9}']
+
+    def test_rotated_generation_chained_in_front(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        (tmp_path / "slow.jsonl.1").write_text('{"i": 0}\n{"i": 1}\n')
+        path.write_text('{"i": 2}\n')
+        assert slowlog_tail(str(path), limit=10) == [
+            '{"i": 0}', '{"i": 1}', '{"i": 2}',
+        ]
+
+
+class TestWriteBundle:
+    def test_full_bundle_members_and_manifest(self, tmp_path):
+        metrics = MetricsRegistry()
+        metrics.inc("queries_total", 3)
+        slo = SloTracker()
+        slo.record_query(5.0, now=T0)
+        tracer = Tracer()
+        with tracer.span("serve.query"):
+            pass
+        out = str(tmp_path / "diag.tar.gz")
+        manifest = write_bundle(
+            out,
+            metrics=metrics,
+            slo=slo,
+            traces=tracer.export(),
+            profile_dump=_profile_dump(),
+            slow_rows=['{"elapsed_ms": 120}'],
+            allocations_text="== allocations ==",
+            source="test",
+        )
+        members = read_bundle(out)
+        expected = {
+            "MANIFEST.json", "runtime.json", "metrics.json",
+            "metrics.prom", "slo.json", "slo.prom", "slo.txt",
+            "traces.json", "profile.json", "profile.collapsed",
+            "profile.txt", "slowlog.tail.jsonl", "allocations.txt",
+        }
+        assert set(members) == expected
+        assert manifest["source"] == "test"
+        assert sorted(manifest["members"]) == sorted(
+            expected - {"MANIFEST.json"}
+        )
+        # Collapsed profile is non-empty and span-attributed.
+        collapsed = members["profile.collapsed"].decode()
+        assert collapsed.startswith("span:index.query;")
+        # The SLO exposition carries burn-rate gauges and parses back.
+        from repro.obs.prom import parse_prometheus
+
+        parsed = parse_prometheus(members["slo.prom"].decode())
+        assert parsed.value(
+            "repro_slo_burn_rate", objective="latency", window="1m"
+        ) == 0.0
+        assert json.loads(members["metrics.json"])["counters"][
+            "queries_total"
+        ] == 3
+
+    def test_minimal_bundle_has_only_runtime(self, tmp_path):
+        out = str(tmp_path / "diag.tar.gz")
+        manifest = write_bundle(out)
+        members = read_bundle(out)
+        assert set(members) == {"MANIFEST.json", "runtime.json"}
+        assert manifest["members"] == ["runtime.json"]
+        assert json.loads(members["runtime.json"])["python"]
+
+    def test_remote_texts_used_verbatim(self, tmp_path):
+        out = str(tmp_path / "diag.tar.gz")
+        write_bundle(
+            out,
+            prometheus_text="m_total 1\n",
+            slo_prom_text="slo_gauge 2\n",
+            profile_collapsed="a;b 3\n",
+            extra_files={"healthz.json": b'{"status": "ok"}'},
+            source="live http://host:1234",
+        )
+        members = read_bundle(out)
+        assert members["metrics.prom"] == b"m_total 1\n"
+        assert members["slo.prom"] == b"slo_gauge 2\n"
+        assert members["profile.collapsed"] == b"a;b 3\n"
+        assert members["healthz.json"] == b'{"status": "ok"}'
+
+    def test_bundle_report_lists_members(self, tmp_path):
+        out = str(tmp_path / "diag.tar.gz")
+        write_bundle(out, profile_collapsed="a 1\n", source="test")
+        text = bundle_report(out)
+        assert "source=test" in text
+        assert "profile.collapsed" in text

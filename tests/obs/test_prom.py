@@ -5,11 +5,13 @@ import pytest
 from repro.exceptions import DataFormatError
 from repro.obs.prom import (
     QUANTILES,
+    escape_label_value,
     parse_prometheus,
     render_prometheus,
     sanitize_metric_name,
+    unescape_label_value,
 )
-from repro.serve.metrics import MetricsRegistry
+from repro.serve.metrics import MetricsRegistry, labelled
 
 
 @pytest.fixture
@@ -89,6 +91,39 @@ class TestParser:
     def test_parses_labels(self):
         parsed = parse_prometheus('m_bucket{le="5",x="a"} 2\n')
         assert parsed.value("m_bucket", le="5", x="a") == 2
+
+
+class TestLabelEscaping:
+    def test_escape_unescape_round_trip(self):
+        hostile = 'a"b\\c\nd'
+        assert unescape_label_value(escape_label_value(hostile)) == hostile
+        assert escape_label_value(hostile) == 'a\\"b\\\\c\\nd'
+
+    def test_unknown_escape_passes_through(self):
+        assert unescape_label_value("a\\zb") == "azb"
+
+    def test_labelled_escapes_values(self):
+        name = labelled("m_total", path='a"b\nc')
+        assert '\\"' in name and "\\n" in name
+
+    def test_hostile_value_survives_render_parse(self):
+        registry = MetricsRegistry()
+        hostile = 'val"ue\\with,every}thing\n'
+        registry.inc(labelled("hits_total", src=hostile), 2)
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert parsed.value("repro_hits_total", src=hostile) == 2
+
+    def test_parser_handles_comma_and_brace_in_quotes(self):
+        parsed = parse_prometheus('m{a="x,y",b="p}q"} 1\n')
+        assert parsed.value("m", a="x,y", b="p}q") == 1
+
+    def test_parser_rejects_unterminated_quote(self):
+        with pytest.raises(DataFormatError):
+            parse_prometheus('m{a="oops} 1\n')
+
+    def test_parser_rejects_trailing_garbage(self):
+        with pytest.raises(DataFormatError):
+            parse_prometheus("m 1 2 3\n")
 
 
 class TestSanitize:

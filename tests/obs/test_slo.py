@@ -1,0 +1,221 @@
+"""Tests for rolling-window SLO tracking (repro.obs.slo)."""
+
+import json
+
+import pytest
+
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    SloConfig,
+    SloTracker,
+    slo_report,
+)
+from repro.serve.metrics import MetricsRegistry
+
+T0 = 1_700_000_000.0  # a fixed logical clock for every test
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = SloConfig()
+        assert cfg.windows == DEFAULT_WINDOWS
+        assert 0 < cfg.latency_target < 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloConfig(latency_target=1.0)
+        with pytest.raises(ValueError):
+            SloConfig(availability_target=0.0)
+        with pytest.raises(ValueError):
+            SloConfig(latency_threshold_ms=0.0)
+        with pytest.raises(ValueError):
+            SloConfig(shed_burn=0.0)
+        with pytest.raises(ValueError):
+            SloConfig(windows=())
+
+    def test_windows_sorted(self):
+        assert SloConfig(windows=(300, 60)).windows == (60, 300)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown"):
+            SloConfig.from_dict({"latency_budget": 1})
+
+    def test_from_file_round_trip(self, tmp_path):
+        cfg = SloConfig(latency_threshold_ms=50.0, windows=(10, 60))
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(cfg.as_dict()))
+        assert SloConfig.from_file(str(path)) == cfg
+
+
+class TestWindows:
+    def test_empty_window_is_zero(self):
+        t = SloTracker()
+        w = t.window(60, now=T0)
+        assert w.queries == 0
+        assert w.mean_latency_ms == 0.0
+
+    def test_single_sample(self):
+        t = SloTracker()
+        t.record_query(42.0, now=T0)
+        w = t.window(60, now=T0)
+        assert w.queries == 1
+        assert w.slow == 0
+        assert w.mean_latency_ms == pytest.approx(42.0)
+
+    def test_samples_age_out(self):
+        t = SloTracker(SloConfig(windows=(10, 60)))
+        t.record_query(5.0, now=T0)
+        assert t.window(10, now=T0).queries == 1
+        assert t.window(10, now=T0 + 11).queries == 0
+        assert t.window(60, now=T0 + 11).queries == 1
+
+    def test_clock_regression_skips_future_slots(self):
+        t = SloTracker()
+        t.record_query(5.0, now=T0 + 100)  # clock steps back after this
+        w = t.window(60, now=T0)
+        assert w.queries == 0  # future slot never summed into the past
+
+    def test_slow_threshold_strictly_greater(self):
+        t = SloTracker(SloConfig(latency_threshold_ms=100.0))
+        t.record_query(100.0, now=T0)
+        t.record_query(100.1, now=T0)
+        assert t.window(60, now=T0).slow == 1
+
+
+class TestBurnRates:
+    def test_no_traffic_burns_nothing(self):
+        rates = SloTracker().burn_rates(now=T0)
+        assert rates["1m"]["latency"] == 0.0
+        assert rates["1m"]["availability"] == 0.0
+
+    def test_latency_burn_arithmetic(self):
+        # 1% slow against a 99% target (1% budget) -> burn exactly 1.0.
+        t = SloTracker(SloConfig(latency_target=0.99))
+        for i in range(99):
+            t.record_query(1.0, now=T0 + (i % 30))
+        t.record_query(500.0, now=T0)
+        assert t.burn_rates(now=T0 + 30)["1m"]["latency"] == (
+            pytest.approx(1.0)
+        )
+
+    def test_availability_counts_fallback_and_error(self):
+        t = SloTracker(SloConfig(availability_target=0.999))
+        for _ in range(8):
+            t.record_query(1.0, now=T0)
+        t.record_query(1.0, fallback=True, now=T0)
+        t.record_query(1.0, error=True, now=T0)
+        # 2/10 bad against a 0.1% budget -> burn 200.
+        assert t.burn_rates(now=T0)["1m"]["availability"] == (
+            pytest.approx(200.0)
+        )
+
+    def test_staleness_burn_ages_with_clock(self):
+        t = SloTracker(SloConfig(staleness_limit_s=100.0))
+        t.note_staleness(50.0, now=T0)
+        assert t.burn_rates(now=T0)["1m"]["staleness"] == pytest.approx(0.5)
+        assert t.burn_rates(now=T0 + 50)["1m"]["staleness"] == (
+            pytest.approx(1.0)
+        )
+
+    def test_staleness_zero_before_any_note(self):
+        assert SloTracker().staleness_s(now=T0) == 0.0
+
+
+class TestShouldShed:
+    def _hot_tracker(self, *, long_window_hot: bool) -> SloTracker:
+        cfg = SloConfig(windows=(10, 60), shed_burn=10.0,
+                        latency_target=0.99)
+        t = SloTracker(cfg)
+        # Saturate the short window with slow queries (burn 100).
+        for i in range(10):
+            t.record_query(500.0, now=T0 + 50 + i)
+        if not long_window_hot:
+            # Dilute the long window with plenty of fast traffic.
+            for i in range(49):
+                t.record_query(1.0, now=T0 + i)
+                t.record_query(1.0, now=T0 + i)
+                t.record_query(1.0, now=T0 + i)
+        return t
+
+    def test_requires_both_windows(self):
+        assert self._hot_tracker(long_window_hot=True).should_shed(
+            now=T0 + 60
+        )
+        assert not self._hot_tracker(long_window_hot=False).should_shed(
+            now=T0 + 60
+        )
+
+    def test_idle_tracker_never_sheds(self):
+        assert not SloTracker().should_shed(now=T0)
+
+
+class TestMerge:
+    def test_merge_sums_matching_seconds(self):
+        a, b = SloTracker(), SloTracker()
+        a.record_query(10.0, now=T0)
+        b.record_query(20.0, now=T0)
+        b.record_query(30.0, now=T0 + 1)
+        merged = SloTracker.from_dumps([a.dump(), b.dump()])
+        w = merged.window(60, now=T0 + 1)
+        assert w.queries == 3
+        assert w.latency_sum_ms == pytest.approx(60.0)
+        assert merged.total_queries == 3
+
+    def test_merge_skips_none_and_keeps_config(self):
+        cfg = SloConfig(latency_threshold_ms=7.0)
+        a = SloTracker(cfg)
+        a.record_query(1.0, now=T0)
+        merged = SloTracker.from_dumps([None, a.dump()])
+        assert merged.config.latency_threshold_ms == 7.0
+
+    def test_freshest_staleness_wins(self):
+        a, b = SloTracker(), SloTracker()
+        a.note_staleness(500.0, now=T0 - 10)
+        b.note_staleness(5.0, now=T0)
+        merged = SloTracker.from_dumps([a.dump(), b.dump()])
+        assert merged.staleness_s(now=T0) == pytest.approx(5.0)
+
+    def test_rebuilt_merge_does_not_double_count(self):
+        worker = SloTracker()
+        worker.record_query(1.0, now=T0)
+        dumps = [worker.dump(), worker.dump()]  # two scrapes, same worker
+        fresh = SloTracker.from_dumps([dumps[-1]])  # pool rebuilds fresh
+        assert fresh.window(60, now=T0).queries == 1
+
+
+class TestPublish:
+    def test_gauges_cover_all_objectives_and_windows(self):
+        t = SloTracker()
+        t.record_query(1.0, now=T0)
+        registry = MetricsRegistry()
+        t.publish(registry, now=T0)
+        gauges = registry.dump()["gauges"]
+        for window in ("1m", "5m", "30m"):
+            for objective in ("latency", "availability", "staleness"):
+                key = (
+                    f'slo_burn_rate{{objective="{objective}",'
+                    f'window="{window}"}}'
+                )
+                assert key in gauges
+        assert 'slo_window_queries{window="1m"}' in gauges
+        assert "slo_should_shed" in gauges
+        assert "slo_staleness_age_seconds" in gauges
+
+    def test_publish_renders_and_parses(self):
+        from repro.obs.prom import parse_prometheus, render_prometheus
+
+        t = SloTracker()
+        t.record_query(250.0, now=T0)
+        registry = MetricsRegistry()
+        t.publish(registry, now=T0)
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert parsed.value(
+            "repro_slo_burn_rate", objective="latency", window="1m"
+        ) == pytest.approx(100.0)
+
+    def test_report_text(self):
+        t = SloTracker()
+        t.record_query(1.0, now=T0)
+        text = slo_report(t, now=T0)
+        assert "== slo ==" in text
+        assert "1m" in text and "should_shed=" in text

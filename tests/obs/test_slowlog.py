@@ -89,6 +89,50 @@ class TestRecord:
         assert len(path.read_text().splitlines()) == 3
 
 
+class TestRotation:
+    def _record(self, log, i):
+        log.record(
+            trace_id=f"t{i}", location=(0.0, 0.0), k=1, elapsed_s=0.1,
+            cached=False, fallback_reason=None, error=None,
+        )
+
+    def test_rotates_to_dot_one(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(path, 0.0, max_bytes=200)
+        for i in range(10):
+            self._record(log, i)
+        assert log.rotations >= 1
+        rotated = (tmp_path / "slow.jsonl.1").read_text().splitlines()
+        assert rotated  # the overflowing generation moved aside
+        # Every recorded row survives in exactly one generation or the
+        # other most-recent pair (only one .1 is kept by design).
+        live = path.read_text().splitlines() if path.exists() else []
+        assert len(live) + len(rotated) <= 10
+
+    def test_second_rotation_replaces_dot_one(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(path, 0.0, max_bytes=120)
+        for i in range(20):
+            self._record(log, i)
+        assert log.rotations >= 2
+        # .1 holds the most recently rotated generation, not the first.
+        rotated = (tmp_path / "slow.jsonl.1").read_text()
+        assert "t0" not in rotated
+
+    def test_zero_max_bytes_disables_rotation(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(path, 0.0, max_bytes=0)
+        for i in range(10):
+            self._record(log, i)
+        assert log.rotations == 0
+        assert not (tmp_path / "slow.jsonl.1").exists()
+        assert len(path.read_text().splitlines()) == 10
+
+    def test_negative_max_bytes_rejected(self, tmp_path):
+        with pytest.raises(ServeError):
+            SlowQueryLog(tmp_path / "slow.jsonl", 0.0, max_bytes=-1)
+
+
 class TestJsonable:
     def test_numpy_scalars_become_floats(self):
         assert _jsonable(np.float64(1.5)) == 1.5

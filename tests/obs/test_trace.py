@@ -154,6 +154,72 @@ class TestExport:
         assert json.loads(path.read_text())["spans"][0]["name"] == "root"
 
 
+class TestRetention:
+    def test_ring_caps_finished_spans(self):
+        tracer = Tracer(max_finished=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        names = [s["name"] for s in tracer.finished_spans]
+        assert names == ["s2", "s3", "s4"]
+        assert tracer.spans_dropped == 2
+
+    def test_adopt_counts_dropped(self):
+        tracer = Tracer(max_finished=2)
+        with tracer.span("root") as parent:
+            ctx = span_context(parent)
+            tracer.adopt([
+                worker_span(f"w{i}", ctx, 1.0, 2.0) for i in range(4)
+            ])
+        assert len(tracer.finished_spans) == 2
+        assert tracer.spans_dropped >= 2
+
+    def test_export_reports_drops(self):
+        tracer = Tracer(max_finished=1)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        doc = tracer.export()
+        assert doc["spans_dropped"] == 1
+        assert len(doc["spans"]) == 1
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            Tracer(max_finished=0)
+
+
+class TestSpanTracking:
+    def test_thread_registry_follows_nesting(self):
+        from repro.obs.trace import (
+            disable_span_tracking,
+            enable_span_tracking,
+            thread_span_names,
+        )
+        import threading
+
+        tracer = Tracer()
+        ident = threading.get_ident()
+        enable_span_tracking()
+        try:
+            assert ident not in thread_span_names()
+            with tracer.span("outer"):
+                assert thread_span_names()[ident] == "outer"
+                with tracer.span("inner"):
+                    assert thread_span_names()[ident] == "inner"
+                assert thread_span_names()[ident] == "outer"
+            assert ident not in thread_span_names()
+        finally:
+            disable_span_tracking()
+
+    def test_disabled_registry_is_empty(self):
+        tracer = Tracer()
+        from repro.obs.trace import thread_span_names
+
+        with tracer.span("x"):
+            assert thread_span_names() == {}
+
+
 class TestNullTracer:
     def test_null_tracer_is_inert(self):
         with NULL_TRACER.span("x", {"a": 1}) as span:
